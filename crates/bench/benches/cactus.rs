@@ -1,0 +1,77 @@
+//! Cactus kernel benchmarks and the Table 5 ablation: the cost of the
+//! radiation boundary enforcement relative to the interior sweep (the
+//! unvectorized-hotspot story of §5), and the ICN integrator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_cactus::boundary::{apply_periodic, apply_radiation};
+use pvs_cactus::grid::Grid3;
+use pvs_cactus::rhs::{apply_sommerfeld_rhs, evaluate};
+use pvs_cactus::solver::{tt_plane_wave, CactusConfig, CactusSim};
+use std::hint::black_box;
+
+fn wave_grid(n: usize) -> Grid3 {
+    let mut g = Grid3::new(n, n, n, 1);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let (hv, kv) = tt_plane_wave(z, n, 0.01);
+                for c in 0..6 {
+                    g.set(c, x as isize, y as isize, z as isize, hv[c]);
+                    g.set(6 + c, x as isize, y as isize, z as isize, kv[c]);
+                }
+            }
+        }
+    }
+    g.fill_periodic_ghosts();
+    g
+}
+
+fn bench_rhs(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("cactus_rhs");
+    grp.sample_size(10);
+    let n = 32;
+    let state = wave_grid(n);
+    let mut out = Grid3::new(n, n, n, 1);
+    grp.bench_function("interior_sweep_32cubed", |b| {
+        b.iter(|| evaluate(black_box(&state), &mut out, 1.0));
+    });
+    grp.bench_function("sommerfeld_boundary_32cubed", |b| {
+        b.iter(|| apply_sommerfeld_rhs(black_box(&state), &mut out, 1.0));
+    });
+    grp.finish();
+}
+
+fn bench_boundary_ablation(c: &mut Criterion) {
+    // Ablation: ghost-fill cost of periodic vs radiation treatment.
+    let mut grp = c.benchmark_group("cactus_boundary");
+    grp.sample_size(10);
+    let n = 32;
+    grp.bench_function("periodic_fill", |b| {
+        let mut g = wave_grid(n);
+        b.iter(|| apply_periodic(black_box(&mut g)));
+    });
+    grp.bench_function("radiation_fill", |b| {
+        let mut g = wave_grid(n);
+        b.iter(|| apply_radiation(black_box(&mut g)));
+    });
+    grp.finish();
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("cactus_step");
+    grp.sample_size(10);
+    grp.bench_function("icn_step_24cubed", |b| {
+        let n = 24;
+        let mut sim = CactusSim::from_fields(CactusConfig::periodic_cube(n), |_, _, z| {
+            tt_plane_wave(z, n, 0.01)
+        });
+        b.iter(|| {
+            sim.step();
+            black_box(sim.time())
+        });
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_rhs, bench_boundary_ablation, bench_full_step);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! LBMHD kernel benchmarks and the Table 3 ablations:
+//! collision/stream costs, and the MPI-vs-CAF exchange comparison the
+//! paper's X1 CAF column motivates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_lbmhd::collision::{collide_site, equilibrium_b, equilibrium_f, SiteMoments};
+use pvs_lbmhd::init::crossed_current_sheets;
+use pvs_lbmhd::parallel::{run_distributed, ExchangeMode};
+use pvs_lbmhd::solver::{Simulation, SimulationConfig};
+use pvs_lbmhd::stream::{shift_fractional, shift_periodic};
+use std::hint::black_box;
+
+fn bench_collision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lbmhd_collision");
+    g.sample_size(20);
+    g.bench_function("collide_site", |b| {
+        let m = SiteMoments {
+            rho: 1.1,
+            u: (0.02, -0.03),
+            b: (0.05, 0.01),
+        };
+        let f0 = equilibrium_f(&m);
+        let g0 = equilibrium_b(&m);
+        b.iter(|| {
+            let mut f = f0;
+            let mut gg = g0;
+            collide_site(black_box(&mut f), black_box(&mut gg), 0.8, 0.9);
+            (f, gg)
+        });
+    });
+    g.bench_function("collision_sweep_64x64", |b| {
+        let n = 64;
+        let cfg = SimulationConfig::new(n, n);
+        let mut sim =
+            Simulation::from_moments(cfg, |x, y| crossed_current_sheets(x, y, n, n, 0.08));
+        b.iter(|| {
+            sim.collide();
+            black_box(sim.num_sites())
+        });
+    });
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lbmhd_stream");
+    g.sample_size(20);
+    let n = 128;
+    let src: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut dst = vec![0.0; n * n];
+    g.bench_function("shift_periodic_diag", |b| {
+        b.iter(|| shift_periodic(black_box(&src), &mut dst, n, n, 1, 1));
+    });
+    g.bench_function("shift_fractional_octagonal", |b| {
+        // The octagonal lattice's third-degree polynomial interpolation.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        b.iter(|| shift_fractional(black_box(&src), &mut dst, n, n, s, s));
+    });
+    g.finish();
+}
+
+fn bench_exchange_ablation(c: &mut Criterion) {
+    // Ablation: two-sided buffered exchange vs one-sided co-array puts
+    // (the paper's MPI vs CAF comparison), full 4-rank steps.
+    let mut g = c.benchmark_group("lbmhd_exchange_ablation");
+    g.sample_size(10);
+    let n = 32;
+    let cfg = SimulationConfig::new(n, n);
+    g.bench_function("mpi_4ranks_2steps", |b| {
+        b.iter(|| {
+            run_distributed(cfg, 2, 2, 2, ExchangeMode::Mpi, |x, y| {
+                crossed_current_sheets(x, y, n, n, 0.08)
+            })
+        });
+    });
+    g.bench_function("caf_4ranks_2steps", |b| {
+        b.iter(|| {
+            run_distributed(cfg, 2, 2, 2, ExchangeMode::Caf, |x, y| {
+                crossed_current_sheets(x, y, n, n, 0.08)
+            })
+        });
+    });
+    g.finish();
+}
+
+fn bench_lattice_ablation(c: &mut Criterion) {
+    // Ablation: square-lattice exact streaming vs the octagonal lattice's
+    // interpolated streaming (the paper's Fig. 2 structure) at equal grid
+    // size — the interpolation's polynomial evaluations are the cost.
+    use pvs_lbmhd::octagonal::OctagonalSim;
+    let mut g = c.benchmark_group("lbmhd_lattice_ablation");
+    g.sample_size(10);
+    let n = 64;
+    g.bench_function("square_lattice_step", |b| {
+        let cfg = SimulationConfig::new(n, n);
+        let mut sim =
+            Simulation::from_moments(cfg, |x, y| crossed_current_sheets(x, y, n, n, 0.08));
+        b.iter(|| {
+            sim.step();
+            black_box(sim.steps_taken())
+        });
+    });
+    g.bench_function("octagonal_lattice_step", |b| {
+        let mut sim =
+            OctagonalSim::from_moments(n, n, 0.8, |x, y| crossed_current_sheets(x, y, n, n, 0.08));
+        b.iter(|| {
+            sim.step();
+            black_box(sim.total_mass())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collision,
+    bench_stream,
+    bench_exchange_ablation,
+    bench_lattice_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the evaluation framework itself: the cache and bank
+//! simulators, the discrete-event network, and full table regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_core::engine::Engine;
+use pvs_core::platforms;
+use pvs_lbmhd::perf::LbmhdWorkload;
+use pvs_memsim::banks::{BankConfig, BankedMemory};
+use pvs_memsim::cache::{Cache, CacheConfig};
+use pvs_netsim::collectives::all_to_all_time_sampled;
+use pvs_netsim::topology::{Network, NetworkConfig, TopologyKind};
+use std::hint::black_box;
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulators");
+    g.sample_size(10);
+    g.bench_function("cache_sim_64k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::new(256 * 1024, 128, 8));
+            for i in 0..65_536u64 {
+                cache.access(black_box(i * 64));
+            }
+            cache.stats().hits
+        });
+    });
+    g.bench_function("bank_sim_strided_16k", |b| {
+        b.iter(|| {
+            let mut mem = BankedMemory::new(BankConfig::default());
+            mem.strided_access(0, 16_384, black_box(17));
+            mem.stall_cycles
+        });
+    });
+    g.bench_function("des_alltoall_256ranks", |b| {
+        let net = Network::new(NetworkConfig {
+            kind: TopologyKind::Torus2D,
+            endpoints: 256,
+            link_bw_gbs: 6.3,
+            latency_us: 7.3,
+        });
+        b.iter(|| all_to_all_time_sampled(black_box(&net), 256, 4096, 24));
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let phases = LbmhdWorkload::new(4096, 64).phases();
+    g.bench_function("lbmhd_workload_on_all_platforms", |b| {
+        b.iter(|| {
+            platforms::all()
+                .into_iter()
+                .map(|m| Engine::new(m).run(black_box(&phases), 64).gflops_per_p)
+                .sum::<f64>()
+        });
+    });
+    g.finish();
+}
+
+fn bench_amr(c: &mut Criterion) {
+    use pvs_amr::solver::AmrSim;
+    let mut g = c.benchmark_group("amr");
+    g.sample_size(10);
+    g.bench_function("amr_step_4x4_tiles", |b| {
+        let mut sim = AmrSim::new(4, 8, (1.0, 0.5), 0.02, |x, y| {
+            (-((x - 16.0).powi(2) + (y - 16.0).powi(2)) / 10.0).exp()
+        });
+        b.iter(|| {
+            sim.step();
+            black_box(sim.steps_taken())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators, bench_engine, bench_amr);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerate the data behind the paper's Figure 1.
+fn main() {
+    print!("{}", pvs_bench::figures::fig1(64, &[0, 100, 300]));
+}

@@ -1,0 +1,4 @@
+//! Regenerate the data behind the paper's Figure 7.
+fn main() {
+    print!("{}", pvs_bench::figures::fig7());
+}

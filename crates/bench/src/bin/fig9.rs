@@ -1,0 +1,10 @@
+//! Regenerate the paper's Figure 9 (sustained % of peak at P=64).
+fn main() {
+    let out = pvs_bench::fig9_model();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", out.render_json());
+    } else {
+        print!("{}", out.render());
+    }
+    std::process::exit(if out.all_checks_pass() { 0 } else { 1 });
+}

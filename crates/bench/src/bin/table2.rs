@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 2.
+fn main() {
+    print!("{}", pvs_bench::table2_text());
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's Table 3.
+fn main() {
+    let out = pvs_bench::table3_model();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", out.render_json());
+    } else {
+        print!("{}", out.render());
+    }
+    std::process::exit(if out.all_checks_pass() { 0 } else { 1 });
+}

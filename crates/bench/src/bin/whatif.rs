@@ -1,0 +1,146 @@
+//! What-if machine explorer: modify one of the study's machines from the
+//! command line and see how every application responds — the tool a
+//! downstream user reaches for when asking "what would the ES have done
+//! with half the memory bandwidth?" or "what if the X1's scalar unit were
+//! twice as fast?".
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin whatif -- ES --mem-bw 16
+//! cargo run --release -p pvs-bench --bin whatif -- X1 --scalar-gflops 0.8
+//! cargo run --release -p pvs-bench --bin whatif -- Power3 --issue-eff 0.9 --procs 256
+//! ```
+
+use pvs_cactus::perf::{CactusVariant, CactusWorkload};
+use pvs_core::engine::Engine;
+use pvs_core::machine::{CpuClass, Machine};
+use pvs_core::platforms;
+use pvs_gtc::perf::{GtcVariant, GtcWorkload};
+use pvs_lbmhd::perf::LbmhdWorkload;
+use pvs_netsim::topology::TopologyKind;
+use pvs_paratec::perf::ParatecWorkload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: whatif <Power3|Power4|Altix|ES|X1> [--mem-bw GB/s] [--peak GF/s]\n\
+         \x20             [--net-bw GB/s] [--latency us] [--scalar-gflops GF/s]\n\
+         \x20             [--issue-eff 0..1] [--topology crossbar|torus|fattree]\n\
+         \x20             [--procs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut machine = match args[0].as_str() {
+        "Power3" => platforms::power3(),
+        "Power4" => platforms::power4(),
+        "Altix" => platforms::altix(),
+        "ES" => platforms::earth_simulator(),
+        "X1" => platforms::x1(),
+        _ => usage(),
+    };
+    let baseline = machine.clone();
+    let mut procs = 64usize;
+
+    let mut i = 1;
+    while i < args.len() {
+        let value = || -> f64 {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--mem-bw" => machine.mem_bw_gbs = value(),
+            "--peak" => machine.peak_gflops = value(),
+            "--net-bw" => machine.net_bw_gbs_per_cpu = value(),
+            "--latency" => machine.mpi_latency_us = value(),
+            "--scalar-gflops" => {
+                if let CpuClass::Vector { unit, .. } = &mut machine.cpu {
+                    unit.scalar_peak_gflops = value();
+                } else {
+                    eprintln!("--scalar-gflops applies to vector machines");
+                    std::process::exit(2);
+                }
+            }
+            "--issue-eff" => {
+                if let CpuClass::Superscalar {
+                    issue_efficiency, ..
+                } = &mut machine.cpu
+                {
+                    *issue_efficiency = value();
+                } else {
+                    eprintln!("--issue-eff applies to superscalar machines");
+                    std::process::exit(2);
+                }
+            }
+            "--procs" => procs = value() as usize,
+            "--topology" => {
+                machine.topology = match args.get(i + 1).map(String::as_str) {
+                    Some("crossbar") => TopologyKind::Crossbar,
+                    Some("torus") => TopologyKind::Torus2D,
+                    Some("fattree") => TopologyKind::FatTree {
+                        arity: 4,
+                        slim: 1.0,
+                    },
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    println!(
+        "What-if: {} with mem {} GB/s (was {}), peak {} GF/s (was {}), P={procs}\n",
+        machine.name,
+        machine.mem_bw_gbs,
+        baseline.mem_bw_gbs,
+        machine.peak_gflops,
+        baseline.peak_gflops,
+    );
+    println!(
+        "{:<9} {:>14} {:>14} {:>8}",
+        "App", "baseline GF/P", "what-if GF/P", "change"
+    );
+
+    type PhaseBuilder = Box<dyn Fn(&Machine) -> Vec<pvs_core::phase::Phase>>;
+    let apps: [(&str, PhaseBuilder); 4] = [
+        (
+            "LBMHD",
+            Box::new(move |_| LbmhdWorkload::new(8192, procs).phases()),
+        ),
+        (
+            "PARATEC",
+            Box::new(move |_| ParatecWorkload::si432(procs).phases()),
+        ),
+        (
+            "CACTUS",
+            Box::new(move |m| {
+                CactusWorkload::large(procs).phases(CactusVariant::for_machine(m.name))
+            }),
+        ),
+        (
+            "GTC",
+            Box::new(move |m| GtcWorkload::new(100, procs).phases(GtcVariant::for_machine(m.name))),
+        ),
+    ];
+
+    for (app, phases_for) in &apps {
+        let base = Engine::new(baseline.clone())
+            .run(&phases_for(&baseline), procs)
+            .gflops_per_p;
+        let what = Engine::new(machine.clone())
+            .run(&phases_for(&machine), procs)
+            .gflops_per_p;
+        println!(
+            "{:<9} {:>14.3} {:>14.3} {:>+7.1}%",
+            app,
+            base,
+            what,
+            100.0 * (what / base - 1.0)
+        );
+    }
+}

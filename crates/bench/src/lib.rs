@@ -1,0 +1,20 @@
+//! # pvs-bench — the benchmark and regeneration harness
+//!
+//! One binary per table and figure of the paper (see `src/bin/`), backed
+//! by the generators in [`tablegen`] and [`figures`], plus Criterion
+//! microbenchmarks of the real kernels and the ablations DESIGN.md lists
+//! (see `benches/`).
+//!
+//! ```text
+//! cargo run -p pvs-bench --bin table3      # LBMHD, model vs paper
+//! cargo run -p pvs-bench --bin fig9       # sustained %peak bars
+//! cargo bench -p pvs-bench                # kernel + ablation benches
+//! ```
+
+pub mod figures;
+pub mod tablegen;
+
+pub use tablegen::{
+    fig9_model, table1_text, table2_text, table3_model, table4_model, table5_model, table6_model,
+    table7_model, TableOutput,
+};

@@ -1,0 +1,140 @@
+//! Boundary conditions: periodic and Sommerfeld radiation.
+//!
+//! Radiation ("outgoing wave") boundaries are the routine whose
+//! vectorization dominated the paper's vector-machine analysis: cheap on
+//! superscalar systems but "up to 20% of the ES runtime and over 30% of
+//! the X1 overhead" until hand-vectorized (§5.1). Here we implement the
+//! first-order outgoing-characteristic form: each ghost value takes the
+//! adjacent boundary value from the *previous* step, advecting waves out
+//! of the domain at unit speed when `dt = dx`.
+
+use crate::grid::{Grid3, NFIELDS};
+
+/// Which boundary treatment to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Periodic wraparound (used by the plane-wave validation tests).
+    Periodic,
+    /// Sommerfeld outgoing-radiation condition.
+    Radiation,
+}
+
+/// Fill ghosts periodically.
+pub fn apply_periodic(g: &mut Grid3) {
+    g.fill_periodic_ghosts();
+}
+
+/// Fill ghosts with the outgoing-characteristic radiation condition:
+/// ghost(face) ← value one cell inward, so a wave front crossing the
+/// boundary keeps propagating out instead of reflecting.
+pub fn apply_radiation(g: &mut Grid3) {
+    let (nx, ny, nz) = (g.nx as isize, g.ny as isize, g.nz as isize);
+    let gh = g.ghost as isize;
+    for f in 0..NFIELDS {
+        let mut writes = Vec::new();
+        for z in -gh..nz + gh {
+            for y in -gh..ny + gh {
+                for x in -gh..nx + gh {
+                    let interior =
+                        (0..nx).contains(&x) && (0..ny).contains(&y) && (0..nz).contains(&z);
+                    if interior {
+                        continue;
+                    }
+                    // Clamp to the nearest interior point (the boundary
+                    // value the outgoing characteristic carries).
+                    let sx = x.clamp(0, nx - 1);
+                    let sy = y.clamp(0, ny - 1);
+                    let sz = z.clamp(0, nz - 1);
+                    writes.push((g.idx(x, y, z), g.get(f, sx, sy, sz)));
+                }
+            }
+        }
+        for (i, v) in writes {
+            g.field_mut(f)[i] = v;
+        }
+    }
+}
+
+/// Apply the selected boundary.
+pub fn apply(g: &mut Grid3, kind: BoundaryKind) {
+    match kind {
+        BoundaryKind::Periodic => apply_periodic(g),
+        BoundaryKind::Radiation => apply_radiation(g),
+    }
+}
+
+/// Number of boundary-face points of a grid (the work unit of the
+/// radiation-BC performance phase).
+pub fn face_points(nx: usize, ny: usize, nz: usize) -> usize {
+    2 * (nx * ny + ny * nz + nx * nz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::h;
+
+    #[test]
+    fn radiation_copies_boundary_values() {
+        let mut g = Grid3::new(4, 4, 4, 1);
+        g.set(h(0), 3, 2, 2, 7.0);
+        apply_radiation(&mut g);
+        assert_eq!(
+            g.get(h(0), 4, 2, 2),
+            7.0,
+            "+x ghost takes the boundary value"
+        );
+        g.set(h(0), 0, 0, 0, 3.0);
+        apply_radiation(&mut g);
+        assert_eq!(g.get(h(0), -1, -1, -1), 3.0, "corner ghost clamps");
+    }
+
+    #[test]
+    fn face_point_count() {
+        assert_eq!(face_points(4, 4, 4), 6 * 16);
+        assert_eq!(
+            face_points(250, 64, 64),
+            2 * (250 * 64 + 64 * 64 + 250 * 64)
+        );
+    }
+
+    #[test]
+    fn radiation_damps_outgoing_pulse() {
+        use crate::grid::k;
+        use crate::solver::{CactusConfig, CactusSim};
+        // A Gaussian pulse in k_xx centred in the domain radiates outward;
+        // with radiation boundaries the wave energy must drain once the
+        // front reaches the boundary, instead of persisting (the periodic
+        // case conserves it up to ICN damping).
+        let n = 16;
+        let run = |kind: BoundaryKind| {
+            let mut sim = CactusSim::from_fields(
+                CactusConfig {
+                    nx: n,
+                    ny: n,
+                    nz: n,
+                    dx: 1.0,
+                    dt: 0.25,
+                    boundary: kind,
+                },
+                |x, y, z| {
+                    let c = n as f64 / 2.0;
+                    let r2 =
+                        ((x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2))
+                            / 4.0;
+                    let mut kv = [0.0; 6];
+                    kv[0] = 0.01 * (-r2).exp();
+                    ([0.0; 6], kv)
+                },
+            );
+            sim.run(8 * n);
+            sim.grid.l2(k(0))
+        };
+        let radiated = run(BoundaryKind::Radiation);
+        let periodic = run(BoundaryKind::Periodic);
+        assert!(
+            radiated < 0.5 * periodic,
+            "radiation boundaries must drain the pulse: {radiated} vs periodic {periodic}"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The evolution equations (linearized ADM) and constraint diagnostics.
+//!
+//! In the weak-field limit with geodesic slicing the ADM equations reduce
+//! to `∂t h_ij = −2 k_ij` and `∂t k_ij = −½ ∇² h_ij` (harmonic-type gauge),
+//! whose plane-wave solutions propagate at the speed of light — the
+//! gravitational waves of the paper's Fig. 5 scenario. The single RHS loop
+//! sweeps all twelve grid functions at once, reproducing the
+//! register-pressure / prefetch-stream structure §5.2 analyses.
+
+use crate::grid::{h, k, Grid3, NFIELDS};
+
+/// Second-order 7-point Laplacian of field `f` at an interior point, for
+/// grid spacing `dx`.
+#[inline]
+pub fn laplacian(g: &Grid3, f: usize, x: isize, y: isize, z: isize, dx: f64) -> f64 {
+    let c = g.get(f, x, y, z);
+    (g.get(f, x + 1, y, z)
+        + g.get(f, x - 1, y, z)
+        + g.get(f, x, y + 1, z)
+        + g.get(f, x, y - 1, z)
+        + g.get(f, x, y, z + 1)
+        + g.get(f, x, y, z - 1)
+        - 6.0 * c)
+        / (dx * dx)
+}
+
+/// Evaluate the RHS of all fields into `out` (same geometry as `state`).
+/// Ghost zones of `state` must be current.
+pub fn evaluate(state: &Grid3, out: &mut Grid3, dx: f64) {
+    debug_assert_eq!(state.interior_points(), out.interior_points());
+    for z in 0..state.nz as isize {
+        for y in 0..state.ny as isize {
+            for x in 0..state.nx as isize {
+                for c in 0..6 {
+                    // ∂t h_ij = −2 k_ij
+                    out.set(h(c), x, y, z, -2.0 * state.get(k(c), x, y, z));
+                    // ∂t k_ij = −½ ∇² h_ij
+                    out.set(k(c), x, y, z, -0.5 * laplacian(state, h(c), x, y, z, dx));
+                }
+            }
+        }
+    }
+}
+
+/// Override the RHS at the outermost interior layer with the Sommerfeld
+/// outgoing-advection condition `∂t f = −(n̂·∇)f` (unit wave speed): waves
+/// reaching a face keep moving out instead of reflecting. This is the
+/// radiation-boundary enforcement whose (lack of) vectorization drives the
+/// paper's §5 analysis.
+pub fn apply_sommerfeld_rhs(state: &Grid3, out: &mut Grid3, dx: f64) {
+    let (nx, ny, nz) = (state.nx as isize, state.ny as isize, state.nz as isize);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                // Outward normals of the faces this point lies on.
+                let mut n = (0i32, 0i32, 0i32);
+                if x == 0 {
+                    n.0 = -1;
+                } else if x == nx - 1 {
+                    n.0 = 1;
+                }
+                if y == 0 {
+                    n.1 = -1;
+                } else if y == ny - 1 {
+                    n.1 = 1;
+                }
+                if z == 0 {
+                    n.2 = -1;
+                } else if z == nz - 1 {
+                    n.2 = 1;
+                }
+                if n == (0, 0, 0) {
+                    continue;
+                }
+                for f in 0..NFIELDS {
+                    // One-sided (inward-biased) normal derivative.
+                    let mut dtf = 0.0;
+                    if n.0 != 0 {
+                        let inward = x - n.0 as isize;
+                        dtf -= (state.get(f, x, y, z) - state.get(f, inward, y, z)) / dx;
+                    }
+                    if n.1 != 0 {
+                        let inward = y - n.1 as isize;
+                        dtf -= (state.get(f, x, y, z) - state.get(f, x, inward, z)) / dx;
+                    }
+                    if n.2 != 0 {
+                        let inward = z - n.2 as isize;
+                        dtf -= (state.get(f, x, y, z) - state.get(f, x, y, inward)) / dx;
+                    }
+                    out.set(f, x, y, z, dtf);
+                }
+            }
+        }
+    }
+}
+
+/// Linearized Hamiltonian constraint `H = ∂i∂j h_ij − ∇²(tr h)` at an
+/// interior point (second-order central differences).
+pub fn hamiltonian_constraint(g: &Grid3, x: isize, y: isize, z: isize, dx: f64) -> f64 {
+    let dxx = |f: usize| {
+        (g.get(f, x + 1, y, z) - 2.0 * g.get(f, x, y, z) + g.get(f, x - 1, y, z)) / (dx * dx)
+    };
+    let dyy = |f: usize| {
+        (g.get(f, x, y + 1, z) - 2.0 * g.get(f, x, y, z) + g.get(f, x, y - 1, z)) / (dx * dx)
+    };
+    let dzz = |f: usize| {
+        (g.get(f, x, y, z + 1) - 2.0 * g.get(f, x, y, z) + g.get(f, x, y, z - 1)) / (dx * dx)
+    };
+    let dxy = |f: usize| {
+        (g.get(f, x + 1, y + 1, z) - g.get(f, x + 1, y - 1, z) - g.get(f, x - 1, y + 1, z)
+            + g.get(f, x - 1, y - 1, z))
+            / (4.0 * dx * dx)
+    };
+    let dxz = |f: usize| {
+        (g.get(f, x + 1, y, z + 1) - g.get(f, x + 1, y, z - 1) - g.get(f, x - 1, y, z + 1)
+            + g.get(f, x - 1, y, z - 1))
+            / (4.0 * dx * dx)
+    };
+    let dyz = |f: usize| {
+        (g.get(f, x, y + 1, z + 1) - g.get(f, x, y + 1, z - 1) - g.get(f, x, y - 1, z + 1)
+            + g.get(f, x, y - 1, z - 1))
+            / (4.0 * dx * dx)
+    };
+    // ∂i∂j h_ij over symmetric components (xx,xy,xz,yy,yz,zz).
+    let didj =
+        dxx(h(0)) + 2.0 * dxy(h(1)) + 2.0 * dxz(h(2)) + dyy(h(3)) + 2.0 * dyz(h(4)) + dzz(h(5));
+    let trace = |f0: usize, f3: usize, f5: usize| {
+        dxx(f0) + dyy(f0) + dzz(f0) + dxx(f3) + dyy(f3) + dzz(f3) + dxx(f5) + dyy(f5) + dzz(f5)
+    };
+    didj - trace(h(0), h(3), h(5))
+}
+
+/// Linearized momentum constraint `M_x = ∂j k_xj − ∂x (tr k)`.
+pub fn momentum_constraint_x(g: &Grid3, x: isize, y: isize, z: isize, dx: f64) -> f64 {
+    let d = |f: usize, ax: usize| -> f64 {
+        match ax {
+            0 => (g.get(f, x + 1, y, z) - g.get(f, x - 1, y, z)) / (2.0 * dx),
+            1 => (g.get(f, x, y + 1, z) - g.get(f, x, y - 1, z)) / (2.0 * dx),
+            _ => (g.get(f, x, y, z + 1) - g.get(f, x, y, z - 1)) / (2.0 * dx),
+        }
+    };
+    let div = d(k(0), 0) + d(k(1), 1) + d(k(2), 2);
+    let trk_x = d(k(0), 0) + d(k(3), 0) + d(k(5), 0);
+    div - trk_x
+}
+
+/// RMS of the Hamiltonian constraint over the interior.
+pub fn constraint_rms(g: &Grid3, dx: f64) -> f64 {
+    let mut s = 0.0;
+    let mut n = 0usize;
+    for z in 0..g.nz as isize {
+        for y in 0..g.ny as isize {
+            for x in 0..g.nx as isize {
+                let c = hamiltonian_constraint(g, x, y, z, dx);
+                s += c * c;
+                n += 1;
+            }
+        }
+    }
+    (s / n as f64).sqrt()
+}
+
+/// Flops per interior grid point of one [`evaluate`] call, counted from the
+/// loop body (6 copies at 1 op + 6 Laplacians at ~9 ops). Used by the
+/// performance workload as the linearized system's baseline; DESIGN.md
+/// documents the scaling to the full BSSN operation count.
+pub const RHS_FLOPS_PER_POINT: f64 = 66.0;
+
+/// Distinct grid functions the RHS loop streams concurrently (12 reads +
+/// 12 writes treated as 12 + 1 write-combine streams — what the prefetch
+/// trackers must cover).
+pub const CONCURRENT_STREAMS: usize = NFIELDS + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_grid(n: usize, amp: f64) -> (Grid3, f64) {
+        // TT plane wave along z: h_xx = −h_yy = A cos(k z), at t = 0 with
+        // k_xx = −k_yy = (A κ / 2) sin(κ z) so that it propagates in +z.
+        let mut g = Grid3::new(n, n, n, 1);
+        let dx = 1.0;
+        let kappa = 2.0 * std::f64::consts::PI / n as f64;
+        for z in 0..n as isize {
+            for y in 0..n as isize {
+                for x in 0..n as isize {
+                    let phase = kappa * z as f64;
+                    g.set(h(0), x, y, z, amp * phase.cos());
+                    g.set(h(3), x, y, z, -amp * phase.cos());
+                    g.set(k(0), x, y, z, -amp * kappa / 2.0 * phase.sin());
+                    g.set(k(3), x, y, z, amp * kappa / 2.0 * phase.sin());
+                }
+            }
+        }
+        g.fill_periodic_ghosts();
+        (g, dx)
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero() {
+        let mut g = Grid3::new(4, 4, 4, 1);
+        for f in 0..NFIELDS {
+            for z in 0..4 {
+                for y in 0..4 {
+                    for x in 0..4 {
+                        g.set(f, x, y, z, 2.5);
+                    }
+                }
+            }
+        }
+        g.fill_periodic_ghosts();
+        assert!(laplacian(&g, 0, 1, 1, 1, 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn laplacian_of_fourier_mode_matches_symbol() {
+        let n = 16;
+        let mut g = Grid3::new(n, n, n, 1);
+        let kap = 2.0 * std::f64::consts::PI / n as f64;
+        for z in 0..n as isize {
+            for y in 0..n as isize {
+                for x in 0..n as isize {
+                    g.set(0, x, y, z, (kap * x as f64).sin());
+                }
+            }
+        }
+        g.fill_periodic_ghosts();
+        // Discrete symbol: -(2 - 2 cos κ)/dx² = -4 sin²(κ/2).
+        let symbol = -4.0 * (kap / 2.0).sin().powi(2);
+        for x in 0..n as isize {
+            let expect = symbol * (kap * x as f64).sin();
+            let got = laplacian(&g, 0, x, 3, 5, 1.0);
+            assert!((got - expect).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rhs_couples_h_and_k() {
+        let (g, dx) = wave_grid(8, 0.01);
+        let mut out = Grid3::new(8, 8, 8, 1);
+        evaluate(&g, &mut out, dx);
+        // ∂t h_xx = −2 k_xx must be nonzero where k_xx is.
+        let z = 2isize;
+        let expect = -2.0 * g.get(k(0), 1, 1, z);
+        assert!((out.get(h(0), 1, 1, z) - expect).abs() < 1e-14);
+        // ∂t k_xx = −½ ∇² h_xx.
+        let expect_k = -0.5 * laplacian(&g, h(0), 1, 1, z, dx);
+        assert!((out.get(k(0), 1, 1, z) - expect_k).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tt_wave_satisfies_constraints() {
+        let (g, dx) = wave_grid(16, 0.01);
+        assert!(constraint_rms(&g, dx) < 1e-12, "TT wave is constraint-free");
+        // Momentum constraint too.
+        let m = momentum_constraint_x(&g, 5, 5, 5, dx);
+        assert!(m.abs() < 1e-13);
+    }
+
+    #[test]
+    fn random_data_violates_constraints() {
+        let mut g = Grid3::new(8, 8, 8, 1);
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let v = ((x * 31 + y * 17 + z * 7) % 13) as f64 / 13.0;
+                    g.set(h(0), x, y, z, v);
+                }
+            }
+        }
+        g.fill_periodic_ghosts();
+        assert!(
+            constraint_rms(&g, 1.0) > 1e-3,
+            "generic data is constrained-violating"
+        );
+    }
+}

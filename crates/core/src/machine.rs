@@ -1,0 +1,202 @@
+//! Architectural description of a platform.
+//!
+//! A [`Machine`] carries every Table 1 quantity plus the microarchitectural
+//! structure (§2 of the paper) needed by the execution engine: the CPU class
+//! (vector unit + banked memory, or superscalar core + cache hierarchy +
+//! prefetch engines) and the interconnect topology.
+
+use pvs_memsim::bandwidth::BandwidthModel;
+use pvs_memsim::banks::BankConfig;
+use pvs_memsim::hierarchy::HierarchyConfig;
+use pvs_netsim::topology::{NetworkConfig, TopologyKind};
+use pvs_vectorsim::config::VectorUnitConfig;
+
+/// Processor family: the study's central architectural dichotomy.
+#[derive(Debug, Clone)]
+pub enum CpuClass {
+    /// Cacheless vector processor with banked memory (ES, X1).
+    Vector {
+        /// Vector unit description (pipes, VL, MSP structure, scalar core).
+        unit: VectorUnitConfig,
+        /// Banked main-memory geometry.
+        banks: BankConfig,
+        /// Sustained fraction of peak memory bandwidth on well-formed
+        /// vector streams (FPLRAM feeds the ES at a higher fraction than
+        /// the X1's Ecache-mediated, node-shared memory sustains).
+        mem_efficiency: f64,
+    },
+    /// Cache-based superscalar processor (Power3, Power4, Altix).
+    Superscalar {
+        /// Cache hierarchy geometry.
+        hierarchy: HierarchyConfig,
+        /// Whether hardware stream-prefetch engines exist (IBM Power).
+        has_stream_prefetch: bool,
+        /// Fraction of nominal peak achievable on well-tuned compute-bound
+        /// code (issue-width, pipeline and register-pressure losses).
+        issue_efficiency: f64,
+        /// Sustained fraction of peak memory bandwidth on pure streaming
+        /// (STREAM-like machine constant).
+        stream_efficiency: f64,
+        /// Hardware prefetch stream trackers (4 on the Power3, more on the
+        /// Power4); ignored when `has_stream_prefetch` is false.
+        prefetch_streams: usize,
+        /// Cache-line size in bytes.
+        line_bytes: usize,
+    },
+}
+
+/// One platform of the study.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Short display name ("Power3", "ES", …).
+    pub name: &'static str,
+    /// CPUs per SMP node (Table 1 "CPU/Node").
+    pub cpus_per_node: usize,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Peak Gflop/s per CPU (Table 1 "Peak").
+    pub peak_gflops: f64,
+    /// Memory bandwidth per CPU in GB/s (Table 1 "Memory BW").
+    pub mem_bw_gbs: f64,
+    /// MPI latency in microseconds (Table 1).
+    pub mpi_latency_us: f64,
+    /// Point-to-point network bandwidth per CPU in GB/s (Table 1).
+    pub net_bw_gbs_per_cpu: f64,
+    /// Bisection bandwidth in bytes/s per flop/s (Table 1).
+    pub bisection_bytes_per_flop: f64,
+    /// Interconnect topology.
+    pub topology: TopologyKind,
+    /// Processor family details.
+    pub cpu: CpuClass,
+}
+
+impl Machine {
+    /// Memory balance: bytes of memory bandwidth per flop of peak
+    /// (Table 1 "Peak (Bytes/flop)") — the paper's headline balance metric.
+    pub fn bytes_per_flop(&self) -> f64 {
+        self.mem_bw_gbs / self.peak_gflops
+    }
+
+    /// Whether this is one of the parallel vector architectures.
+    pub fn is_vector(&self) -> bool {
+        matches!(self.cpu, CpuClass::Vector { .. })
+    }
+
+    /// Interconnect description for a run on `endpoints` processors.
+    pub fn network(&self, endpoints: usize) -> NetworkConfig {
+        NetworkConfig {
+            kind: self.topology,
+            endpoints: endpoints.max(1),
+            link_bw_gbs: self.net_bw_gbs_per_cpu,
+            latency_us: self.mpi_latency_us,
+        }
+    }
+
+    /// The analytic memory-bandwidth model for this machine.
+    pub fn bandwidth_model(&self) -> BandwidthModel {
+        match &self.cpu {
+            CpuClass::Vector { .. } => BandwidthModel::cacheless(self.mem_bw_gbs),
+            CpuClass::Superscalar {
+                hierarchy,
+                has_stream_prefetch,
+                line_bytes,
+                stream_efficiency,
+                prefetch_streams,
+                ..
+            } => {
+                let mut m = BandwidthModel::cached(
+                    self.mem_bw_gbs,
+                    hierarchy.clone(),
+                    *line_bytes,
+                    *has_stream_prefetch,
+                );
+                m.stream_efficiency = *stream_efficiency;
+                m.prefetch.num_streams = *prefetch_streams;
+                m
+            }
+        }
+    }
+
+    /// Memory bandwidth expressed in bytes per CPU cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.mem_bw_gbs * 1e9 / (self.clock_mhz * 1e6)
+    }
+
+    /// Render the Table 1 row for this machine.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<8} {:>5} {:>8.0} {:>7.1} {:>8.1} {:>6.2} {:>8.1} {:>8.2} {:>9.3} {:>10}",
+            self.name,
+            self.cpus_per_node,
+            self.clock_mhz,
+            self.peak_gflops,
+            self.mem_bw_gbs,
+            self.bytes_per_flop(),
+            self.mpi_latency_us,
+            self.net_bw_gbs_per_cpu,
+            self.bisection_bytes_per_flop,
+            topology_name(self.topology),
+        )
+    }
+}
+
+/// Human-readable topology name (Table 1 "Network Topology").
+pub fn topology_name(kind: TopologyKind) -> &'static str {
+    match kind {
+        TopologyKind::Crossbar => "Crossbar",
+        TopologyKind::FatTree { .. } => "Fat-tree",
+        TopologyKind::Torus2D => "2D-torus",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::platforms;
+
+    #[test]
+    fn bytes_per_flop_matches_table1() {
+        // Table 1: Power3 0.47, Power4 0.44, Altix 1.1, ES 4.0, X1 2.7.
+        let expect = [
+            (platforms::power3(), 0.47),
+            (platforms::power4(), 0.44),
+            (platforms::altix(), 1.1),
+            (platforms::earth_simulator(), 4.0),
+            (platforms::x1(), 2.7),
+        ];
+        for (m, v) in expect {
+            assert!(
+                (m.bytes_per_flop() - v).abs() / v < 0.05,
+                "{}: {} vs {}",
+                m.name,
+                m.bytes_per_flop(),
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn vector_classification() {
+        assert!(platforms::earth_simulator().is_vector());
+        assert!(platforms::x1().is_vector());
+        assert!(!platforms::power3().is_vector());
+        assert!(!platforms::power4().is_vector());
+        assert!(!platforms::altix().is_vector());
+    }
+
+    #[test]
+    fn network_config_carries_table1_values() {
+        let es = platforms::earth_simulator();
+        let net = es.network(64);
+        assert_eq!(net.endpoints, 64);
+        assert!((net.link_bw_gbs - 1.5).abs() < 1e-9);
+        assert!((net.latency_us - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        for m in platforms::all() {
+            let row = m.table1_row();
+            assert!(row.contains(m.name));
+        }
+    }
+}

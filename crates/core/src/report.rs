@@ -1,0 +1,139 @@
+//! Run reports: the quantities the paper tabulates.
+
+use pvs_vectorsim::metrics::VectorMetrics;
+
+/// Timing contribution of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdown {
+    /// Phase name.
+    pub name: String,
+    /// Seconds spent in this phase.
+    pub seconds: f64,
+    /// Flops performed in this phase.
+    pub flops: f64,
+    /// Whether this was a communication phase.
+    pub is_comm: bool,
+}
+
+/// The result of running a phase stream on a machine — one cell of the
+/// paper's Tables 3–6.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Machine name.
+    pub machine: String,
+    /// Processor count the stream was built for.
+    pub procs: usize,
+    /// Modelled wall-clock seconds.
+    pub time_s: f64,
+    /// Seconds spent communicating.
+    pub comm_s: f64,
+    /// Baseline flop count per processor (the paper divides a valid
+    /// baseline flop count by measured wall-clock time).
+    pub flops_per_p: f64,
+    /// Gflop/s per processor ("Gflops/P" in the tables).
+    pub gflops_per_p: f64,
+    /// Percentage of per-CPU peak in `[0, 100]`.
+    pub pct_peak: f64,
+    /// Vector metrics (AVL/VOR) for vector machines; `None` on superscalar.
+    pub vector_metrics: Option<VectorMetrics>,
+    /// Per-phase timing breakdown.
+    pub phases: Vec<PhaseBreakdown>,
+}
+
+impl PerfReport {
+    /// Fraction of time spent in communication.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            self.comm_s / self.time_s
+        }
+    }
+
+    /// AVL if this ran on a vector machine.
+    pub fn avl(&self) -> Option<f64> {
+        self.vector_metrics.map(|m| m.avl())
+    }
+
+    /// VOR (as a percentage) if this ran on a vector machine.
+    pub fn vor_pct(&self) -> Option<f64> {
+        self.vector_metrics.map(|m| m.vor() * 100.0)
+    }
+
+    /// The fraction of time spent in the named phase.
+    pub fn phase_fraction(&self, name: &str) -> f64 {
+        if self.time_s <= 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.seconds)
+            .sum::<f64>()
+            / self.time_s
+    }
+
+    /// Render as a table cell: "Gflops/P  %peak".
+    pub fn cell(&self) -> String {
+        format!("{:.3} {:>4.0}%", self.gflops_per_p, self.pct_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerfReport {
+        PerfReport {
+            machine: "ES".into(),
+            procs: 64,
+            time_s: 10.0,
+            comm_s: 2.0,
+            flops_per_p: 40e9,
+            gflops_per_p: 4.0,
+            pct_peak: 50.0,
+            vector_metrics: Some({
+                let mut m = VectorMetrics::default();
+                m.record_vector(2560, 10);
+                m
+            }),
+            phases: vec![
+                PhaseBreakdown {
+                    name: "collision".into(),
+                    seconds: 8.0,
+                    flops: 1e9,
+                    is_comm: false,
+                },
+                PhaseBreakdown {
+                    name: "stream".into(),
+                    seconds: 2.0,
+                    flops: 0.0,
+                    is_comm: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn comm_fraction() {
+        assert!((report().comm_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avl_vor_available_for_vector() {
+        let r = report();
+        assert_eq!(r.avl(), Some(256.0));
+        assert_eq!(r.vor_pct(), Some(100.0));
+    }
+
+    #[test]
+    fn phase_fraction() {
+        assert!((report().phase_fraction("collision") - 0.8).abs() < 1e-12);
+        assert_eq!(report().phase_fraction("nothing"), 0.0);
+    }
+
+    #[test]
+    fn cell_renders() {
+        assert!(report().cell().contains("4.000"));
+    }
+}

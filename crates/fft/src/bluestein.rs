@@ -1,0 +1,211 @@
+//! Arbitrary-length FFT via Bluestein's chirp-z algorithm.
+//!
+//! Production plane-wave codes pick FFT grids with small prime factors
+//! (the real 432-atom PARATEC mesh is not a power of two); this module
+//! removes the power-of-two restriction by expressing a length-`n` DFT as
+//! a convolution, evaluated with two power-of-two FFTs of length
+//! `M ≥ 2n − 1`:
+//!
+//! ```text
+//! X_k = b*_k · Σ_j (a_j b_j) · b*_{k−j},   a_j = x_j e^{−iπj²/n},  b_j = e^{+iπj²/n}
+//! ```
+
+use crate::fft1d::FftPlan;
+use pvs_linalg::complex::Complex64;
+
+/// A reusable Bluestein plan for any length `n ≥ 1`.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    plan: FftPlan,
+    /// Chirp `b_j = e^{iπ j²/n}` for `j < n`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the zero-padded, wrapped chirp kernel.
+    kernel_hat: Vec<Complex64>,
+}
+
+impl BluesteinPlan {
+    /// Build a plan.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let m = (2 * n - 1).next_power_of_two();
+        let plan = FftPlan::new(m);
+        // j² mod 2n keeps the chirp argument exact for large j.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                let jj = (j * j) % (2 * n);
+                Complex64::cis(std::f64::consts::PI * jj as f64 / n as f64)
+            })
+            .collect();
+        // Convolution kernel c_j = b_j for j in (−n, n), wrapped into [0, M).
+        let mut kernel = vec![Complex64::ZERO; m];
+        for (j, &c) in chirp.iter().enumerate() {
+            kernel[j] = c;
+            if j != 0 {
+                kernel[m - j] = c;
+            }
+        }
+        let mut kernel_hat = kernel;
+        plan.forward(&mut kernel_hat);
+        Self {
+            n,
+            m,
+            plan,
+            chirp,
+            kernel_hat,
+        }
+    }
+
+    /// Planned length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned length is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n);
+        if n == 1 {
+            return;
+        }
+        // Conjugating input and output turns the forward transform into
+        // the inverse (up to 1/n).
+        if inverse {
+            for x in data.iter_mut() {
+                *x = x.conj();
+            }
+        }
+        // a_j = x_j · b*_j, zero-padded to M.
+        let mut a = vec![Complex64::ZERO; self.m];
+        for j in 0..n {
+            a[j] = data[j] * self.chirp[j].conj();
+        }
+        // Convolve with the chirp kernel via the power-of-two FFT.
+        self.plan.forward(&mut a);
+        for (av, kv) in a.iter_mut().zip(&self.kernel_hat) {
+            *av *= *kv;
+        }
+        self.plan.inverse(&mut a);
+        // X_k = b*_k · conv_k.
+        for k in 0..n {
+            data[k] = a[k] * self.chirp[k].conj();
+        }
+        if inverse {
+            let inv = 1.0 / n as f64;
+            for x in data.iter_mut() {
+                *x = x.conj().scale(inv);
+            }
+        }
+    }
+
+    /// Forward DFT of arbitrary length, in place.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// Inverse DFT (normalized by `1/n`), in place.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+    }
+}
+
+/// One-shot arbitrary-length forward DFT.
+pub fn fft_any(data: &mut [Complex64]) {
+    BluesteinPlan::new(data.len()).forward(data);
+}
+
+/// One-shot arbitrary-length inverse DFT.
+pub fn ifft_any(data: &mut [Complex64]) {
+    BluesteinPlan::new(data.len()).inverse(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::{dft_naive, fft};
+    use proptest::prelude::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64 + seed * 977).wrapping_mul(0x9E3779B97F4A7C15);
+                Complex64::new(
+                    ((h >> 16) % 2000) as f64 / 1000.0 - 1.0,
+                    ((h >> 40) % 2000) as f64 / 1000.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 12, 45, 100, 243] {
+            let x = signal(n, 3);
+            let expect = dft_naive(&x, false);
+            let mut got = x;
+            fft_any(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((*g - *e).abs() < 1e-8 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_radix2_on_powers_of_two() {
+        let n = 64;
+        let x = signal(n, 7);
+        let mut a = x.clone();
+        let mut b = x;
+        fft(&mut a);
+        fft_any(&mut b);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_awkward_lengths() {
+        for n in [3usize, 17, 60, 125] {
+            let x = signal(n, 11);
+            let plan = BluesteinPlan::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tone_detected_at_odd_length() {
+        let n = 15;
+        let k0 = 4;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        fft_any(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            let expect = if k == k0 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-8, "bin {k}: {}", v.abs());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn parseval_any_length(n in 1usize..200, seed in 0u64..500) {
+            let x = signal(n, seed);
+            let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let mut y = x;
+            fft_any(&mut y);
+            let freq: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0), "n={n}: {time} vs {freq}");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Serial and distributed 3D FFTs.
+//!
+//! The serial transform applies 1D FFTs along X, then Y, then Z, using the
+//! simultaneous-FFT kernel for the strided Y and Z passes (the exact
+//! structure of PARATEC's rewritten 3D FFT). The distributed transform
+//! slab-decomposes the cube over Z, performs per-plane 2D FFTs locally,
+//! transposes to a Y-slab decomposition with an all-to-all exchange on the
+//! `pvs-mpisim` runtime, and finishes with the Z-direction FFTs — "taking
+//! 1D FFTs along the Z, Y, and X directions with parallel data transposes
+//! between each set of 1D FFTs" (§4.2).
+
+use crate::fft1d::FftPlan;
+use crate::multi::MultiFft;
+use pvs_linalg::complex::Complex64;
+use pvs_mpisim::comm::Comm;
+
+/// Index of `(ix, iy, iz)` in the canonical layout (x fastest).
+#[inline]
+pub fn idx3(ix: usize, iy: usize, iz: usize, n: usize) -> usize {
+    (iz * n + iy) * n + ix
+}
+
+fn fft3d_serial_impl(data: &mut [Complex64], n: usize, inverse: bool) {
+    assert_eq!(data.len(), n * n * n);
+    let plan = FftPlan::new(n);
+    let multi_plane = MultiFft::new(n, n);
+    let multi_cube = MultiFft::new(n, n * n);
+
+    // X direction: contiguous rows.
+    for row in data.chunks_exact_mut(n) {
+        if inverse {
+            plan.inverse(row);
+        } else {
+            plan.forward(row);
+        }
+    }
+    // Y direction: within each z-plane the layout [iy][ix] is exactly the
+    // transform-major layout of n simultaneous length-n FFTs (the
+    // transforms are indexed by ix).
+    for plane in data.chunks_exact_mut(n * n) {
+        if inverse {
+            multi_plane.inverse(plane);
+        } else {
+            multi_plane.forward(plane);
+        }
+    }
+    // Z direction: the whole cube is transform-major over n² transforms.
+    if inverse {
+        multi_cube.inverse(data);
+    } else {
+        multi_cube.forward(data);
+    }
+}
+
+/// In-place serial forward 3D FFT on an `n³` cube (x-fastest layout).
+pub fn fft3d_serial(data: &mut [Complex64], n: usize) {
+    fft3d_serial_impl(data, n, false);
+}
+
+/// In-place serial inverse 3D FFT.
+pub fn ifft3d_serial(data: &mut [Complex64], n: usize) {
+    fft3d_serial_impl(data, n, true);
+}
+
+/// A distributed 3D FFT over `p` ranks (must divide `n`).
+///
+/// Input: each rank owns `n/p` consecutive Z planes in the canonical
+/// layout. Output of [`DistFft3::forward`]: each rank owns `n/p`
+/// consecutive Y planes, laid out `[ly][iz][ix]` (x fastest). The
+/// [`DistFft3::backward`] method inverts the whole pipeline back to
+/// Z-slab layout.
+#[derive(Debug, Clone, Copy)]
+pub struct DistFft3 {
+    n: usize,
+}
+
+impl DistFft3 {
+    /// Plan a distributed transform of size `n³`.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        Self { n }
+    }
+
+    /// Grid edge length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Local Z planes per rank for `p` ranks.
+    pub fn planes_per_rank(&self, p: usize) -> usize {
+        assert!(self.n.is_multiple_of(p), "ranks must divide n");
+        self.n / p
+    }
+
+    /// Forward transform: Z-slab input → Y-slab output (`[ly][iz][ix]`).
+    pub fn forward(&self, comm: &mut Comm, mut local: Vec<Complex64>) -> Vec<Complex64> {
+        let n = self.n;
+        let p = comm.size();
+        let planes = self.planes_per_rank(p);
+        assert_eq!(local.len(), planes * n * n);
+
+        let plan = FftPlan::new(n);
+        let multi_plane = MultiFft::new(n, n);
+
+        // X then Y FFTs on each owned z-plane.
+        for row in local.chunks_exact_mut(n) {
+            plan.forward(row);
+        }
+        for plane in local.chunks_exact_mut(n * n) {
+            multi_plane.forward(plane);
+        }
+
+        // Transpose Z-slabs → Y-slabs.
+        let local = self.transpose_z_to_y(comm, &local);
+
+        // Z FFTs: each owned y-plane `[iz][ix]` is transform-major over n
+        // simultaneous transforms.
+        let mut local = local;
+        for plane in local.chunks_exact_mut(n * n) {
+            multi_plane.forward(plane);
+        }
+        local
+    }
+
+    /// Inverse transform: Y-slab input (`[ly][iz][ix]`) → Z-slab output.
+    pub fn backward(&self, comm: &mut Comm, mut local: Vec<Complex64>) -> Vec<Complex64> {
+        let n = self.n;
+        let p = comm.size();
+        let planes = self.planes_per_rank(p);
+        assert_eq!(local.len(), planes * n * n);
+
+        let plan = FftPlan::new(n);
+        let multi_plane = MultiFft::new(n, n);
+
+        // Inverse Z FFTs in y-slab layout.
+        for plane in local.chunks_exact_mut(n * n) {
+            multi_plane.inverse(plane);
+        }
+        // Transpose back to z-slabs.
+        let mut local = self.transpose_y_to_z(comm, &local);
+        // Inverse Y then X FFTs.
+        for plane in local.chunks_exact_mut(n * n) {
+            multi_plane.inverse(plane);
+        }
+        for row in local.chunks_exact_mut(n) {
+            plan.inverse(row);
+        }
+        local
+    }
+
+    /// Exchange so that rank q ends up owning y-planes
+    /// `[q*planes, (q+1)*planes)` in layout `[ly][iz][ix]`.
+    fn transpose_z_to_y(&self, comm: &mut Comm, local: &[Complex64]) -> Vec<Complex64> {
+        let n = self.n;
+        let p = comm.size();
+        let planes = n / p;
+        // Build per-destination buffers: to rank q send, for each owned lz
+        // and each ly in q's slab, the x-row. Frame order: [lz][ly][ix].
+        let mut sends: Vec<Vec<f64>> = vec![Vec::with_capacity(planes * planes * n * 2); p];
+        for (q, buf) in sends.iter_mut().enumerate() {
+            for lz in 0..planes {
+                for ly in 0..planes {
+                    let iy = q * planes + ly;
+                    let base = (lz * n + iy) * n;
+                    for ix in 0..n {
+                        let z = local[base + ix];
+                        buf.push(z.re);
+                        buf.push(z.im);
+                    }
+                }
+            }
+        }
+        let recvs = comm.alltoallv(sends);
+        // Received from rank s: [lz_s][ly][ix] where iz = s*planes + lz_s.
+        let mut out = vec![Complex64::ZERO; planes * n * n];
+        for (s, buf) in recvs.iter().enumerate() {
+            let mut k = 0;
+            for lz in 0..planes {
+                let iz = s * planes + lz;
+                for ly in 0..planes {
+                    let base = (ly * n + iz) * n;
+                    for ix in 0..n {
+                        out[base + ix] = Complex64::new(buf[k], buf[k + 1]);
+                        k += 2;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::transpose_z_to_y`].
+    fn transpose_y_to_z(&self, comm: &mut Comm, local: &[Complex64]) -> Vec<Complex64> {
+        let n = self.n;
+        let p = comm.size();
+        let planes = n / p;
+        // To rank q: for each lz in q's z-slab and each owned ly, the x-row.
+        // Frame order must match what transpose_z_to_y's receiver expects
+        // from *its* send order: [lz][ly][ix] relative to the destination.
+        let mut sends: Vec<Vec<f64>> = vec![Vec::with_capacity(planes * planes * n * 2); p];
+        for (q, buf) in sends.iter_mut().enumerate() {
+            for lz in 0..planes {
+                let iz = q * planes + lz;
+                for ly in 0..planes {
+                    let base = (ly * n + iz) * n;
+                    for ix in 0..n {
+                        let z = local[base + ix];
+                        buf.push(z.re);
+                        buf.push(z.im);
+                    }
+                }
+            }
+        }
+        let recvs = comm.alltoallv(sends);
+        let mut out = vec![Complex64::ZERO; planes * n * n];
+        for (s, buf) in recvs.iter().enumerate() {
+            let mut k = 0;
+            for lz in 0..planes {
+                for ly in 0..planes {
+                    let iy = s * planes + ly;
+                    let base = (lz * n + iy) * n;
+                    for ix in 0..n {
+                        out[base + ix] = Complex64::new(buf[k], buf[k + 1]);
+                        k += 2;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_mpisim::run;
+
+    fn cube(n: usize, seed: u64) -> Vec<Complex64> {
+        (0..n * n * n)
+            .map(|i| {
+                let h = (i as u64 + seed).wrapping_mul(0x9E3779B97F4A7C15);
+                Complex64::new(
+                    ((h >> 16) % 2000) as f64 / 1000.0 - 1.0,
+                    ((h >> 40) % 2000) as f64 / 1000.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_roundtrip() {
+        let n = 8;
+        let orig = cube(n, 5);
+        let mut data = orig.clone();
+        fft3d_serial(&mut data, n);
+        ifft3d_serial(&mut data, n);
+        for (a, b) in orig.iter().zip(&data) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn serial_plane_wave_is_delta() {
+        // e^{2πi (k·r)/n} transforms to a single spike at k.
+        let n = 8;
+        let k = (2usize, 3usize, 1usize);
+        let mut data = vec![Complex64::ZERO; n * n * n];
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let phase =
+                        2.0 * std::f64::consts::PI * (k.0 * ix + k.1 * iy + k.2 * iz) as f64
+                            / n as f64;
+                    data[idx3(ix, iy, iz, n)] = Complex64::cis(phase);
+                }
+            }
+        }
+        fft3d_serial(&mut data, n);
+        for iz in 0..n {
+            for iy in 0..n {
+                for ix in 0..n {
+                    let expect = if (ix, iy, iz) == k {
+                        (n * n * n) as f64
+                    } else {
+                        0.0
+                    };
+                    let got = data[idx3(ix, iy, iz, n)].abs();
+                    assert!((got - expect).abs() < 1e-8, "({ix},{iy},{iz}): {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let n = 8;
+        let p = 4;
+        let full = cube(n, 77);
+        let mut expect = full.clone();
+        fft3d_serial(&mut expect, n);
+
+        let results = run(p, |mut comm| {
+            let rank = comm.rank();
+            let planes = n / p;
+            let local = full[rank * planes * n * n..(rank + 1) * planes * n * n].to_vec();
+            DistFft3::new(n).forward(&mut comm, local)
+        });
+
+        // Output layout: rank q owns y-planes [q*planes, ...), [ly][iz][ix].
+        let planes = n / p;
+        for (q, local) in results.iter().enumerate() {
+            for ly in 0..planes {
+                let iy = q * planes + ly;
+                for iz in 0..n {
+                    for ix in 0..n {
+                        let got = local[(ly * n + iz) * n + ix];
+                        let want = expect[idx3(ix, iy, iz, n)];
+                        assert!(
+                            (got - want).abs() < 1e-8,
+                            "rank {q} ({ix},{iy},{iz}): {got:?} vs {want:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_roundtrip() {
+        let n = 8;
+        let p = 2;
+        let full = cube(n, 99);
+        let results = run(p, |mut comm| {
+            let rank = comm.rank();
+            let planes = n / p;
+            let local = full[rank * planes * n * n..(rank + 1) * planes * n * n].to_vec();
+            let f = DistFft3::new(n);
+            let freq = f.forward(&mut comm, local);
+            f.backward(&mut comm, freq)
+        });
+        let planes = n / p;
+        for (q, local) in results.iter().enumerate() {
+            let expect = &full[q * planes * n * n..(q + 1) * planes * n * n];
+            for (a, b) in local.iter().zip(expect) {
+                assert!((*a - *b).abs() < 1e-10, "rank {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_distributed_equals_serial() {
+        let n = 4;
+        let full = cube(n, 3);
+        let mut expect = full.clone();
+        fft3d_serial(&mut expect, n);
+        let results = run(1, |mut comm| {
+            DistFft3::new(n).forward(&mut comm, full.clone())
+        });
+        // p=1: y-slab layout [iy][iz][ix] vs canonical [iz][iy][ix].
+        for iy in 0..n {
+            for iz in 0..n {
+                for ix in 0..n {
+                    let got = results[0][(iy * n + iz) * n + ix];
+                    let want = expect[idx3(ix, iy, iz, n)];
+                    assert!((got - want).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Radix-2 iterative Cooley–Tukey FFT with precomputed twiddle plans.
+//!
+//! Power-of-two lengths only — the study's grids (4096², 8192², 80³, FFT
+//! meshes for 432/686-atom cells) are chosen accordingly here. The inverse
+//! transform applies the conventional `1/N` normalization so
+//! `ifft(fft(x)) == x`.
+
+use pvs_linalg::complex::Complex64;
+
+/// A reusable FFT plan for a fixed power-of-two length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+    /// Forward twiddles per butterfly stage, concatenated.
+    twiddles: Vec<Complex64>,
+}
+
+impl FftPlan {
+    /// Build a plan for length `n` (must be a power of two ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = if n == 1 {
+            vec![0]
+        } else {
+            (0..n as u32)
+                .map(|i| i.reverse_bits() >> (32 - bits))
+                .collect()
+        };
+        // Twiddles: for each stage with half-size `m`, factors e^{-2πik/(2m)}.
+        let mut twiddles = Vec::new();
+        let mut m = 1;
+        while m < n {
+            for k in 0..m {
+                twiddles.push(Complex64::cis(-std::f64::consts::PI * k as f64 / m as f64));
+            }
+            m *= 2;
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// The planned length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial length-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n);
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut m = 1;
+        let mut toff = 0;
+        while m < n {
+            for start in (0..n).step_by(2 * m) {
+                for k in 0..m {
+                    let w = if inverse {
+                        self.twiddles[toff + k].conj()
+                    } else {
+                        self.twiddles[toff + k]
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + m] * w;
+                    data[start + k] = a + b;
+                    data[start + k + m] = a - b;
+                }
+            }
+            toff += m;
+            m *= 2;
+        }
+        if inverse {
+            let inv = 1.0 / n as f64;
+            for x in data {
+                *x = x.scale(inv);
+            }
+        }
+    }
+
+    /// In-place forward transform.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse transform (normalized by `1/N`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+    }
+}
+
+/// One-shot forward FFT.
+pub fn fft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).forward(data);
+}
+
+/// One-shot inverse FFT.
+pub fn ifft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).inverse(data);
+}
+
+#[cfg(test)]
+pub(crate) fn dft_naive(data: &[Complex64], inverse: bool) -> Vec<Complex64> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            *o += x * Complex64::cis(ang);
+        }
+        if inverse {
+            *o = o.scale(1.0 / n as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64 + seed).wrapping_mul(0x9E3779B97F4A7C15);
+                Complex64::new(
+                    ((h >> 16) % 2000) as f64 / 1000.0 - 1.0,
+                    ((h >> 40) % 2000) as f64 / 1000.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = signal(n, 3);
+            let expect = dft_naive(&x, false);
+            let mut got = x.clone();
+            fft(&mut got);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((*g - *e).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x = signal(128, 9);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_has_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            let expect = if k == k0 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x = signal(256, 21);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        fft(&mut y);
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        FftPlan::new(12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn roundtrip_random(log_n in 0u32..9, seed in 0u64..1000) {
+            let n = 1usize << log_n;
+            let x = signal(n, seed);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn linearity(seed in 0u64..1000, alpha in -2.0f64..2.0) {
+            let n = 64;
+            let x = signal(n, seed);
+            let y = signal(n, seed ^ 0xFFFF);
+            let combo: Vec<Complex64> =
+                x.iter().zip(&y).map(|(a, b)| a.scale(alpha) + *b).collect();
+            let mut fx = x.clone();
+            let mut fy = y.clone();
+            let mut fc = combo;
+            fft(&mut fx); fft(&mut fy); fft(&mut fc);
+            for i in 0..n {
+                let expect = fx[i].scale(alpha) + fy[i];
+                prop_assert!((fc[i] - expect).abs() < 1e-8);
+            }
+        }
+    }
+}

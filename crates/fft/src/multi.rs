@@ -1,0 +1,217 @@
+//! Simultaneous (multiple) 1D FFTs — the vector-port transformation.
+//!
+//! §4.1 of the paper: the vendor 1D FFT ran at a low fraction of peak on
+//! the ES and X1, so PARATEC's 3D FFT was rewritten to call *simultaneous*
+//! 1D FFTs "which allow effective vectorization across many 1D FFTs".
+//!
+//! The data layout here makes that explicit: `count` transforms of length
+//! `n` are stored transform-major — element `j` of transform `t` lives at
+//! `data[j * count + t]` — so the innermost loop of every butterfly runs
+//! over *transforms* with unit stride. On a vector machine that loop is the
+//! vectorized one (AVL = `count`, independent of `n`); here it is the loop
+//! LLVM auto-vectorizes.
+
+use crate::fft1d::FftPlan;
+use pvs_linalg::complex::Complex64;
+
+/// A plan for `count` simultaneous transforms of length `n`.
+#[derive(Debug, Clone)]
+pub struct MultiFft {
+    plan: FftPlan,
+    count: usize,
+}
+
+impl MultiFft {
+    /// Build a simultaneous-FFT plan.
+    pub fn new(n: usize, count: usize) -> Self {
+        assert!(count >= 1);
+        Self {
+            plan: FftPlan::new(n),
+            count,
+        }
+    }
+
+    /// Transform length.
+    pub fn n(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Number of simultaneous transforms.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        let n = self.plan.len();
+        let count = self.count;
+        assert_eq!(data.len(), n * count);
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation, swapping whole transform rows.
+        for i in 0..n {
+            let j = bit_reverse(i, n);
+            if i < j {
+                for t in 0..count {
+                    data.swap(i * count + t, j * count + t);
+                }
+            }
+        }
+        // Butterflies; the loop over `t` (transforms) is innermost and
+        // unit-stride: this is the axis a vector compiler strip-mines.
+        let mut m = 1;
+        while m < n {
+            for start in (0..n).step_by(2 * m) {
+                for k in 0..m {
+                    let ang = -std::f64::consts::PI * k as f64 / m as f64;
+                    let w = if inverse {
+                        Complex64::cis(-ang)
+                    } else {
+                        Complex64::cis(ang)
+                    };
+                    let (ia, ib) = ((start + k) * count, (start + k + m) * count);
+                    for t in 0..count {
+                        let a = data[ia + t];
+                        let b = data[ib + t] * w;
+                        data[ia + t] = a + b;
+                        data[ib + t] = a - b;
+                    }
+                }
+            }
+            m *= 2;
+        }
+        if inverse {
+            let inv = 1.0 / n as f64;
+            for x in data {
+                *x = x.scale(inv);
+            }
+        }
+    }
+
+    /// Forward-transform all `count` signals in place (transform-major
+    /// layout).
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// Inverse-transform all signals in place.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+    }
+}
+
+fn bit_reverse(i: usize, n: usize) -> usize {
+    let bits = n.trailing_zeros();
+    (i as u32).reverse_bits() as usize >> (32 - bits)
+}
+
+/// Forward-transform `count` signals of length `n` stored transform-major.
+pub fn fft_multi(data: &mut [Complex64], n: usize, count: usize) {
+    MultiFft::new(n, count).forward(data);
+}
+
+/// Inverse-transform `count` signals of length `n` stored transform-major.
+pub fn ifft_multi(data: &mut [Complex64], n: usize, count: usize) {
+    MultiFft::new(n, count).inverse(data);
+}
+
+/// Convert `count` separate signals into the transform-major layout.
+pub fn interleave(signals: &[Vec<Complex64>]) -> Vec<Complex64> {
+    let count = signals.len();
+    let n = signals[0].len();
+    let mut out = vec![Complex64::ZERO; n * count];
+    for (t, s) in signals.iter().enumerate() {
+        assert_eq!(s.len(), n);
+        for (j, &v) in s.iter().enumerate() {
+            out[j * count + t] = v;
+        }
+    }
+    out
+}
+
+/// Convert transform-major data back into separate signals.
+pub fn deinterleave(data: &[Complex64], n: usize, count: usize) -> Vec<Vec<Complex64>> {
+    assert_eq!(data.len(), n * count);
+    (0..count)
+        .map(|t| (0..n).map(|j| data[j * count + t]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::fft;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64 + seed * 7919).wrapping_mul(0x9E3779B97F4A7C15);
+                Complex64::new(
+                    ((h >> 16) % 2000) as f64 / 1000.0 - 1.0,
+                    ((h >> 40) % 2000) as f64 / 1000.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_matches_repeated_single() {
+        let n = 64;
+        let count = 10;
+        let signals: Vec<Vec<Complex64>> = (0..count as u64).map(|s| signal(n, s)).collect();
+        let mut packed = interleave(&signals);
+        fft_multi(&mut packed, n, count);
+        let unpacked = deinterleave(&packed, n, count);
+        for (t, s) in signals.iter().enumerate() {
+            let mut expect = s.clone();
+            fft(&mut expect);
+            for (g, e) in unpacked[t].iter().zip(&expect) {
+                assert!((*g - *e).abs() < 1e-9, "transform {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_roundtrip() {
+        let n = 128;
+        let count = 7;
+        let signals: Vec<Vec<Complex64>> = (0..count as u64).map(|s| signal(n, s + 50)).collect();
+        let mut packed = interleave(&signals);
+        let plan = MultiFft::new(n, count);
+        plan.forward(&mut packed);
+        plan.inverse(&mut packed);
+        let back = deinterleave(&packed, n, count);
+        for (orig, got) in signals.iter().zip(&back) {
+            for (a, b) in orig.iter().zip(got) {
+                assert!((*a - *b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let signals: Vec<Vec<Complex64>> = (0..3u64).map(|s| signal(8, s)).collect();
+        let packed = interleave(&signals);
+        assert_eq!(deinterleave(&packed, 8, 3), signals);
+    }
+
+    #[test]
+    fn single_transform_degenerates_to_fft() {
+        let n = 32;
+        let s = signal(n, 1);
+        let mut packed = interleave(std::slice::from_ref(&s));
+        fft_multi(&mut packed, n, 1);
+        let mut expect = s;
+        fft(&mut expect);
+        for (g, e) in packed.iter().zip(&expect) {
+            assert!((*g - *e).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn length_one_transforms_are_identity() {
+        let mut data = vec![Complex64::new(2.0, 3.0); 5];
+        fft_multi(&mut data, 1, 5);
+        assert!(data.iter().all(|&z| z == Complex64::new(2.0, 3.0)));
+    }
+}

@@ -1,0 +1,157 @@
+//! Doubly periodic 2D field grid with bilinear interpolation.
+
+/// A scalar field on a periodic `nx × ny` grid (unit spacing, site index
+/// `y * nx + x`).
+#[derive(Debug, Clone)]
+pub struct Grid2d {
+    /// Extent in x.
+    pub nx: usize,
+    /// Extent in y.
+    pub ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2d {
+    /// Zeroed grid.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Construct from a closure.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Self::new(nx, ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                g.data[y * nx + x] = f(x, y);
+            }
+        }
+        g
+    }
+
+    /// Cell count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw values.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at integer coordinates (periodic).
+    #[inline]
+    pub fn at(&self, x: isize, y: isize) -> f64 {
+        let xm = x.rem_euclid(self.nx as isize) as usize;
+        let ym = y.rem_euclid(self.ny as isize) as usize;
+        self.data[ym * self.nx + xm]
+    }
+
+    /// Add `v` at integer coordinates (periodic).
+    #[inline]
+    pub fn add_at(&mut self, x: isize, y: isize, v: f64) {
+        let xm = x.rem_euclid(self.nx as isize) as usize;
+        let ym = y.rem_euclid(self.ny as isize) as usize;
+        self.data[ym * self.nx + xm] += v;
+    }
+
+    /// The four bilinear stencil cells and weights for a continuous
+    /// position `(x, y)` (periodic). Weights sum to 1.
+    pub fn bilinear(&self, x: f64, y: f64) -> [(isize, isize, f64); 4] {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (ix, iy) = (x0 as isize, y0 as isize);
+        [
+            (ix, iy, (1.0 - fx) * (1.0 - fy)),
+            (ix + 1, iy, fx * (1.0 - fy)),
+            (ix, iy + 1, (1.0 - fx) * fy),
+            (ix + 1, iy + 1, fx * fy),
+        ]
+    }
+
+    /// Bilinearly interpolated value at a continuous position.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        self.bilinear(x, y)
+            .iter()
+            .map(|&(ix, iy, w)| w * self.at(ix, iy))
+            .sum()
+    }
+
+    /// Bilinearly scatter `v` at a continuous position.
+    pub fn scatter(&mut self, x: f64, y: f64, v: f64) {
+        for (ix, iy, w) in self.bilinear(x, y) {
+            self.add_at(ix, iy, w * v);
+        }
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Zero the grid.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bilinear_weights_partition_unity() {
+        let g = Grid2d::new(8, 8);
+        for (x, y) in [(0.0, 0.0), (3.25, 4.75), (7.9, 0.1)] {
+            let w: f64 = g.bilinear(x, y).iter().map(|&(_, _, w)| w).sum();
+            assert!((w - 1.0).abs() < 1e-14, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn scatter_conserves_total() {
+        let mut g = Grid2d::new(8, 8);
+        g.scatter(3.3, 4.7, 2.5);
+        g.scatter(7.9, 7.9, -1.0); // wraps around the corner
+        assert!((g.total() - 1.5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn sample_reproduces_linear_fields() {
+        // Bilinear interpolation is exact for f = a + bx + cy away from the
+        // periodic wrap line.
+        let g = Grid2d::from_fn(16, 16, |x, y| 1.0 + 0.5 * x as f64 - 0.25 * y as f64);
+        let got = g.sample(3.4, 7.8);
+        let expect = 1.0 + 0.5 * 3.4 - 0.25 * 7.8;
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_at_grid_point_is_exact() {
+        let g = Grid2d::from_fn(8, 8, |x, y| (x * 10 + y) as f64);
+        assert_eq!(g.sample(5.0, 2.0), 52.0);
+    }
+
+    #[test]
+    fn periodic_wraparound() {
+        let g = Grid2d::from_fn(4, 4, |x, y| (y * 4 + x) as f64);
+        assert_eq!(g.at(-1, 0), 3.0);
+        assert_eq!(g.at(4, 1), 4.0);
+        assert_eq!(g.at(0, -1), 12.0);
+    }
+}

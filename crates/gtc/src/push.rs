@@ -1,0 +1,115 @@
+//! The gather-push step: gyroaveraged field gather and E×B drift push.
+//!
+//! With `B = B ẑ`, guiding centres drift at `v = E × B / B²
+//! = (E_y, −E_x)/B`. The field at the particle is gathered with the same
+//! 4-point gyroaverage as the deposition, and positions advance with a
+//! second-order midpoint (RK2) step — GTC's gather-push, the second of
+//! the two dominant loops over particles (§6).
+
+use crate::deposit::ring_points;
+use crate::grid2d::Grid2d;
+use crate::particles::Particles;
+
+/// Gyroaveraged electric field at a guiding centre.
+pub fn gather_gyro(ex: &Grid2d, ey: &Grid2d, x: f64, y: f64, rho: f64) -> (f64, f64) {
+    let mut e = (0.0, 0.0);
+    for (dx, dy) in ring_points(rho) {
+        e.0 += ex.sample(x + dx, y + dy);
+        e.1 += ey.sample(x + dx, y + dy);
+    }
+    (e.0 * 0.25, e.1 * 0.25)
+}
+
+/// The E×B drift velocity for field `e` and magnetic field strength `b`.
+#[inline]
+pub fn exb_velocity(e: (f64, f64), b: f64) -> (f64, f64) {
+    (e.1 / b, -e.0 / b)
+}
+
+/// Push all particles by `dt` with midpoint RK2 in the (static within the
+/// step) field, wrapping positions periodically.
+pub fn push_particles(p: &mut Particles, ex: &Grid2d, ey: &Grid2d, b: f64, dt: f64) {
+    let (nx, ny) = (ex.nx as f64, ex.ny as f64);
+    for i in 0..p.len() {
+        let (x0, y0, rho) = (p.x[i], p.y[i], p.rho[i]);
+        let v1 = exb_velocity(gather_gyro(ex, ey, x0, y0, rho), b);
+        let xm = x0 + 0.5 * dt * v1.0;
+        let ym = y0 + 0.5 * dt * v1.1;
+        let v2 = exb_velocity(gather_gyro(ex, ey, xm, ym, rho), b);
+        p.x[i] = (x0 + dt * v2.0).rem_euclid(nx);
+        p.y[i] = (y0 + dt * v2.1).rem_euclid(ny);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_field_drifts_uniformly() {
+        // E = (E0, 0) everywhere: drift is (0, -E0/B), exactly.
+        let n = 16;
+        let e0 = 0.5;
+        let ex = Grid2d::from_fn(n, n, |_, _| e0);
+        let ey = Grid2d::new(n, n);
+        let mut p = Particles::load_uniform(50, n, n, 2.0, 9);
+        let y_before = p.y.clone();
+        let b = 2.0;
+        let dt = 0.1;
+        push_particles(&mut p, &ex, &ey, b, dt);
+        for (i, y0) in y_before.iter().enumerate() {
+            let expect = (y0 - e0 / b * dt).rem_euclid(n as f64);
+            assert!((p.y[i] - expect).abs() < 1e-12, "particle {i}");
+        }
+    }
+
+    #[test]
+    fn exb_velocity_is_perpendicular_to_e() {
+        let e = (0.3, -0.7);
+        let v = exb_velocity(e, 1.5);
+        assert!((e.0 * v.0 + e.1 * v.1).abs() < 1e-15, "v ⊥ E");
+    }
+
+    #[test]
+    fn drift_conserves_potential_energy() {
+        // E×B motion follows equipotential contours: φ at the particle
+        // should stay (nearly) constant over many small steps.
+        let n = 32;
+        let k = 2.0 * std::f64::consts::PI / n as f64;
+        let phi = Grid2d::from_fn(n, n, |x, y| (k * x as f64).sin() * (k * y as f64).cos());
+        let (ex, ey) = crate::field::electric_field(&phi);
+        let mut p = Particles::default();
+        p.push(11.3, 7.2, 0.0, 1.0);
+        let phi0 = phi.sample(p.x[0], p.y[0]);
+        for _ in 0..200 {
+            push_particles(&mut p, &ex, &ey, 1.0, 0.05);
+        }
+        let phi1 = phi.sample(p.x[0], p.y[0]);
+        assert!(
+            (phi1 - phi0).abs() < 0.05 * phi0.abs().max(0.1),
+            "φ drift: {phi0} -> {phi1}"
+        );
+    }
+
+    #[test]
+    fn gyroaverage_of_uniform_field_is_identity() {
+        let ex = Grid2d::from_fn(8, 8, |_, _| 1.25);
+        let ey = Grid2d::from_fn(8, 8, |_, _| -0.5);
+        let (gx, gy) = gather_gyro(&ex, &ey, 3.7, 4.2, 2.0);
+        assert!((gx - 1.25).abs() < 1e-12);
+        assert!((gy + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positions_stay_in_domain() {
+        let n = 8;
+        let ex = Grid2d::from_fn(n, n, |_, _| 5.0);
+        let ey = Grid2d::from_fn(n, n, |_, _| -3.0);
+        let mut p = Particles::load_uniform(100, n, n, 1.0, 11);
+        for _ in 0..50 {
+            push_particles(&mut p, &ex, &ey, 0.5, 0.7);
+        }
+        assert!(p.x.iter().all(|&x| (0.0..n as f64).contains(&x)));
+        assert!(p.y.iter().all(|&y| (0.0..n as f64).contains(&y)));
+    }
+}

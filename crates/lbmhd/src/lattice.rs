@@ -1,0 +1,146 @@
+//! The streaming lattices and their moment identities.
+//!
+//! Hydrodynamics uses the nine-direction square lattice (eight streaming
+//! directions plus the null vector — the paper's "nine (eight plus the null
+//! vector)"); the magnetic field uses a five-direction lattice of
+//! vector-valued distributions, following Dellar's construction.
+
+/// Number of hydrodynamic streaming directions.
+pub const Q: usize = 9;
+/// Number of magnetic streaming directions.
+pub const QB: usize = 5;
+
+/// Lattice velocities: null vector first, then the four axis directions,
+/// then the four diagonals.
+pub const C: [(i32, i32); Q] = [
+    (0, 0),
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (-1, -1),
+    (1, -1),
+    (-1, 1),
+];
+
+/// Quadrature weights for the 9-direction lattice.
+pub const W: [f64; Q] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Magnetic lattice velocities (null plus the four axis directions).
+pub const CB: [(i32, i32); QB] = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)];
+
+/// Magnetic lattice weights.
+pub const WB: [f64; QB] = [1.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0];
+
+/// Square of the lattice sound speed (`c_s² = 1/3`).
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// The index of the direction opposite to `i` (bounce-back partner).
+pub const OPPOSITE: [usize; Q] = [0, 2, 1, 4, 3, 6, 5, 8, 7];
+
+/// The eight octagonal streaming directions (unit speed, 45° apart) used
+/// by the octagonal-lattice variant; diagonal targets fall between grid
+/// points and require interpolation (paper §3, Figure 2).
+pub fn octagon_directions() -> [(f64, f64); 8] {
+    std::array::from_fn(|k| {
+        let theta = std::f64::consts::FRAC_PI_4 * k as f64;
+        (theta.cos(), theta.sin())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((W.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        assert!((WB.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for (w, c) in W.iter().zip(C) {
+            sx += w * c.0 as f64;
+            sy += w * c.1 as f64;
+        }
+        assert!(sx.abs() < 1e-15 && sy.abs() < 1e-15);
+    }
+
+    #[test]
+    fn second_moment_is_cs2_delta() {
+        let mut m = [[0.0f64; 2]; 2];
+        for (w, c) in W.iter().zip(C) {
+            let v = [c.0 as f64, c.1 as f64];
+            for a in 0..2 {
+                for b in 0..2 {
+                    m[a][b] += w * v[a] * v[b];
+                }
+            }
+        }
+        assert!((m[0][0] - CS2).abs() < 1e-15);
+        assert!((m[1][1] - CS2).abs() < 1e-15);
+        assert!(m[0][1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn fourth_moment_isotropy() {
+        // Σ w c_a c_b c_c c_d = c_s⁴ (δab δcd + δac δbd + δad δbc).
+        let mut xxxx = 0.0;
+        let mut xxyy = 0.0;
+        let mut xyyy = 0.0;
+        for (w, c) in W.iter().zip(C) {
+            let (x, y) = (c.0 as f64, c.1 as f64);
+            xxxx += w * x * x * x * x;
+            xxyy += w * x * x * y * y;
+            xyyy += w * x * y * y * y;
+        }
+        assert!((xxxx - 3.0 * CS2 * CS2).abs() < 1e-15);
+        assert!((xxyy - CS2 * CS2).abs() < 1e-15);
+        assert!(xyyy.abs() < 1e-15);
+    }
+
+    #[test]
+    fn magnetic_second_moment() {
+        let mut m = [[0.0f64; 2]; 2];
+        for (w, c) in WB.iter().zip(CB) {
+            let v = [c.0 as f64, c.1 as f64];
+            for a in 0..2 {
+                for b in 0..2 {
+                    m[a][b] += w * v[a] * v[b];
+                }
+            }
+        }
+        assert!((m[0][0] - CS2).abs() < 1e-15);
+        assert!((m[1][1] - CS2).abs() < 1e-15);
+        assert!(m[0][1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn opposites_are_opposite() {
+        for i in 0..Q {
+            let (cx, cy) = C[i];
+            let (ox, oy) = C[OPPOSITE[i]];
+            assert_eq!((cx, cy), (-ox, -oy), "direction {i}");
+        }
+    }
+
+    #[test]
+    fn octagon_directions_unit_speed() {
+        for (x, y) in octagon_directions() {
+            assert!((x * x + y * y - 1.0).abs() < 1e-12);
+        }
+    }
+}

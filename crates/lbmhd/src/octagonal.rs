@@ -1,0 +1,350 @@
+//! The octagonal-lattice LBMHD variant (paper Fig. 2).
+//!
+//! Macnab et al.'s formulation couples the square spatial grid to an
+//! *octagonal* streaming lattice: eight unit-speed directions 45° apart
+//! plus the null vector. The octagon's isotropy improves the model's
+//! rotational fidelity, but its diagonal directions land between grid
+//! points, so every stream step reconstructs values with third-degree
+//! polynomial interpolation — the "interpolation step required between the
+//! spatial and stream lattices since they do not match" (§3) whose dense
+//! and strided copies plus polynomial evaluations dominate the stream
+//! phase's cost.
+//!
+//! The collision step reuses the same moment/equilibrium machinery as the
+//! square-lattice solver, re-derived for the octagonal weights; the stream
+//! step uses [`crate::stream::shift_fractional`] on the four diagonal
+//! distributions.
+
+use crate::collision::SiteMoments;
+use crate::stream::{shift_fractional, shift_periodic};
+
+/// Streaming directions: null, four axis (integer) and four diagonal
+/// (fractional, at distance 1) vectors.
+pub const QO: usize = 9;
+
+/// The octagonal direction set (unit speed).
+pub fn directions() -> [(f64, f64); QO] {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    [
+        (0.0, 0.0),
+        (1.0, 0.0),
+        (-1.0, 0.0),
+        (0.0, 1.0),
+        (0.0, -1.0),
+        (s, s),
+        (-s, -s),
+        (s, -s),
+        (-s, s),
+    ]
+}
+
+/// Octagonal lattice weights: with all eight moving speeds equal to 1, the
+/// second-moment isotropy condition `Σ w c_a c_b = c_s² δ_ab` fixes equal
+/// weights `w = c_s²/4` on the movers; we keep `c_s² = 1/3` so the
+/// equilibria match the square-lattice solver's.
+pub const W0: f64 = 1.0 - 4.0 * (CS2 / 4.0) * 2.0;
+/// Weight of each moving direction.
+pub const WM: f64 = CS2 / 4.0;
+/// Lattice sound speed squared.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Hydrodynamic equilibrium on the octagonal lattice: the same
+/// second-order expansion as the square lattice, evaluated on the octagon
+/// directions (which are fourth-moment isotropic — the octagon's virtue).
+pub fn equilibrium_oct(m: &SiteMoments) -> [f64; QO] {
+    let SiteMoments {
+        rho,
+        u: (ux, uy),
+        b: (bx, by),
+    } = *m;
+    let b2h = 0.5 * (bx * bx + by * by);
+    let sxx = rho * ux * ux + b2h - bx * bx;
+    let sxy = rho * ux * uy - bx * by;
+    let syy = rho * uy * uy + b2h - by * by;
+    let dirs = directions();
+    let mut out = [0.0; QO];
+    for (i, o) in out.iter_mut().enumerate() {
+        let (cx, cy) = dirs[i];
+        let w = if i == 0 { W0 } else { WM };
+        let cu = cx * ux + cy * uy;
+        // With equal mover weights the inverse second/fourth moments carry
+        // 1/c_s² = 3 and 1/(2 c_s⁴) = 4.5, matching the square lattice.
+        *o = w
+            * (rho
+                + 3.0 * rho * cu
+                + 4.5 * (sxx * (cx * cx - CS2) + 2.0 * sxy * cx * cy + syy * (cy * cy - CS2)));
+    }
+    out
+}
+
+/// Octagonal-lattice hydrodynamic solver (scalar density dynamics; the
+/// full MHD coupling lives in the square-lattice production solver, which
+/// the paper's ports also used for physics — the octagonal variant is the
+/// streaming/interpolation structure).
+#[derive(Debug, Clone)]
+pub struct OctagonalSim {
+    /// Grid extent in x.
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Relaxation time.
+    pub tau: f64,
+    /// Distributions, SoA: `f[i * n + site]`.
+    f: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl OctagonalSim {
+    /// Initialize at local equilibrium from macroscopic fields.
+    pub fn from_moments(
+        nx: usize,
+        ny: usize,
+        tau: f64,
+        init: impl Fn(usize, usize) -> SiteMoments,
+    ) -> Self {
+        let n = nx * ny;
+        let mut f = vec![0.0; QO * n];
+        for y in 0..ny {
+            for x in 0..nx {
+                let feq = equilibrium_oct(&init(x, y));
+                let s = y * nx + x;
+                for (i, v) in feq.iter().enumerate() {
+                    f[i * n + s] = *v;
+                }
+            }
+        }
+        Self {
+            nx,
+            ny,
+            tau,
+            f,
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// Sites on the grid.
+    pub fn num_sites(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Density and velocity at a site.
+    pub fn moments_at(&self, x: usize, y: usize) -> SiteMoments {
+        let n = self.num_sites();
+        let s = y * self.nx + x;
+        let dirs = directions();
+        let mut rho = 0.0;
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        for i in 0..QO {
+            let v = self.f[i * n + s];
+            rho += v;
+            mx += v * dirs[i].0;
+            my += v * dirs[i].1;
+        }
+        SiteMoments {
+            rho,
+            u: (mx / rho, my / rho),
+            b: (0.0, 0.0),
+        }
+    }
+
+    /// BGK collision over all sites.
+    pub fn collide(&mut self) {
+        let n = self.num_sites();
+        let omega = 1.0 / self.tau;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let m = self.moments_at(x, y);
+                let feq = equilibrium_oct(&m);
+                let s = y * self.nx + x;
+                for (i, fe) in feq.iter().enumerate() {
+                    let v = &mut self.f[i * n + s];
+                    *v -= omega * (*v - fe);
+                }
+            }
+        }
+    }
+
+    /// Stream: integer shifts along the axes, cubic-interpolated fractional
+    /// shifts along the diagonals (the Fig. 2b operation).
+    pub fn stream(&mut self) {
+        let n = self.num_sites();
+        let dirs = directions();
+        for i in 1..QO {
+            let (cx, cy) = dirs[i];
+            let plane = &self.f[i * n..(i + 1) * n];
+            if cx.fract() == 0.0 && cy.fract() == 0.0 {
+                shift_periodic(
+                    plane,
+                    &mut self.scratch,
+                    self.nx,
+                    self.ny,
+                    cx as i32,
+                    cy as i32,
+                );
+            } else {
+                shift_fractional(plane, &mut self.scratch, self.nx, self.ny, cx, cy);
+            }
+            self.f[i * n..(i + 1) * n].copy_from_slice(&self.scratch);
+        }
+    }
+
+    /// One full step.
+    pub fn step(&mut self) {
+        self.collide();
+        self.stream();
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+
+    /// Total kinetic energy `½ Σ ρ|u|²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        let mut e = 0.0;
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                let m = self.moments_at(x, y);
+                e += 0.5 * m.rho * (m.u.0 * m.u.0 + m.u.1 * m.u.1);
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_consistent() {
+        assert!((W0 + 8.0 * WM - 1.0).abs() < 1e-15, "weights sum to 1");
+        // Second-moment isotropy.
+        let dirs = directions();
+        let mut m = [[0.0f64; 2]; 2];
+        for (i, (cx, cy)) in dirs.iter().enumerate() {
+            let w = if i == 0 { W0 } else { WM };
+            m[0][0] += w * cx * cx;
+            m[0][1] += w * cx * cy;
+            m[1][1] += w * cy * cy;
+        }
+        assert!((m[0][0] - CS2).abs() < 1e-15);
+        assert!((m[1][1] - CS2).abs() < 1e-15);
+        assert!(m[0][1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn octagon_fourth_moment_is_isotropic() {
+        // The octagon is 4th-moment isotropic (better than the square
+        // lattice needs corrections for): Σ w c⁴ terms obey the 3:1 ratio.
+        let dirs = directions();
+        let mut xxxx = 0.0;
+        let mut xxyy = 0.0;
+        for (i, (cx, cy)) in dirs.iter().enumerate() {
+            let w = if i == 0 { W0 } else { WM };
+            xxxx += w * cx.powi(4);
+            xxyy += w * cx * cx * cy * cy;
+        }
+        assert!((xxxx - 3.0 * xxyy).abs() < 1e-14, "{xxxx} vs 3x{xxyy}");
+    }
+
+    #[test]
+    fn equilibrium_reproduces_moments() {
+        let m = SiteMoments {
+            rho: 1.05,
+            u: (0.03, -0.02),
+            b: (0.0, 0.0),
+        };
+        let f = equilibrium_oct(&m);
+        let dirs = directions();
+        let rho: f64 = f.iter().sum();
+        let mx: f64 = f.iter().zip(dirs).map(|(v, c)| v * c.0).sum();
+        let my: f64 = f.iter().zip(dirs).map(|(v, c)| v * c.1).sum();
+        assert!((rho - m.rho).abs() < 1e-14);
+        assert!((mx / rho - m.u.0).abs() < 1e-14);
+        assert!((my / rho - m.u.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn uniform_state_is_stationary() {
+        let mut sim = OctagonalSim::from_moments(16, 16, 0.8, |_, _| SiteMoments {
+            rho: 1.0,
+            u: (0.0, 0.0),
+            b: (0.0, 0.0),
+        });
+        sim.run(10);
+        let m = sim.moments_at(3, 9);
+        assert!((m.rho - 1.0).abs() < 1e-12);
+        assert!(m.u.0.abs() < 1e-12 && m.u.1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_conserved_to_interpolation_accuracy() {
+        let n = 32;
+        let mut sim = OctagonalSim::from_moments(n, n, 0.8, |x, y| SiteMoments {
+            rho: 1.0 + 0.05 * ((x as f64 * 0.4).sin() * (y as f64 * 0.3).cos()),
+            u: (0.0, 0.0),
+            b: (0.0, 0.0),
+        });
+        let m0 = sim.total_mass();
+        sim.run(50);
+        let m1 = sim.total_mass();
+        // Cubic interpolation conserves the mean exactly in exact
+        // arithmetic; allow rounding accumulation.
+        assert!((m1 - m0).abs() / m0 < 1e-9, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn shear_wave_decays_viscously() {
+        // Same experiment as the square-lattice solver: the octagonal
+        // model's shear viscosity matches ν = c_s²(τ − ½) closely (the
+        // interpolation adds a small hyperviscous correction).
+        let n = 32;
+        let tau = 0.8;
+        let k = 2.0 * std::f64::consts::PI / n as f64;
+        let a0 = 0.01;
+        let mut sim = OctagonalSim::from_moments(n, n, tau, |_, y| SiteMoments {
+            rho: 1.0,
+            u: (a0 * (k * y as f64).sin(), 0.0),
+            b: (0.0, 0.0),
+        });
+        let steps = 150;
+        sim.run(steps);
+        let mut amp = 0.0;
+        for y in 0..n {
+            amp += sim.moments_at(0, y).u.0 * (k * y as f64).sin();
+        }
+        amp *= 2.0 / n as f64;
+        // Effective viscosity from the measured decay; the interpolated
+        // diagonal streaming renormalizes the transport coefficient, so we
+        // require the right order rather than the square-lattice identity.
+        let nu_eff = (a0 / amp).ln() / (k * k * steps as f64);
+        let nu_nominal = CS2 * (tau - 0.5);
+        assert!(
+            (0.5..1.5).contains(&(nu_eff / nu_nominal)),
+            "effective viscosity {nu_eff} vs nominal {nu_nominal}"
+        );
+        assert!(amp < a0, "the mode must decay");
+    }
+
+    #[test]
+    fn kinetic_energy_decays() {
+        let n = 24;
+        let mut sim = OctagonalSim::from_moments(n, n, 0.7, |x, y| {
+            crate::init::orszag_tang(x, y, n, n, 0.03)
+        });
+        let e0 = sim.kinetic_energy();
+        sim.run(80);
+        let e1 = sim.kinetic_energy();
+        assert!(e1 < e0, "dissipation: {e0} -> {e1}");
+        assert!(e1 > 0.0);
+    }
+}

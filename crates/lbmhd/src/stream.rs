@@ -1,0 +1,176 @@
+//! The streaming step: periodic lattice shifts and the octagonal
+//! interpolation variant.
+//!
+//! The square-lattice stream moves each distribution one site along its
+//! direction (dense and strided memory copies — the traffic the paper's
+//! stream step is made of). The octagonal variant streams along eight
+//! unit-speed directions 45° apart; its diagonals land between grid points,
+//! so values are reconstructed with third-degree (4-point Lagrange)
+//! polynomial interpolation — "the stream operation requires … third degree
+//! polynomial evaluations" (§3).
+
+/// Shift `src` into `dst` by `(dx, dy)` sites with periodic wraparound on
+/// an `nx × ny` grid (site index `y * nx + x`).
+pub fn shift_periodic(src: &[f64], dst: &mut [f64], nx: usize, ny: usize, dx: i32, dy: i32) {
+    assert_eq!(src.len(), nx * ny);
+    assert_eq!(dst.len(), nx * ny);
+    for y in 0..ny {
+        let sy = (y as i32 - dy).rem_euclid(ny as i32) as usize;
+        let drow = y * nx;
+        let srow = sy * nx;
+        if dx == 0 {
+            dst[drow..drow + nx].copy_from_slice(&src[srow..srow + nx]);
+        } else {
+            for x in 0..nx {
+                let sx = (x as i32 - dx).rem_euclid(nx as i32) as usize;
+                dst[drow + x] = src[srow + sx];
+            }
+        }
+    }
+}
+
+/// 4-point Lagrange interpolation weights for a fractional position `t ∈
+/// [0, 1)` between the middle two of four equally spaced samples.
+pub fn lagrange4_weights(t: f64) -> [f64; 4] {
+    // Nodes at -1, 0, 1, 2; evaluate at t.
+    [
+        -t * (t - 1.0) * (t - 2.0) / 6.0,
+        (t + 1.0) * (t - 1.0) * (t - 2.0) / 2.0,
+        -(t + 1.0) * t * (t - 2.0) / 2.0,
+        (t + 1.0) * t * (t - 1.0) / 6.0,
+    ]
+}
+
+/// Shift a periodic field by a *fractional* displacement `(fx, fy)` using
+/// separable cubic Lagrange interpolation — the octagonal lattice's
+/// diagonal streaming (displacement `(±1/√2, ±1/√2)` per unit time).
+pub fn shift_fractional(src: &[f64], dst: &mut [f64], nx: usize, ny: usize, fx: f64, fy: f64) {
+    assert_eq!(src.len(), nx * ny);
+    assert_eq!(dst.len(), nx * ny);
+    // Destination (x, y) samples source at (x - fx, y - fy).
+    let (ix_off, tx) = split_frac(-fx);
+    let (iy_off, ty) = split_frac(-fy);
+    let wx = lagrange4_weights(tx);
+    let wy = lagrange4_weights(ty);
+    let wrap = |v: i64, n: usize| v.rem_euclid(n as i64) as usize;
+    for y in 0..ny {
+        for x in 0..nx {
+            let mut acc = 0.0;
+            for (jy, wyv) in wy.iter().enumerate() {
+                let sy = wrap(y as i64 + iy_off + jy as i64 - 1, ny);
+                let mut row_acc = 0.0;
+                for (jx, wxv) in wx.iter().enumerate() {
+                    let sx = wrap(x as i64 + ix_off + jx as i64 - 1, nx);
+                    row_acc += wxv * src[sy * nx + sx];
+                }
+                acc += wyv * row_acc;
+            }
+            dst[y * nx + x] = acc;
+        }
+    }
+}
+
+/// Split a displacement into integer base and fraction in `[0, 1)`.
+fn split_frac(v: f64) -> (i64, f64) {
+    let base = v.floor();
+    (base as i64, v - base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(nx: usize, ny: usize) -> Vec<f64> {
+        (0..nx * ny).map(|i| (i as f64 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn integer_shift_moves_values() {
+        let nx = 4;
+        let ny = 3;
+        let src: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; 12];
+        shift_periodic(&src, &mut dst, nx, ny, 1, 0);
+        // dst(x) = src(x-1): dst[1] = src[0].
+        assert_eq!(dst[1], src[0]);
+        assert_eq!(dst[0], src[3], "periodic wrap in x");
+        shift_periodic(&src, &mut dst, nx, ny, 0, 1);
+        assert_eq!(dst[4], src[0]);
+        assert_eq!(dst[0], src[8], "periodic wrap in y");
+    }
+
+    #[test]
+    fn shift_conserves_sum() {
+        let f = field(8, 8);
+        let mut d = vec![0.0; 64];
+        shift_periodic(&f, &mut d, 8, 8, -1, 1);
+        assert!((f.iter().sum::<f64>() - d.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lagrange_weights_partition_unity() {
+        for t in [0.0, 0.25, 0.5, std::f64::consts::FRAC_1_SQRT_2, 0.99] {
+            let w = lagrange4_weights(t);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn lagrange_weights_reproduce_cubics() {
+        // Interpolating a cubic polynomial must be exact.
+        let p = |x: f64| 2.0 - x + 0.5 * x * x - 0.25 * x * x * x;
+        let t = 0.37;
+        let w = lagrange4_weights(t);
+        let approx: f64 = w
+            .iter()
+            .zip([-1.0, 0.0, 1.0, 2.0])
+            .map(|(wi, xi)| wi * p(xi))
+            .sum();
+        assert!((approx - p(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_shift_with_integer_offset_matches_periodic() {
+        let f = field(8, 8);
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        shift_periodic(&f, &mut a, 8, 8, 1, -1);
+        shift_fractional(&f, &mut b, 8, 8, 1.0, -1.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_shift_is_accurate_for_smooth_fields() {
+        // A single Fourier mode shifted by 1/sqrt(2) should match the exact
+        // analytic shift closely.
+        let n = 32;
+        let k = 2.0 * std::f64::consts::PI / n as f64;
+        let src: Vec<f64> = (0..n * n).map(|i| ((i % n) as f64 * k).sin()).collect();
+        let mut dst = vec![0.0; n * n];
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        shift_fractional(&src, &mut dst, n, n, s, 0.0);
+        for y in 0..n {
+            for x in 0..n {
+                let exact = ((x as f64 - s) * k).sin();
+                assert!(
+                    (dst[y * n + x] - exact).abs() < 1e-4,
+                    "({x},{y}): {} vs {exact}",
+                    dst[y * n + x]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_shift_nearly_conserves_sum() {
+        let f = field(16, 16);
+        let mut d = vec![0.0; 256];
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        shift_fractional(&f, &mut d, 16, 16, s, s);
+        let rel = (f.iter().sum::<f64>() - d.iter().sum::<f64>()).abs()
+            / f.iter().sum::<f64>().abs().max(1.0);
+        assert!(rel < 1e-10, "cubic interpolation conserves the mean: {rel}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Level-1 BLAS: dots, axpys, norms (real and complex).
+
+use crate::complex::Complex64;
+
+/// Real dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Conjugated complex dot product `x^H y` (BLAS `zdotc`).
+pub fn zdotc(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a.conj() * *b).sum()
+}
+
+/// `y += alpha * x` for complex vectors.
+pub fn zaxpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// Complex Euclidean norm.
+pub fn znrm2(x: &[Complex64]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Scale a complex vector in place.
+pub fn zscal(alpha: Complex64, x: &mut [Complex64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn zdotc_conjugates_first_argument() {
+        let x = vec![Complex64::I];
+        let y = vec![Complex64::I];
+        // (i)^* * i = -i * i = 1.
+        assert_eq!(zdotc(&x, &y), Complex64::ONE);
+    }
+
+    #[test]
+    fn znrm2_matches_zdotc() {
+        let x = vec![Complex64::new(1.0, 2.0), Complex64::new(-3.0, 0.5)];
+        let n = znrm2(&x);
+        assert!((n * n - zdotc(&x, &x).re).abs() < 1e-12);
+        assert!(zdotc(&x, &x).im.abs() < 1e-12, "self-dot is real");
+    }
+
+    #[test]
+    fn zscal_scales() {
+        let mut x = vec![Complex64::ONE, Complex64::I];
+        zscal(Complex64::new(0.0, 2.0), &mut x);
+        assert_eq!(x[0], Complex64::new(0.0, 2.0));
+        assert_eq!(x[1], Complex64::new(-2.0, 0.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Conjugate gradient for symmetric positive-definite operators.
+//!
+//! GTC solves the gyrokinetic Poisson equation on its field grid every
+//! step; the operator is SPD, so CG is the natural solver. The operator is
+//! passed as a closure so matrix-free stencils work directly.
+
+use crate::blas1::{axpy, dot, nrm2};
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterations taken.
+    pub iterations: usize,
+    /// Final residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solve `A x = b` for SPD `A` given as `apply(x, out)`, starting from 0.
+pub fn cg_solve(
+    apply: impl Fn(&[f64], &mut [f64]),
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let b_norm = nrm2(b).max(f64::MIN_POSITIVE);
+    let mut rr = dot(&r, &r);
+
+    for it in 0..max_iter {
+        if rr.sqrt() / b_norm <= tol {
+            return CgResult {
+                x,
+                iterations: it,
+                residual: rr.sqrt(),
+                converged: true,
+            };
+        }
+        apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        assert!(
+            pap > 0.0,
+            "operator is not positive definite (p^T A p = {pap})"
+        );
+        let alpha = rr / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rr = rr_new;
+    }
+    CgResult {
+        x,
+        iterations: max_iter,
+        residual: rr.sqrt(),
+        converged: rr.sqrt() / b_norm <= tol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1D Dirichlet Laplacian applied matrix-free.
+    fn laplace_1d(x: &[f64], out: &mut [f64]) {
+        let n = x.len();
+        for i in 0..n {
+            let left = if i > 0 { x[i - 1] } else { 0.0 };
+            let right = if i + 1 < n { x[i + 1] } else { 0.0 };
+            out[i] = 2.0 * x[i] - left - right;
+        }
+    }
+
+    #[test]
+    fn identity_system() {
+        let b = vec![1.0, -2.0, 3.0];
+        let r = cg_solve(|x, out| out.copy_from_slice(x), &b, 1e-12, 10);
+        assert!(r.converged);
+        assert!(r.iterations <= 2);
+        for (xi, bi) in r.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn laplacian_converges_in_n_steps() {
+        let n = 32;
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let r = cg_solve(laplace_1d, &b, 1e-10, n + 5);
+        assert!(r.converged, "residual {}", r.residual);
+        // Verify A x == b.
+        let mut ax = vec![0.0; n];
+        laplace_1d(&r.x, &mut ax);
+        for (a, bb) in ax.iter().zip(&b) {
+            assert!((a - bb).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn diagonal_scaling() {
+        let d = [1.0, 4.0, 9.0, 16.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let r = cg_solve(
+            |x, out| {
+                for i in 0..4 {
+                    out[i] = d[i] * x[i];
+                }
+            },
+            &b,
+            1e-12,
+            20,
+        );
+        assert!(r.converged);
+        for i in 0..4 {
+            assert!((r.x[i] - 1.0 / d[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let r = cg_solve(laplace_1d, &[0.0; 8], 1e-12, 10);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.x.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn indefinite_operator_panics() {
+        let _ = cg_solve(
+            |x, out| {
+                for (o, xi) in out.iter_mut().zip(x) {
+                    *o = -xi;
+                }
+            },
+            &[1.0, 2.0],
+            1e-12,
+            10,
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Double-precision complex arithmetic.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A real number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — the FFT twiddle factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, o: Self) -> Self {
+        let d = o.norm_sqr();
+        Self {
+            re: (self.re * o.re + self.im * o.im) / d,
+            im: (self.im * o.re - self.re * o.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        self.scale(s)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn multiplication_table() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::real(-1.0));
+        assert_eq!(Complex64::ONE * Complex64::I, Complex64::I);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < EPS && (z.im - 1.0).abs() < EPS);
+        assert!((Complex64::cis(1.234).abs() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(3.0, -2.0);
+        let b = Complex64::new(-1.5, 0.5);
+        let c = a * b / b;
+        assert!((c.re - a.re).abs() < EPS && (c.im - a.im).abs() < EPS);
+    }
+
+    #[test]
+    fn conj_properties() {
+        let z = Complex64::new(2.0, 5.0);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < EPS);
+        assert!((z * z.conj()).im.abs() < EPS);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_is_commutative(a in -10.0f64..10.0, b in -10.0f64..10.0,
+                              c in -10.0f64..10.0, d in -10.0f64..10.0) {
+            let x = Complex64::new(a, b);
+            let y = Complex64::new(c, d);
+            let xy = x * y;
+            let yx = y * x;
+            prop_assert!((xy.re - yx.re).abs() < 1e-9 && (xy.im - yx.im).abs() < 1e-9);
+        }
+
+        #[test]
+        fn abs_is_multiplicative(a in -10.0f64..10.0, b in -10.0f64..10.0,
+                                 c in -10.0f64..10.0, d in -10.0f64..10.0) {
+            let x = Complex64::new(a, b);
+            let y = Complex64::new(c, d);
+            prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Orthonormalization of complex bases (modified Gram–Schmidt).
+//!
+//! PARATEC's all-band conjugate gradient must keep the electron
+//! wavefunctions mutually orthonormal after every update; this is the
+//! GEMM-adjacent kernel that does it.
+
+use crate::blas1::{zaxpy, zdotc, znrm2, zscal};
+use crate::complex::Complex64;
+use crate::matrix::ZMatrix;
+
+/// Orthonormalize the columns of `m` in place with modified Gram–Schmidt
+/// (two passes for numerical robustness). Panics if a column is linearly
+/// dependent beyond numerical rescue (norm below `1e-14`).
+pub fn gram_schmidt(m: &mut ZMatrix) {
+    let cols = m.cols();
+    for _pass in 0..2 {
+        for j in 0..cols {
+            // Remove projections onto previous columns.
+            for k in 0..j {
+                let proj = {
+                    let (ck, cj) = (m.col(k), m.col(j));
+                    zdotc(ck, cj)
+                };
+                let ck = m.col(k).to_vec();
+                zaxpy(-proj, &ck, m.col_mut(j));
+            }
+            let norm = znrm2(m.col(j));
+            assert!(norm > 1e-14, "column {j} is linearly dependent");
+            zscal(Complex64::real(1.0 / norm), m.col_mut(j));
+        }
+    }
+}
+
+/// Orthonormalize like [`gram_schmidt`], but replace linearly dependent
+/// columns with deterministic pseudo-random vectors (re-orthogonalized)
+/// instead of panicking. Returns how many columns were replaced. Needed by
+/// block eigensolvers, whose residual expansions go dependent as bands
+/// converge.
+pub fn gram_schmidt_robust(m: &mut ZMatrix) -> usize {
+    let cols = m.cols();
+    let rows = m.rows();
+    let mut replaced = 0;
+    for j in 0..cols {
+        // Up to a few attempts per column: project, and if the remainder
+        // vanished, seed a fresh deterministic vector and try again.
+        let mut attempt = 0u64;
+        loop {
+            for k in 0..j {
+                let proj = zdotc(m.col(k), m.col(j));
+                let ck = m.col(k).to_vec();
+                zaxpy(-proj, &ck, m.col_mut(j));
+            }
+            let norm = znrm2(m.col(j));
+            if norm > 1e-10 {
+                zscal(Complex64::real(1.0 / norm), m.col_mut(j));
+                break;
+            }
+            attempt += 1;
+            assert!(attempt < 8, "could not find an independent direction");
+            if attempt == 1 {
+                replaced += 1;
+            }
+            let col = m.col_mut(j);
+            for (i, c) in col.iter_mut().enumerate() {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(attempt.wrapping_mul(0xD1B54A32D192ED03))
+                    .wrapping_add(j as u64);
+                *c = Complex64::new(
+                    ((h >> 16) % 1000) as f64 / 500.0 - 1.0,
+                    ((h >> 40) % 1000) as f64 / 500.0 - 1.0,
+                );
+            }
+            let _ = rows;
+        }
+    }
+    // Second pass for numerical robustness (plain MGS, now safe).
+    gram_schmidt(m);
+    replaced
+}
+
+/// Max deviation of `m^H m` from the identity — 0 for a perfectly
+/// orthonormal basis.
+pub fn orthonormality_error(m: &ZMatrix) -> f64 {
+    let cols = m.cols();
+    let mut err: f64 = 0.0;
+    for i in 0..cols {
+        for j in 0..cols {
+            let d = zdotc(m.col(i), m.col(j));
+            let target = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+            err = err.max((d - target).abs());
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> ZMatrix {
+        ZMatrix::from_fn(rows, cols, |i, j| {
+            let h = (i as u64 * 31 + j as u64 * 17 + seed).wrapping_mul(0x9E3779B97F4A7C15);
+            Complex64::new(
+                ((h >> 20) % 1000) as f64 / 500.0 - 1.0,
+                ((h >> 40) % 1000) as f64 / 500.0 - 1.0,
+            )
+        })
+    }
+
+    #[test]
+    fn orthonormalizes_random_basis() {
+        let mut m = test_matrix(50, 8, 42);
+        gram_schmidt(&mut m);
+        assert!(orthonormality_error(&m) < 1e-10);
+    }
+
+    #[test]
+    fn unit_columns_have_unit_norm() {
+        let mut m = test_matrix(30, 5, 7);
+        gram_schmidt(&mut m);
+        for j in 0..5 {
+            assert!((znrm2(m.col(j)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn already_orthonormal_is_stable() {
+        let mut m = ZMatrix::identity(6);
+        gram_schmidt(&mut m);
+        assert!(m.max_abs_diff(&ZMatrix::identity(6)) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dependent_columns_panic() {
+        let mut m = ZMatrix::from_fn(10, 2, |i, _| Complex64::real(i as f64));
+        gram_schmidt(&mut m);
+    }
+
+    #[test]
+    fn robust_variant_replaces_dependent_columns() {
+        let mut m = ZMatrix::from_fn(10, 3, |i, _| Complex64::real((i + 1) as f64));
+        let replaced = gram_schmidt_robust(&mut m);
+        assert_eq!(replaced, 2, "two duplicate columns replaced");
+        assert!(orthonormality_error(&m) < 1e-10);
+    }
+
+    #[test]
+    fn robust_variant_matches_plain_on_good_input() {
+        let mut a = test_matrix(30, 5, 3);
+        let mut b = a.clone();
+        gram_schmidt(&mut a);
+        let replaced = gram_schmidt_robust(&mut b);
+        assert_eq!(replaced, 0);
+        assert!(a.max_abs_diff(&b) < 1e-10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn spans_preserved_dimension(rows in 8usize..40, cols in 1usize..6, seed in 0u64..1000) {
+            let cols = cols.min(rows);
+            let mut m = test_matrix(rows, cols, seed);
+            gram_schmidt(&mut m);
+            prop_assert!(orthonormality_error(&m) < 1e-9);
+        }
+    }
+}

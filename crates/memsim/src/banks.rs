@@ -1,0 +1,269 @@
+//! Interleaved banked-memory model for cacheless vector machines.
+//!
+//! The Earth Simulator's FPLRAM (24 ns bank cycle) and the X1's memory ports
+//! deliver full bandwidth only when consecutive vector element accesses land
+//! in *different* banks. A stride that is a multiple of the bank count — or a
+//! gather concentrated on a few small arrays, as in GTC's charge deposition —
+//! revisits busy banks and serializes. GTC's `duplicate` pragma fix (§6.1,
+//! +37% on the deposition routine) is modelled by [`BankedMemory::duplicate`],
+//! which spreads logical copies of a hot array across banks.
+
+/// Banked memory geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct BankConfig {
+    /// Number of interleaved banks (the ES uses 2048 banks per node group;
+    /// scaled-down values are fine for behavioural studies).
+    pub num_banks: usize,
+    /// Bank busy (cycle) time in CPU cycles: after an access, the bank cannot
+    /// service another for this many cycles.
+    pub bank_cycle: u64,
+    /// Interleave granularity in bytes (one 64-bit word on the ES).
+    pub word_bytes: usize,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        // ES-like: 24 ns bank cycle at 500 MHz = 12 CPU cycles.
+        Self {
+            num_banks: 512,
+            bank_cycle: 12,
+            word_bytes: 8,
+        }
+    }
+}
+
+/// Simulates the issue of a vector memory instruction's element accesses into
+/// interleaved banks, counting stall cycles from bank conflicts.
+#[derive(Debug, Clone)]
+pub struct BankedMemory {
+    config: BankConfig,
+    /// Cycle at which each bank becomes free again.
+    busy_until: Vec<u64>,
+    clock: u64,
+    /// Total element accesses.
+    pub accesses: u64,
+    /// Total stall cycles caused by conflicts.
+    pub stall_cycles: u64,
+    /// Replication factor applied per logical address region (the
+    /// `duplicate` pragma model): accesses rotate across `dup` images.
+    dup: usize,
+    dup_rr: usize,
+}
+
+impl BankedMemory {
+    /// Fresh banked memory, all banks idle.
+    pub fn new(config: BankConfig) -> Self {
+        assert!(config.num_banks >= 1);
+        Self {
+            busy_until: vec![0; config.num_banks],
+            config,
+            clock: 0,
+            accesses: 0,
+            stall_cycles: 0,
+            dup: 1,
+            dup_rr: 0,
+        }
+    }
+
+    /// Model the compiler's `duplicate` directive: create `copies` images of
+    /// the address space offset by one bank each; successive accesses rotate
+    /// across images so that repeated hits on one hot word spread over
+    /// `copies` banks.
+    pub fn duplicate(&mut self, copies: usize) {
+        assert!(copies >= 1);
+        self.dup = copies;
+    }
+
+    fn bank_of(&mut self, addr: u64) -> usize {
+        let word = addr / self.config.word_bytes as u64;
+        let img = if self.dup > 1 {
+            self.dup_rr = (self.dup_rr + 1) % self.dup;
+            // Image copies are laid out `num_banks / dup` banks apart so that
+            // rotating across images spreads a hot word evenly over banks.
+            (self.dup_rr * (self.config.num_banks / self.dup).max(1)) as u64
+        } else {
+            0
+        };
+        ((word + img) % self.config.num_banks as u64) as usize
+    }
+
+    /// Issue one element access at the current clock; advances the clock by
+    /// one issue slot and adds any conflict stall. Returns the stall incurred.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.accesses += 1;
+        let bank = self.bank_of(addr);
+        self.clock += 1; // one element issues per cycle when conflict-free
+        let stall = self.busy_until[bank].saturating_sub(self.clock);
+        self.clock += stall;
+        self.stall_cycles += stall;
+        self.busy_until[bank] = self.clock + self.config.bank_cycle;
+        stall
+    }
+
+    /// Issue a whole strided vector access (`n` elements starting at `base`
+    /// with `stride_words` spacing). Returns total stall cycles for the
+    /// instruction.
+    pub fn strided_access(&mut self, base: u64, n: usize, stride_words: usize) -> u64 {
+        let mut stalls = 0;
+        for i in 0..n {
+            stalls += self.access(base + (i * stride_words * self.config.word_bytes) as u64);
+        }
+        stalls
+    }
+
+    /// Issue a gather/scatter over explicit word indices.
+    pub fn gather(&mut self, base: u64, indices: &[usize]) -> u64 {
+        let mut stalls = 0;
+        for &ix in indices {
+            stalls += self.access(base + (ix * self.config.word_bytes) as u64);
+        }
+        stalls
+    }
+
+    /// Average stall cycles per access so far.
+    pub fn stall_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Effective throughput as a fraction of peak (1 element/cycle).
+    pub fn efficiency(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.accesses as f64 / (self.accesses as f64 + self.stall_cycles as f64)
+        }
+    }
+
+    /// Reset banks and statistics (keeps the duplication setting).
+    pub fn reset(&mut self) {
+        self.busy_until.iter_mut().for_each(|b| *b = 0);
+        self.clock = 0;
+        self.accesses = 0;
+        self.stall_cycles = 0;
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> BankConfig {
+        self.config
+    }
+}
+
+/// Closed-form conflict-free condition: a constant stride `s` (in words) over
+/// `b` banks achieves full throughput iff `gcd(s, b)*bank_cycle <= b`,
+/// i.e. the access rotates through `b/gcd(s,b)` distinct banks, which must
+/// cover the bank busy time.
+pub fn stride_is_conflict_free(stride_words: usize, config: &BankConfig) -> bool {
+    let g = gcd(stride_words.max(1), config.num_banks);
+    let distinct = config.num_banks / g;
+    distinct as u64 >= config.bank_cycle
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> BankedMemory {
+        BankedMemory::new(BankConfig {
+            num_banks: 64,
+            bank_cycle: 8,
+            word_bytes: 8,
+        })
+    }
+
+    #[test]
+    fn unit_stride_is_free() {
+        let mut m = mem();
+        let stalls = m.strided_access(0, 1024, 1);
+        assert_eq!(stalls, 0);
+        assert_eq!(m.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn power_of_two_stride_conflicts() {
+        let mut m = mem();
+        // stride 64 words = bank count: every access hits bank 0.
+        let stalls = m.strided_access(0, 256, 64);
+        assert!(stalls > 0);
+        assert!(m.efficiency() < 0.2, "eff {}", m.efficiency());
+    }
+
+    #[test]
+    fn odd_stride_is_free() {
+        let mut m = mem();
+        let stalls = m.strided_access(0, 1024, 17);
+        assert_eq!(stalls, 0, "odd strides rotate through all banks");
+    }
+
+    #[test]
+    fn conflict_free_predicate_matches_simulation() {
+        let cfg = BankConfig {
+            num_banks: 64,
+            bank_cycle: 8,
+            word_bytes: 8,
+        };
+        for stride in [1usize, 2, 3, 7, 8, 16, 17, 32, 64] {
+            let mut m = BankedMemory::new(cfg);
+            let stalls = m.strided_access(0, 512, stride);
+            let predicted = stride_is_conflict_free(stride, &cfg);
+            assert_eq!(
+                stalls == 0,
+                predicted,
+                "stride {stride}: sim stalls {stalls}, predicted free {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_array_gather_conflicts() {
+        // GTC's pathology: gather concentrated on a few small arrays.
+        let mut m = mem();
+        let hot: Vec<usize> = (0..512).map(|i| i % 4).collect(); // 4 hot words
+        let stalls = m.gather(0, &hot);
+        assert!(stalls > 0, "repeated hot-word access must conflict");
+    }
+
+    #[test]
+    fn duplicate_pragma_reduces_conflicts() {
+        let hot: Vec<usize> = (0..512).map(|i| i % 4).collect();
+        let mut plain = mem();
+        let s_plain = plain.gather(0, &hot);
+        let mut dup = mem();
+        dup.duplicate(16);
+        let s_dup = dup.gather(0, &hot);
+        assert!(
+            s_dup < s_plain / 2,
+            "duplication must at least halve stalls: {s_dup} vs {s_plain}"
+        );
+    }
+
+    #[test]
+    fn random_gather_mostly_free() {
+        // Pseudorandom spread across a large array ~ few conflicts.
+        let mut m = mem();
+        let idx: Vec<usize> = (0..2048usize).map(|i| (i * 2654435761) % 100_000).collect();
+        m.gather(0, &idx);
+        assert!(m.efficiency() > 0.8, "eff {}", m.efficiency());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = mem();
+        m.strided_access(0, 64, 64);
+        m.reset();
+        assert_eq!(m.accesses, 0);
+        assert_eq!(m.stall_cycles, 0);
+        assert_eq!(m.strided_access(8, 1, 1), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cartesian process-grid decompositions (the `MPI_Cart_create` analogue).
+//!
+//! LBMHD block-distributes its 2D grid over a 2D processor grid; Cactus
+//! block-decomposes 3D space; GTC uses a 1D toroidal decomposition. These
+//! helpers map ranks to grid coordinates and name the periodic neighbours.
+
+/// A 2D periodic process grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cart2d {
+    /// Extent in x (fastest-varying in rank order).
+    pub px: usize,
+    /// Extent in y.
+    pub py: usize,
+}
+
+impl Cart2d {
+    /// Build a grid; `px * py` must equal the communicator size when used
+    /// with one.
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px >= 1 && py >= 1);
+        Self { px, py }
+    }
+
+    /// The most-square decomposition of `p` ranks.
+    pub fn near_square(p: usize) -> Self {
+        let mut x = (p as f64).sqrt().floor() as usize;
+        while x > 1 && !p.is_multiple_of(x) {
+            x -= 1;
+        }
+        Self::new(p / x.max(1), x.max(1))
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size());
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at (periodic) coordinates.
+    pub fn rank_at(&self, x: isize, y: isize) -> usize {
+        let xm = x.rem_euclid(self.px as isize) as usize;
+        let ym = y.rem_euclid(self.py as isize) as usize;
+        ym * self.px + xm
+    }
+
+    /// The eight periodic neighbours of `rank` in the order
+    /// `[E, W, N, S, NE, NW, SE, SW]`.
+    pub fn neighbors8(&self, rank: usize) -> [usize; 8] {
+        let (x, y) = self.coords(rank);
+        let (x, y) = (x as isize, y as isize);
+        [
+            self.rank_at(x + 1, y),
+            self.rank_at(x - 1, y),
+            self.rank_at(x, y + 1),
+            self.rank_at(x, y - 1),
+            self.rank_at(x + 1, y + 1),
+            self.rank_at(x - 1, y + 1),
+            self.rank_at(x + 1, y - 1),
+            self.rank_at(x - 1, y - 1),
+        ]
+    }
+
+    /// The four periodic edge neighbours `[E, W, N, S]`.
+    pub fn neighbors4(&self, rank: usize) -> [usize; 4] {
+        let n8 = self.neighbors8(rank);
+        [n8[0], n8[1], n8[2], n8[3]]
+    }
+}
+
+/// A 3D periodic process grid (Cactus-style block decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cart3d {
+    /// Extent in x.
+    pub px: usize,
+    /// Extent in y.
+    pub py: usize,
+    /// Extent in z.
+    pub pz: usize,
+}
+
+impl Cart3d {
+    /// Build a grid.
+    pub fn new(px: usize, py: usize, pz: usize) -> Self {
+        assert!(px >= 1 && py >= 1 && pz >= 1);
+        Self { px, py, pz }
+    }
+
+    /// A near-cubic decomposition of `p` ranks.
+    pub fn near_cubic(p: usize) -> Self {
+        let mut best = (p, 1, 1);
+        let mut best_score = usize::MAX;
+        for a in 1..=p {
+            if !p.is_multiple_of(a) {
+                continue;
+            }
+            let rest = p / a;
+            for b in 1..=rest {
+                if !rest.is_multiple_of(b) {
+                    continue;
+                }
+                let c = rest / b;
+                let max = a.max(b).max(c);
+                let min = a.min(b).min(c);
+                let score = max - min;
+                if score < best_score {
+                    best_score = score;
+                    best = (a, b, c);
+                }
+            }
+        }
+        Self::new(best.0, best.1, best.2)
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.px * self.py * self.pz
+    }
+
+    /// Coordinates of `rank` (x fastest).
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        assert!(rank < self.size());
+        (
+            rank % self.px,
+            (rank / self.px) % self.py,
+            rank / (self.px * self.py),
+        )
+    }
+
+    /// Rank at (periodic) coordinates.
+    pub fn rank_at(&self, x: isize, y: isize, z: isize) -> usize {
+        let xm = x.rem_euclid(self.px as isize) as usize;
+        let ym = y.rem_euclid(self.py as isize) as usize;
+        let zm = z.rem_euclid(self.pz as isize) as usize;
+        (zm * self.py + ym) * self.px + xm
+    }
+
+    /// The six periodic face neighbours `[+x, -x, +y, -y, +z, -z]`.
+    pub fn neighbors6(&self, rank: usize) -> [usize; 6] {
+        let (x, y, z) = self.coords(rank);
+        let (x, y, z) = (x as isize, y as isize, z as isize);
+        [
+            self.rank_at(x + 1, y, z),
+            self.rank_at(x - 1, y, z),
+            self.rank_at(x, y + 1, z),
+            self.rank_at(x, y - 1, z),
+            self.rank_at(x, y, z + 1),
+            self.rank_at(x, y, z - 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cart2d_roundtrip() {
+        let c = Cart2d::new(4, 3);
+        for r in 0..12 {
+            let (x, y) = c.coords(r);
+            assert_eq!(c.rank_at(x as isize, y as isize), r);
+        }
+    }
+
+    #[test]
+    fn cart2d_periodic_wrap() {
+        let c = Cart2d::new(4, 4);
+        assert_eq!(c.rank_at(-1, 0), 3);
+        assert_eq!(c.rank_at(4, 0), 0);
+        assert_eq!(c.rank_at(0, -1), 12);
+    }
+
+    #[test]
+    fn neighbors8_of_corner() {
+        let c = Cart2d::new(3, 3);
+        let n = c.neighbors8(0);
+        // E, W, N, S, NE, NW, SE, SW of (0,0) with wraparound.
+        assert_eq!(n, [1, 2, 3, 6, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn near_square_prefers_balance() {
+        assert_eq!(Cart2d::near_square(16), Cart2d::new(4, 4));
+        assert_eq!(Cart2d::near_square(64), Cart2d::new(8, 8));
+        assert_eq!(Cart2d::near_square(12), Cart2d::new(4, 3));
+    }
+
+    #[test]
+    fn cart3d_roundtrip_and_neighbors() {
+        let c = Cart3d::new(2, 3, 4);
+        assert_eq!(c.size(), 24);
+        for r in 0..24 {
+            let (x, y, z) = c.coords(r);
+            assert_eq!(c.rank_at(x as isize, y as isize, z as isize), r);
+        }
+        let n = c.neighbors6(0);
+        assert_eq!(n[0], 1); // +x
+        assert_eq!(n[1], 1); // -x wraps in px=2
+        assert_eq!(n[2], 2); // +y
+        assert_eq!(n[4], 6); // +z
+    }
+
+    #[test]
+    fn near_cubic_balanced() {
+        let c = Cart3d::near_cubic(64);
+        assert_eq!((c.px, c.py, c.pz), (4, 4, 4));
+        let c = Cart3d::near_cubic(8);
+        assert_eq!((c.px, c.py, c.pz), (2, 2, 2));
+    }
+}

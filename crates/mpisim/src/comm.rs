@@ -1,0 +1,491 @@
+//! Two-sided communication: ranks, typed messages, collectives.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Payload of an in-flight message.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    /// Floating-point data (the applications exchange f64 arrays).
+    Data(Vec<f64>),
+    /// A shared window handle, used once during co-array creation.
+    Window(Arc<parking_lot::RwLock<Vec<f64>>>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Payload,
+}
+
+/// Communication statistics for one rank, used to calibrate the
+/// performance model's communication phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub messages_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+}
+
+/// A pending nonblocking receive (see [`Comm::irecv`]). Sends complete
+/// immediately in this runtime (unbounded channels), so only receives need
+/// request objects.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "complete the request with Comm::wait"]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+}
+
+/// A rank's endpoint in the communicator (the `MPI_COMM_WORLD` analogue).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    /// Received-but-unmatched packets (tag/source matching buffer).
+    pending: VecDeque<Packet>,
+    stats: CommStats,
+}
+
+impl Comm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Send `data` to rank `dst` with a matching `tag`.
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += (data.len() * 8) as u64;
+        self.senders[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload: Payload::Data(data),
+            })
+            .expect("receiver alive");
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. Messages from
+    /// other sources/tags arriving first are buffered and matched later.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        // Check the buffer first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag && matches!(p.payload, Payload::Data(_)))
+        {
+            match self.pending.remove(pos).expect("index valid").payload {
+                Payload::Data(d) => return d,
+                Payload::Window(_) => unreachable!(),
+            }
+        }
+        loop {
+            let p = self.receiver.recv().expect("senders alive");
+            if p.src == src && p.tag == tag {
+                match p.payload {
+                    Payload::Data(d) => return d,
+                    Payload::Window(_) => {
+                        self.pending.push_back(p);
+                        continue;
+                    }
+                }
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    pub(crate) fn send_window(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        w: Arc<parking_lot::RwLock<Vec<f64>>>,
+    ) {
+        self.senders[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload: Payload::Window(w),
+            })
+            .expect("receiver alive");
+    }
+
+    pub(crate) fn recv_window(
+        &mut self,
+        src: usize,
+        tag: u64,
+    ) -> Arc<parking_lot::RwLock<Vec<f64>>> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag && matches!(p.payload, Payload::Window(_)))
+        {
+            match self.pending.remove(pos).expect("index valid").payload {
+                Payload::Window(w) => return w,
+                Payload::Data(_) => unreachable!(),
+            }
+        }
+        loop {
+            let p = self.receiver.recv().expect("senders alive");
+            if p.src == src && p.tag == tag {
+                match p.payload {
+                    Payload::Window(w) => return w,
+                    Payload::Data(_) => {
+                        self.pending.push_back(p);
+                        continue;
+                    }
+                }
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    /// Post a nonblocking receive for `(src, tag)`. The returned request is
+    /// completed with [`Comm::wait`]; matching and buffering behave exactly
+    /// like [`Comm::recv`] (the applications' real MPI counterparts post
+    /// `irecv`s before computing on the interior).
+    pub fn irecv(&mut self, src: usize, tag: u64) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+
+    /// Complete a nonblocking receive.
+    pub fn wait(&mut self, req: RecvRequest) -> Vec<f64> {
+        self.recv(req.src, req.tag)
+    }
+
+    /// Complete a batch of nonblocking receives (`MPI_Waitall`).
+    pub fn wait_all(&mut self, reqs: Vec<RecvRequest>) -> Vec<Vec<f64>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Combined send + receive with the same partner (halo exchanges).
+    pub fn sendrecv(&mut self, partner: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+        if partner == self.rank {
+            return data;
+        }
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+
+    /// Synchronize all ranks (dissemination barrier).
+    pub fn barrier(&mut self) {
+        let mut round = 0u64;
+        let mut dist = 1;
+        while dist < self.size {
+            let to = (self.rank + dist) % self.size;
+            let from = (self.rank + self.size - dist) % self.size;
+            self.send(to, u64::MAX - round, Vec::new());
+            let _ = self.recv(from, u64::MAX - round);
+            dist *= 2;
+            round += 1;
+        }
+    }
+
+    /// Element-wise sum allreduce.
+    ///
+    /// Implemented as a gather-to-all ring: every rank forwards the packet
+    /// it received while folding each rank's original contribution exactly
+    /// once — correct for any communicator size.
+    pub fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        let mut acc = data.to_vec();
+        let mut travelling = data.to_vec();
+        for step in 0..self.size.saturating_sub(1) {
+            let to = (self.rank + 1) % self.size;
+            let from = (self.rank + self.size - 1) % self.size;
+            let tag = 0xA11B_0000 + step as u64;
+            self.send(to, tag, travelling);
+            travelling = self.recv(from, tag);
+            for (a, b) in acc.iter_mut().zip(&travelling) {
+                *a += *b;
+            }
+        }
+        acc
+    }
+
+    /// Scalar sum allreduce.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        self.allreduce_sum(&[x])[0]
+    }
+
+    /// Max allreduce for a scalar.
+    pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        let mut acc = x;
+        let mut travelling = vec![x];
+        for step in 0..self.size.saturating_sub(1) {
+            let to = (self.rank + 1) % self.size;
+            let from = (self.rank + self.size - 1) % self.size;
+            let tag = 0xA11C_0000 + step as u64;
+            self.send(to, tag, travelling);
+            travelling = self.recv(from, tag);
+            acc = acc.max(travelling[0]);
+        }
+        acc
+    }
+
+    /// Gather each rank's `data` on every rank (allgather), concatenated in
+    /// rank order.
+    pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+        out[self.rank] = data.to_vec();
+        let mut travelling = (self.rank, data.to_vec());
+        for step in 0..self.size.saturating_sub(1) {
+            let to = (self.rank + 1) % self.size;
+            let from = (self.rank + self.size - 1) % self.size;
+            let tag = 0xA11D_0000 + step as u64;
+            let mut framed = vec![travelling.0 as f64];
+            framed.extend_from_slice(&travelling.1);
+            self.send(to, tag, framed);
+            let incoming = self.recv(from, tag);
+            let origin = incoming[0] as usize;
+            let body = incoming[1..].to_vec();
+            out[origin] = body.clone();
+            travelling = (origin, body);
+        }
+        out
+    }
+
+    /// Broadcast `data` from `root` to all ranks.
+    pub fn broadcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        if self.rank == root {
+            for dst in 0..self.size {
+                if dst != root {
+                    self.send(dst, 0xB0AD_CA57, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, 0xB0AD_CA57)
+        }
+    }
+
+    /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns what
+    /// every rank sent to us, indexed by source.
+    pub fn alltoallv(&mut self, sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(sends.len(), self.size);
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+        // Rotation schedule to avoid head-of-line hotspots.
+        let mut sends = sends;
+        out[self.rank] = std::mem::take(&mut sends[self.rank]);
+        for round in 1..self.size {
+            let dst = (self.rank + round) % self.size;
+            let src = (self.rank + self.size - round) % self.size;
+            let tag = 0xA2A_0000 + round as u64;
+            self.send(dst, tag, std::mem::take(&mut sends[dst]));
+            out[src] = self.recv(src, tag);
+        }
+        out
+    }
+}
+
+/// Launch `nranks` threads, each running `f` with its own [`Comm`]
+/// endpoint, and collect the per-rank return values in rank order.
+pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    assert!(nranks >= 1);
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (s, r) = unbounded::<Packet>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let f = &f;
+    let senders = &senders;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            handles.push(scope.spawn(move || {
+                let comm = Comm {
+                    rank,
+                    size: nranks,
+                    senders: senders.clone(),
+                    receiver,
+                    pending: VecDeque::new(),
+                    stats: CommStats::default(),
+                };
+                f(comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let results = run(4, |mut c| {
+            let to = (c.rank() + 1) % c.size();
+            let from = (c.rank() + c.size() - 1) % c.size();
+            c.send(to, 7, vec![c.rank() as f64]);
+            c.recv(from, 7)[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_scalar_all_sizes() {
+        for n in 1..=7 {
+            let results = run(n, |mut c| c.allreduce_sum_scalar((c.rank() + 1) as f64));
+            let expect = (n * (n + 1) / 2) as f64;
+            assert!(results.iter().all(|&x| x == expect), "n={n}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_vector() {
+        let results = run(3, |mut c| c.allreduce_sum(&[c.rank() as f64, 1.0]));
+        for r in results {
+            assert_eq!(r, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let results = run(5, |mut c| c.allreduce_max_scalar(c.rank() as f64 * 1.5));
+        assert!(results.iter().all(|&x| x == 6.0));
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let results = run(4, |mut c| c.allgather(&[c.rank() as f64 * 10.0]));
+        for r in results {
+            assert_eq!(r, vec![vec![0.0], vec![10.0], vec![20.0], vec![30.0]]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let results = run(4, |mut c| {
+            let data = if c.rank() == 2 {
+                vec![42.0, 43.0]
+            } else {
+                Vec::new()
+            };
+            c.broadcast(2, data)
+        });
+        for r in results {
+            assert_eq!(r, vec![42.0, 43.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_full_exchange() {
+        let results = run(3, |mut c| {
+            let sends: Vec<Vec<f64>> = (0..3).map(|d| vec![(c.rank() * 10 + d) as f64]).collect();
+            c.alltoallv(sends)
+        });
+        // Rank r receives from each src s the value s*10 + r.
+        for (r, got) in results.iter().enumerate() {
+            for (s, v) in got.iter().enumerate() {
+                assert_eq!(v[0], (s * 10 + r) as f64, "rank {r} from {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![1.0]);
+                c.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive tag 2 first even though tag 1 was sent first.
+                let b = c.recv(0, 2)[0];
+                let a = c.recv(0, 1)[0];
+                b * 10.0 + a
+            }
+        });
+        assert_eq!(results[1], 21.0);
+    }
+
+    #[test]
+    fn barrier_completes_for_odd_sizes() {
+        for n in [1, 3, 5] {
+            let results = run(n, |mut c| {
+                c.barrier();
+                c.rank()
+            });
+            assert_eq!(results.len(), n);
+        }
+    }
+
+    #[test]
+    fn nonblocking_receives_overlap_with_work() {
+        // Post irecvs first, "compute", send late, then wait-all: the
+        // requests must match regardless of arrival order.
+        let results = run(3, |mut c| {
+            let me = c.rank();
+            let reqs: Vec<RecvRequest> = (0..3)
+                .filter(|&s| s != me)
+                .map(|s| c.irecv(s, 42))
+                .collect();
+            // "Interior compute" happens here; then send to everyone.
+            for dst in 0..3 {
+                if dst != me {
+                    c.send(dst, 42, vec![me as f64]);
+                }
+            }
+            let got = c.wait_all(reqs);
+            got.iter().map(|v| v[0]).sum::<f64>()
+        });
+        // Each rank sums the other two ranks' ids.
+        assert_eq!(results, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn sendrecv_swaps() {
+        let results = run(2, |mut c| {
+            let partner = 1 - c.rank();
+            c.sendrecv(partner, 9, vec![c.rank() as f64])[0]
+        });
+        assert_eq!(results, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let results = run(2, |mut c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![0.0; 100]);
+            } else {
+                let _ = c.recv(0, 0);
+            }
+            c.stats()
+        });
+        assert_eq!(results[0].messages_sent, 1);
+        assert_eq!(results[0].bytes_sent, 800);
+        assert_eq!(results[1].messages_sent, 0);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = run(1, |mut c| {
+            c.barrier();
+            c.allreduce_sum_scalar(5.0)
+        });
+        assert_eq!(results, vec![5.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pvs-mpisim — a message-passing runtime on threads
+//!
+//! The four applications of the SC 2004 study are distributed-memory MPI
+//! codes (LBMHD additionally has a Co-array Fortran port). This crate
+//! provides the runtime they run on in this reproduction: ranks are OS
+//! threads, messages are typed packets over `crossbeam` channels, and the
+//! one-sided (CAF/SHMEM-style) layer exposes remote windows through shared
+//! memory — the same semantics hardware-supported globally addressable
+//! memory gives the X1.
+//!
+//! * [`comm`]: two-sided primitives (`send`/`recv` with tag matching and
+//!   out-of-order buffering), collectives (barrier, allreduce, gather,
+//!   broadcast, all-to-all), and traffic statistics used to calibrate the
+//!   performance model's communication phases;
+//! * [`caf`]: co-array style one-sided windows (`put`/`get` into remote
+//!   rank memory) mirroring LBMHD's CAF port;
+//! * [`cart`]: cartesian process-grid helpers (2D/3D decompositions and
+//!   neighbour ranks) used by every grid application.
+//!
+//! ## Example
+//!
+//! ```
+//! use pvs_mpisim::run;
+//!
+//! // Sum rank ids with an allreduce across 4 ranks.
+//! let results = run(4, |mut comm| comm.allreduce_sum_scalar(comm.rank() as f64));
+//! assert!(results.iter().all(|&x| x == 6.0));
+//! ```
+
+pub mod caf;
+pub mod cart;
+pub mod comm;
+
+pub use caf::CoArray;
+pub use cart::{Cart2d, Cart3d};
+pub use comm::{run, Comm, CommStats, RecvRequest};

@@ -1,0 +1,355 @@
+//! Collective-communication patterns timed on the simulator.
+//!
+//! These are the three patterns the study's applications use:
+//!
+//! * **2D halo exchange** — LBMHD stream step, Cactus ghost zones;
+//! * **all-to-all personalized exchange** — PARATEC's 3D-FFT data
+//!   transposes (the global communication the paper identifies as the
+//!   scaling limiter);
+//! * **allreduce** — CG dot products in PARATEC and GTC's Poisson solve.
+//!
+//! Each function builds the message set and runs it through [`NetSim`],
+//! so contention effects (torus bisection, slim-tree uplinks) emerge from
+//! the topology rather than being assumed.
+
+use crate::des::{Message, NetSim};
+use crate::topology::Network;
+
+/// Time (seconds) for a 2D periodic halo exchange: every rank exchanges
+/// `bytes_per_edge` with its four neighbours in a `px x py` process grid,
+/// plus `bytes_per_corner` with its four diagonal neighbours (LBMHD's
+/// octagonal lattice streams along diagonals too).
+pub fn halo_exchange_2d_time(
+    net: &Network,
+    px: usize,
+    py: usize,
+    bytes_per_edge: u64,
+    bytes_per_corner: u64,
+) -> f64 {
+    assert!(
+        px * py <= net.config().endpoints,
+        "process grid exceeds network"
+    );
+    let rank = |x: usize, y: usize| (y % py) * px + (x % px);
+    let mut msgs = Vec::new();
+    for y in 0..py {
+        for x in 0..px {
+            let src = rank(x, y);
+            let edge_neighbors = [
+                rank(x + 1, y),
+                rank(x + px - 1, y),
+                rank(x, y + 1),
+                rank(x, y + py - 1),
+            ];
+            for dst in edge_neighbors {
+                if dst != src && bytes_per_edge > 0 {
+                    msgs.push(Message {
+                        src,
+                        dst,
+                        bytes: bytes_per_edge,
+                        submit_s: 0.0,
+                    });
+                }
+            }
+            let corner_neighbors = [
+                rank(x + 1, y + 1),
+                rank(x + 1, y + py - 1),
+                rank(x + px - 1, y + 1),
+                rank(x + px - 1, y + py - 1),
+            ];
+            for dst in corner_neighbors {
+                if dst != src && bytes_per_corner > 0 {
+                    msgs.push(Message {
+                        src,
+                        dst,
+                        bytes: bytes_per_corner,
+                        submit_s: 0.0,
+                    });
+                }
+            }
+        }
+    }
+    NetSim::new(net).run(&msgs).makespan_s
+}
+
+/// Time (seconds) for an all-to-all personalized exchange of
+/// `bytes_per_pair` between every ordered pair of the first `p` endpoints —
+/// the communication core of a distributed matrix/FFT transpose.
+pub fn all_to_all_time(net: &Network, p: usize, bytes_per_pair: u64) -> f64 {
+    assert!(p <= net.config().endpoints);
+    let mut msgs = Vec::with_capacity(p * (p - 1));
+    // Stagger destinations (rotation schedule) like real MPI_Alltoall
+    // implementations to avoid synthetic endpoint hotspots.
+    for round in 1..p {
+        for src in 0..p {
+            let dst = (src + round) % p;
+            msgs.push(Message {
+                src,
+                dst,
+                bytes: bytes_per_pair,
+                submit_s: 0.0,
+            });
+        }
+    }
+    NetSim::new(net).run(&msgs).makespan_s
+}
+
+/// Time (seconds) for a 3D face halo exchange over a `px × py × pz`
+/// process grid: every rank exchanges `bytes_per_face` with its six face
+/// neighbours (Cactus ghost zones).
+pub fn halo_exchange_3d_time(
+    net: &Network,
+    px: usize,
+    py: usize,
+    pz: usize,
+    bytes_per_face: u64,
+) -> f64 {
+    assert!(
+        px * py * pz <= net.config().endpoints,
+        "process grid exceeds network"
+    );
+    let rank = |x: usize, y: usize, z: usize| ((z % pz) * py + (y % py)) * px + (x % px);
+    let mut msgs = Vec::new();
+    for z in 0..pz {
+        for y in 0..py {
+            for x in 0..px {
+                let src = rank(x, y, z);
+                let neighbors = [
+                    rank(x + 1, y, z),
+                    rank(x + px - 1, y, z),
+                    rank(x, y + 1, z),
+                    rank(x, y + py - 1, z),
+                    rank(x, y, z + 1),
+                    rank(x, y, z + pz - 1),
+                ];
+                for dst in neighbors {
+                    if dst != src {
+                        msgs.push(Message {
+                            src,
+                            dst,
+                            bytes: bytes_per_face,
+                            submit_s: 0.0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    NetSim::new(net).run(&msgs).makespan_s
+}
+
+/// Like [`all_to_all_time`], but simulating at most `max_rounds` of the
+/// `p - 1` rotation rounds and scaling linearly — accurate because every
+/// round is a full permutation placing identical load on the network, and
+/// necessary to keep 1024-rank FFT-transpose modelling cheap.
+pub fn all_to_all_time_sampled(
+    net: &Network,
+    p: usize,
+    bytes_per_pair: u64,
+    max_rounds: usize,
+) -> f64 {
+    assert!(p <= net.config().endpoints && max_rounds >= 1);
+    if p < 2 {
+        return 0.0;
+    }
+    let total_rounds = p - 1;
+    let simulate = total_rounds.min(max_rounds);
+    let stride = total_rounds as f64 / simulate as f64;
+    let mut msgs = Vec::with_capacity(simulate * p);
+    for k in 0..simulate {
+        let round = 1 + (k as f64 * stride) as usize;
+        for src in 0..p {
+            let dst = (src + round) % p;
+            msgs.push(Message {
+                src,
+                dst,
+                bytes: bytes_per_pair,
+                submit_s: 0.0,
+            });
+        }
+    }
+    let t = NetSim::new(net).run(&msgs).makespan_s;
+    t * total_rounds as f64 / simulate as f64
+}
+
+/// Time (seconds) for a recursive-doubling allreduce of `bytes` across the
+/// first `p` endpoints (p rounded down to a power of two for the exchange
+/// schedule; stragglers pair up in an extra round).
+pub fn allreduce_time(net: &Network, p: usize, bytes: u64) -> f64 {
+    assert!(p >= 1 && p <= net.config().endpoints);
+    if p == 1 {
+        return 0.0;
+    }
+    let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize;
+    let mut total = 0.0;
+    let mut sim = NetSim::new(net);
+    for r in 0..rounds {
+        let dist = 1usize << r;
+        let mut msgs = Vec::new();
+        for src in 0..p {
+            let dst = src ^ dist;
+            if dst < p {
+                msgs.push(Message {
+                    src,
+                    dst,
+                    bytes,
+                    submit_s: 0.0,
+                });
+            }
+        }
+        sim.reset();
+        total += sim.run(&msgs).makespan_s;
+    }
+    total
+}
+
+/// Measure the effective bisection bandwidth (GB/s) of a network by
+/// saturating it with pairwise traffic across a balanced cut and dividing
+/// moved bytes by the makespan.
+pub fn measured_bisection_gbs(net: &Network, bytes_per_pair: u64) -> f64 {
+    let p = net.config().endpoints;
+    assert!(p >= 2);
+    let half = p / 2;
+    let mut msgs = Vec::new();
+    for i in 0..half {
+        msgs.push(Message {
+            src: i,
+            dst: half + i,
+            bytes: bytes_per_pair,
+            submit_s: 0.0,
+        });
+        msgs.push(Message {
+            src: half + i,
+            dst: i,
+            bytes: bytes_per_pair,
+            submit_s: 0.0,
+        });
+    }
+    NetSim::new(net).run(&msgs).aggregate_gbs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NetworkConfig, TopologyKind};
+
+    fn mk(kind: TopologyKind, endpoints: usize) -> Network {
+        Network::new(NetworkConfig {
+            kind,
+            endpoints,
+            link_bw_gbs: 1.0,
+            latency_us: 5.0,
+        })
+    }
+
+    #[test]
+    fn halo_scales_mildly_with_processors() {
+        let n64 = mk(TopologyKind::Crossbar, 64);
+        let n256 = mk(TopologyKind::Crossbar, 256);
+        let t64 = halo_exchange_2d_time(&n64, 8, 8, 100_000, 1_000);
+        let t256 = halo_exchange_2d_time(&n256, 16, 16, 100_000, 1_000);
+        // Nearest-neighbour traffic on a crossbar: roughly constant per P.
+        assert!(t256 < 2.0 * t64, "halo should not blow up: {t64} -> {t256}");
+    }
+
+    #[test]
+    fn all_to_all_on_torus_slower_than_crossbar() {
+        let torus = mk(TopologyKind::Torus2D, 64);
+        let xbar = mk(TopologyKind::Crossbar, 64);
+        let tt = all_to_all_time(&torus, 64, 50_000);
+        let tc = all_to_all_time(&xbar, 64, 50_000);
+        assert!(
+            tt > 1.5 * tc,
+            "torus bisection must hurt all-to-all: torus {tt}, crossbar {tc}"
+        );
+    }
+
+    #[test]
+    fn all_to_all_grows_superlinearly_on_torus() {
+        let t64 = all_to_all_time(&mk(TopologyKind::Torus2D, 64), 64, 20_000);
+        let t256 = all_to_all_time(&mk(TopologyKind::Torus2D, 256), 256, 20_000);
+        // 4x endpoints => 16x pairs but only 2x bisection: > 4x time.
+        assert!(t256 > 4.0 * t64, "{t64} -> {t256}");
+    }
+
+    #[test]
+    fn sampled_all_to_all_tracks_full_simulation() {
+        let net = mk(TopologyKind::Torus2D, 32);
+        let full = all_to_all_time(&net, 32, 40_000);
+        let sampled = all_to_all_time_sampled(&net, 32, 40_000, 8);
+        assert!(
+            (sampled - full).abs() / full < 0.35,
+            "sampled {sampled} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn sampled_all_to_all_exact_when_rounds_cover_all() {
+        let net = mk(TopologyKind::Crossbar, 16);
+        let full = all_to_all_time(&net, 16, 10_000);
+        let sampled = all_to_all_time_sampled(&net, 16, 10_000, 15);
+        assert!((sampled - full).abs() / full < 0.25, "{sampled} vs {full}");
+    }
+
+    #[test]
+    fn allreduce_log_rounds() {
+        let net = mk(TopologyKind::Crossbar, 64);
+        let t8 = allreduce_time(&net, 8, 8_000);
+        let t64 = allreduce_time(&net, 64, 8_000);
+        // 3 rounds vs 6 rounds: about 2x.
+        assert!(
+            t64 < 3.0 * t8,
+            "allreduce must scale logarithmically: {t8} vs {t64}"
+        );
+        assert!(t64 > t8);
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_free() {
+        let net = mk(TopologyKind::Crossbar, 4);
+        assert_eq!(allreduce_time(&net, 1, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn measured_bisection_orders_topologies() {
+        let xbar = measured_bisection_gbs(&mk(TopologyKind::Crossbar, 64), 1_000_000);
+        let full_tree = measured_bisection_gbs(
+            &mk(
+                TopologyKind::FatTree {
+                    arity: 4,
+                    slim: 1.0,
+                },
+                64,
+            ),
+            1_000_000,
+        );
+        let slim_tree = measured_bisection_gbs(
+            &mk(
+                TopologyKind::FatTree {
+                    arity: 4,
+                    slim: 0.5,
+                },
+                64,
+            ),
+            1_000_000,
+        );
+        let torus = measured_bisection_gbs(&mk(TopologyKind::Torus2D, 64), 1_000_000);
+        assert!(xbar > torus, "crossbar {xbar} vs torus {torus}");
+        assert!(
+            full_tree > slim_tree,
+            "full {full_tree} vs slim {slim_tree}"
+        );
+    }
+
+    #[test]
+    fn measured_bisection_tracks_analytic_for_crossbar() {
+        let net = mk(TopologyKind::Crossbar, 32);
+        let measured = measured_bisection_gbs(&net, 10_000_000);
+        let analytic = net.analytic_bisection_gbs();
+        // Measured counts both directions; allow a 2x band plus latency noise.
+        assert!(
+            measured > analytic * 0.8 && measured < analytic * 2.2,
+            "{measured} vs {analytic}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # pvs-netsim — interconnect simulation substrate
+//!
+//! Models the four interconnect families of the SC 2004 study:
+//!
+//! | Machine | Topology | Modelled as |
+//! |---|---|---|
+//! | IBM Power3 | Colony switch, omega topology | slimmed fat-tree ([`topology::TopologyKind::FatTree`] with `slim < 1`) |
+//! | IBM Power4 | Federation (HPS) fat-tree | slimmed fat-tree |
+//! | SGI Altix | NUMAlink3 fat-tree | full fat-tree (`slim = 1`, bisection scales linearly) |
+//! | Earth Simulator | 640-node single-stage crossbar | non-blocking [`topology::TopologyKind::Crossbar`] |
+//! | Cray X1 | modified 2D torus | [`topology::TopologyKind::Torus2D`] (bisection-limited) |
+//!
+//! Two layers are provided:
+//!
+//! * [`topology`] + [`des`]: an explicit link-level graph with shortest-path /
+//!   dimension-order routing and a discrete-event, store-and-forward
+//!   contention simulator — used to *measure* effective bisection bandwidth
+//!   and collective times from first principles;
+//! * [`collectives`]: the communication patterns the applications use (halo
+//!   exchange, FFT transpose all-to-all, allreduce), expressed as message
+//!   sets and timed on the simulator.
+//!
+//! The per-machine numbers (link bandwidth, latency) are calibrated from
+//! Table 1 of the paper by `pvs-core::platforms`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pvs_netsim::collectives::all_to_all_time;
+//! use pvs_netsim::topology::{Network, NetworkConfig, TopologyKind};
+//!
+//! let mk = |kind| Network::new(NetworkConfig {
+//!     kind, endpoints: 64, link_bw_gbs: 1.0, latency_us: 5.0,
+//! });
+//! // The ES-style crossbar beats the X1-style torus under all-to-all load.
+//! let crossbar = all_to_all_time(&mk(TopologyKind::Crossbar), 64, 50_000);
+//! let torus = all_to_all_time(&mk(TopologyKind::Torus2D), 64, 50_000);
+//! assert!(torus > crossbar);
+//! ```
+
+pub mod collectives;
+pub mod des;
+pub mod topology;
+
+pub use collectives::{
+    all_to_all_time, all_to_all_time_sampled, allreduce_time, halo_exchange_2d_time,
+    measured_bisection_gbs,
+};
+pub use des::{Message, NetSim, SimStats};
+pub use topology::{Network, NetworkConfig, TopologyKind};

@@ -1,0 +1,425 @@
+//! Interconnect topology graphs and routing.
+//!
+//! A [`Network`] is a set of endpoints (processors) connected by directed
+//! links, each with its own bandwidth. Routing is deterministic: up/down
+//! through the least common ancestor for fat-trees, two hops through the
+//! non-blocking core for the crossbar, and dimension-order (X then Y) with
+//! wraparound for the 2D torus — matching how the real machines route.
+
+/// Topology family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyKind {
+    /// Single-stage non-blocking crossbar (Earth Simulator IN).
+    Crossbar,
+    /// `arity`-ary fat-tree. `slim` scales how much capacity is added per
+    /// level: `slim = 1.0` is a full fat-tree (bisection grows linearly with
+    /// endpoints, like NUMAlink), smaller values model slimmed trees /
+    /// omega networks (Colony, Federation).
+    FatTree { arity: usize, slim: f64 },
+    /// 2D torus with dimension-order routing (Cray X1). Dimensions are
+    /// chosen near-square for the endpoint count.
+    Torus2D,
+}
+
+/// Static description of an interconnect.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Topology family.
+    pub kind: TopologyKind,
+    /// Number of endpoints (processors or nodes, caller's choice of unit).
+    pub endpoints: usize,
+    /// Injection-link bandwidth per endpoint in GB/s (Table 1 per-CPU BW).
+    pub link_bw_gbs: f64,
+    /// Per-message software + wire latency in microseconds (Table 1 MPI
+    /// latency).
+    pub latency_us: f64,
+}
+
+/// One directed link.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Bandwidth in GB/s.
+    pub bw_gbs: f64,
+}
+
+/// A routable interconnect graph.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    links: Vec<Link>,
+    /// Torus dimensions when applicable.
+    torus_dims: Option<(usize, usize)>,
+    /// Fat-tree level count when applicable.
+    tree_levels: usize,
+}
+
+impl Network {
+    /// Build the link graph for a configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.endpoints >= 1);
+        match config.kind {
+            TopologyKind::Crossbar => {
+                // Per endpoint: one injection + one ejection link.
+                let links = (0..2 * config.endpoints)
+                    .map(|_| Link {
+                        bw_gbs: config.link_bw_gbs,
+                    })
+                    .collect();
+                Self {
+                    config,
+                    links,
+                    torus_dims: None,
+                    tree_levels: 0,
+                }
+            }
+            TopologyKind::FatTree { arity, slim } => {
+                assert!(arity >= 2);
+                // Levels needed to span all endpoints.
+                let mut levels = 0usize;
+                let mut span = 1usize;
+                while span < config.endpoints {
+                    span *= arity;
+                    levels += 1;
+                }
+                // Links: first, one injection + one ejection link per
+                // endpoint into its leaf switch; then, for each level l
+                // (0 = leaf uplink), each group of arity^(l+1) endpoints
+                // shares an up/down link pair whose capacity is
+                // link_bw * (arity * slim)^l (a full fat tree keeps
+                // per-endpoint bandwidth constant up the tree).
+                let mut links: Vec<Link> = (0..2 * config.endpoints)
+                    .map(|_| Link {
+                        bw_gbs: config.link_bw_gbs,
+                    })
+                    .collect();
+                for l in 0..levels {
+                    let group = pow(arity, l + 1);
+                    let groups = config.endpoints.div_ceil(group);
+                    let cap = config.link_bw_gbs * (arity as f64 * slim).powi(l as i32);
+                    for _ in 0..groups {
+                        // up and down
+                        links.push(Link { bw_gbs: cap });
+                        links.push(Link { bw_gbs: cap });
+                    }
+                }
+                Self {
+                    config,
+                    links,
+                    torus_dims: None,
+                    tree_levels: levels,
+                }
+            }
+            TopologyKind::Torus2D => {
+                let (x, y) = near_square(config.endpoints);
+                // 4 directed links per node: +x, -x, +y, -y.
+                let links = (0..4 * x * y)
+                    .map(|_| Link {
+                        bw_gbs: config.link_bw_gbs,
+                    })
+                    .collect();
+                Self {
+                    config,
+                    links,
+                    torus_dims: Some((x, y)),
+                    tree_levels: 0,
+                }
+            }
+        }
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Bandwidth of link `id` in GB/s.
+    pub fn link_bw(&self, id: usize) -> f64 {
+        self.links[id].bw_gbs
+    }
+
+    /// Torus dimensions if this is a torus.
+    pub fn torus_dims(&self) -> Option<(usize, usize)> {
+        self.torus_dims
+    }
+
+    /// Deterministic route from `src` to `dst` as a list of link ids.
+    /// An empty route means a local (same-endpoint) transfer.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        assert!(src < self.config.endpoints && dst < self.config.endpoints);
+        if src == dst {
+            return Vec::new();
+        }
+        match self.config.kind {
+            TopologyKind::Crossbar => {
+                vec![2 * src, 2 * dst + 1]
+            }
+            TopologyKind::FatTree { arity, .. } => {
+                // Inject at src, climb until src and dst share a group
+                // (collecting the up links of src's groups and down links of
+                // dst's groups), then eject at dst.
+                let mut up = vec![2 * src];
+                let mut down = vec![2 * dst + 1];
+                let mut base = 2 * self.config.endpoints; // link offset of level l
+                for l in 0..self.tree_levels {
+                    let group = pow(arity, l + 1);
+                    let groups = self.config.endpoints.div_ceil(group);
+                    let gs = src / group;
+                    let gd = dst / group;
+                    if gs == gd {
+                        break;
+                    }
+                    // Each group has [up, down] pair at base + 2*g.
+                    up.push(base + 2 * gs);
+                    down.push(base + 2 * gd + 1);
+                    base += 2 * groups;
+                }
+                down.reverse();
+                up.extend(down);
+                up
+            }
+            TopologyKind::Torus2D => {
+                let (xd, yd) = self.torus_dims.expect("torus dims");
+                let (mut sx, mut sy) = (src % xd, src / xd);
+                let (dx, dy) = (dst % xd, dst / xd);
+                let mut route = Vec::new();
+                // X dimension first (dimension-order routing), shortest way.
+                while sx != dx {
+                    let fwd = (dx + xd - sx) % xd;
+                    let node = sy * xd + sx;
+                    if fwd <= xd - fwd {
+                        route.push(4 * node); // +x
+                        sx = (sx + 1) % xd;
+                    } else {
+                        route.push(4 * node + 1); // -x
+                        sx = (sx + xd - 1) % xd;
+                    }
+                }
+                while sy != dy {
+                    let fwd = (dy + yd - sy) % yd;
+                    let node = sy * xd + sx;
+                    if fwd <= yd - fwd {
+                        route.push(4 * node + 2); // +y
+                        sy = (sy + 1) % yd;
+                    } else {
+                        route.push(4 * node + 3); // -y
+                        sy = (sy + yd - 1) % yd;
+                    }
+                }
+                route
+            }
+        }
+    }
+
+    /// Hop count between two endpoints.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        self.route(src, dst).len()
+    }
+
+    /// Analytic bisection bandwidth in GB/s: the aggregate link capacity
+    /// crossing a balanced cut of the endpoint set.
+    pub fn analytic_bisection_gbs(&self) -> f64 {
+        let n = self.config.endpoints;
+        match self.config.kind {
+            TopologyKind::Crossbar => {
+                // Non-blocking: limited only by the injection links of one half.
+                (n as f64 / 2.0) * self.config.link_bw_gbs
+            }
+            TopologyKind::FatTree { arity, slim } => {
+                if self.tree_levels == 0 {
+                    return f64::INFINITY;
+                }
+                // Cut at the top level: capacity of top-level links.
+                let l = self.tree_levels - 1;
+                let group = pow(arity, l + 1);
+                let groups = n.div_ceil(group);
+                let cap = self.config.link_bw_gbs * (arity as f64 * slim).powi(l as i32);
+                // Links crossing the cut ~ half of the top-level groups' uplinks.
+                (groups as f64 / 2.0).max(0.5) * cap * 2.0
+            }
+            TopologyKind::Torus2D => {
+                let (xd, yd) = self.torus_dims.expect("torus dims");
+                // Cut along the Y axis: 2 directed links per row, both
+                // directions, plus wraparound: 2 * yd links each way.
+                let cut_links = if xd > 2 { 2 * yd } else { yd };
+                cut_links as f64 * 2.0 * self.config.link_bw_gbs
+            }
+        }
+    }
+}
+
+fn pow(base: usize, exp: usize) -> usize {
+    base.pow(exp as u32)
+}
+
+/// Factor `n` into the most-square `(x, y)` with `x * y >= n`.
+fn near_square(n: usize) -> (usize, usize) {
+    let mut x = (n as f64).sqrt().floor() as usize;
+    while x > 1 {
+        if n.is_multiple_of(x) {
+            return (n / x, x);
+        }
+        x -= 1;
+    }
+    (n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: TopologyKind, endpoints: usize) -> NetworkConfig {
+        NetworkConfig {
+            kind,
+            endpoints,
+            link_bw_gbs: 1.0,
+            latency_us: 5.0,
+        }
+    }
+
+    #[test]
+    fn crossbar_all_pairs_two_hops() {
+        let net = Network::new(cfg(TopologyKind::Crossbar, 16));
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    assert_eq!(net.hops(s, d), 2, "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::FatTree {
+                arity: 2,
+                slim: 1.0,
+            },
+            TopologyKind::Torus2D,
+        ] {
+            let net = Network::new(cfg(kind, 8));
+            assert!(net.route(3, 3).is_empty());
+        }
+    }
+
+    #[test]
+    fn fat_tree_sibling_distance() {
+        let net = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 2,
+                slim: 1.0,
+            },
+            8,
+        ));
+        // Endpoints 0 and 1 share the leaf switch: inject + eject only.
+        assert_eq!(net.hops(0, 1), 2);
+        // Endpoints 0 and 7 cross the root: inject + 2 up + 2 down + eject.
+        assert_eq!(net.hops(0, 7), 6);
+    }
+
+    #[test]
+    fn fat_tree_route_symmetry() {
+        let net = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 4,
+                slim: 1.0,
+            },
+            64,
+        ));
+        for (s, d) in [(0, 63), (5, 9), (17, 48)] {
+            assert_eq!(net.hops(s, d), net.hops(d, s));
+        }
+    }
+
+    #[test]
+    fn torus_dimension_order_hops() {
+        let net = Network::new(cfg(TopologyKind::Torus2D, 16)); // 4x4
+        assert_eq!(net.torus_dims(), Some((4, 4)));
+        // (0,0) -> (1,0): one +x hop.
+        assert_eq!(net.hops(0, 1), 1);
+        // (0,0) -> (3,0): wraparound -x, one hop.
+        assert_eq!(net.hops(0, 3), 1);
+        // (0,0) -> (2,2): 2 + 2 hops.
+        assert_eq!(net.hops(0, 10), 4);
+    }
+
+    #[test]
+    fn torus_max_distance_is_half_each_dim() {
+        let net = Network::new(cfg(TopologyKind::Torus2D, 64)); // 8x8
+        let max_hops = (0..64).map(|d| net.hops(0, d)).max().unwrap();
+        assert_eq!(max_hops, 8, "8x8 torus diameter is 4+4");
+    }
+
+    #[test]
+    fn full_fat_tree_bisection_scales_linearly() {
+        let b16 = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 2,
+                slim: 1.0,
+            },
+            16,
+        ))
+        .analytic_bisection_gbs();
+        let b64 = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 2,
+                slim: 1.0,
+            },
+            64,
+        ))
+        .analytic_bisection_gbs();
+        assert!(
+            b64 > 3.0 * b16,
+            "full fat-tree bisection must scale: {b16} -> {b64}"
+        );
+    }
+
+    #[test]
+    fn slim_tree_bisection_lags_full_tree() {
+        let full = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 4,
+                slim: 1.0,
+            },
+            256,
+        ))
+        .analytic_bisection_gbs();
+        let slim = Network::new(cfg(
+            TopologyKind::FatTree {
+                arity: 4,
+                slim: 0.5,
+            },
+            256,
+        ))
+        .analytic_bisection_gbs();
+        assert!(slim < full / 2.0, "slim {slim} vs full {full}");
+    }
+
+    #[test]
+    fn torus_bisection_sublinear() {
+        let b64 = Network::new(cfg(TopologyKind::Torus2D, 64)).analytic_bisection_gbs();
+        let b256 = Network::new(cfg(TopologyKind::Torus2D, 256)).analytic_bisection_gbs();
+        // 4x endpoints but only 2x bisection (sqrt scaling).
+        assert!(b256 < 2.5 * b64, "{b64} -> {b256}");
+        assert!(b256 > 1.5 * b64);
+    }
+
+    #[test]
+    fn crossbar_bisection_linear() {
+        let b = Network::new(cfg(TopologyKind::Crossbar, 128)).analytic_bisection_gbs();
+        assert!((b - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_square_factors() {
+        assert_eq!(near_square(16), (4, 4));
+        assert_eq!(near_square(32), (8, 4));
+        assert_eq!(near_square(7), (7, 1));
+    }
+}

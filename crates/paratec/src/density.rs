@@ -1,0 +1,87 @@
+//! Real-space charge density (the quantity visualized in the paper's
+//! Fig. 3).
+
+use crate::basis::PwBasis;
+use pvs_fft::dist3d::ifft3d_serial;
+use pvs_linalg::complex::Complex64;
+use pvs_linalg::matrix::ZMatrix;
+
+/// Total charge density `ρ(r) = Σ_bands occ |ψ_b(r)|²` on the FFT grid,
+/// with uniform occupation `occ` per band.
+pub fn charge_density(basis: &PwBasis, bands: &ZMatrix, occ: f64) -> Vec<f64> {
+    assert_eq!(bands.rows(), basis.npw());
+    let n = basis.n;
+    let n3 = basis.grid_len();
+    let mut rho = vec![0.0; n3];
+    let mut grid = vec![Complex64::ZERO; n3];
+    for b in 0..bands.cols() {
+        grid.iter_mut().for_each(|g| *g = Complex64::ZERO);
+        for (i, &c) in bands.col(b).iter().enumerate() {
+            grid[basis.grid_offset(i)] = c;
+        }
+        ifft3d_serial(&mut grid, n);
+        // The inverse FFT carries a 1/N³ factor, so |ψ(r)|² comes out
+        // scaled by 1/N⁶ relative to Σ_G |c_G|² = 1; restoring N⁶ makes a
+        // normalized band integrate (grid mean) to exactly 1.
+        let scale = occ * (n3 as f64) * (n3 as f64);
+        for (r, g) in rho.iter_mut().zip(&grid) {
+            *r += scale * g.norm_sqr();
+        }
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::Hamiltonian;
+    use crate::solver::{solve_lowest, SolveOptions};
+
+    #[test]
+    fn density_integrates_to_electron_count() {
+        let basis = PwBasis::new(8, 1.0);
+        let h = Hamiltonian::with_atoms(basis, &[(0.5, 0.5, 0.5)], -1.5, 1.2);
+        let r = solve_lowest(&h, SolveOptions::new(3));
+        let occ = 2.0;
+        let rho = charge_density(&h.basis, &r.eigenvectors, occ);
+        let total: f64 = rho.iter().sum::<f64>() / h.basis.grid_len() as f64;
+        assert!(
+            (total - occ * 3.0).abs() < 1e-6,
+            "density integrates to {total}, want {}",
+            occ * 3.0
+        );
+    }
+
+    #[test]
+    fn density_is_nonnegative_and_peaks_at_the_atom() {
+        let basis = PwBasis::new(8, 1.5);
+        let h = Hamiltonian::with_atoms(basis, &[(0.5, 0.5, 0.5)], -3.0, 1.0);
+        let r = solve_lowest(&h, SolveOptions::new(1));
+        let rho = charge_density(&h.basis, &r.eigenvectors, 2.0);
+        assert!(rho.iter().all(|&v| v >= -1e-10));
+        // Peak at the grid point nearest the atom (4,4,4).
+        let n = 8;
+        let peak_idx = rho
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0;
+        let (pz, rest) = (peak_idx / (n * n), peak_idx % (n * n));
+        let (py, px) = (rest / n, rest % n);
+        for c in [px, py, pz] {
+            assert!((3..=5).contains(&c), "peak at ({px},{py},{pz})");
+        }
+    }
+
+    #[test]
+    fn gamma_only_state_is_uniform() {
+        let basis = PwBasis::new(8, 0.25); // Gamma point only
+        let mut bands = ZMatrix::zeros(1, 1);
+        bands[(0, 0)] = Complex64::ONE;
+        let rho = charge_density(&basis, &bands, 1.0);
+        for &v in &rho {
+            assert!((v - 1.0).abs() < 1e-10, "uniform density, got {v}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The plane-wave Hamiltonian: diagonal kinetic term plus an FFT-applied
+//! local potential.
+
+use crate::basis::PwBasis;
+use pvs_fft::dist3d::{fft3d_serial, ifft3d_serial};
+use pvs_linalg::complex::Complex64;
+use pvs_linalg::matrix::ZMatrix;
+
+/// `H = −½∇² + V_loc(r)` in the plane-wave basis.
+#[derive(Debug, Clone)]
+pub struct Hamiltonian {
+    /// The basis.
+    pub basis: PwBasis,
+    /// Real-space local potential on the FFT grid.
+    pub v_local: Vec<f64>,
+}
+
+impl Hamiltonian {
+    /// Build with an explicit real-space potential.
+    pub fn new(basis: PwBasis, v_local: Vec<f64>) -> Self {
+        assert_eq!(v_local.len(), basis.grid_len());
+        Self { basis, v_local }
+    }
+
+    /// Free-electron Hamiltonian (zero potential) — analytic eigenvalues.
+    pub fn free(basis: PwBasis) -> Self {
+        let n3 = basis.grid_len();
+        Self::new(basis, vec![0.0; n3])
+    }
+
+    /// Empirical local pseudopotential: Gaussian attractive wells of depth
+    /// `v0 < 0` and width `sigma` (grid units) centred on `atoms`
+    /// (fractional coordinates in `[0,1)³`), periodically wrapped.
+    pub fn with_atoms(basis: PwBasis, atoms: &[(f64, f64, f64)], v0: f64, sigma: f64) -> Self {
+        let n = basis.n;
+        let mut v = vec![0.0; basis.grid_len()];
+        for (ax, ay, az) in atoms {
+            let (cx, cy, cz) = (ax * n as f64, ay * n as f64, az * n as f64);
+            for iz in 0..n {
+                let dz = periodic_dist(iz as f64, cz, n as f64);
+                for iy in 0..n {
+                    let dy = periodic_dist(iy as f64, cy, n as f64);
+                    for ix in 0..n {
+                        let dx = periodic_dist(ix as f64, cx, n as f64);
+                        let r2 = dx * dx + dy * dy + dz * dz;
+                        v[(iz * n + iy) * n + ix] += v0 * (-r2 / (2.0 * sigma * sigma)).exp();
+                    }
+                }
+            }
+        }
+        Self::new(basis, v)
+    }
+
+    /// Apply `H` to a single wavefunction (sphere coefficients).
+    pub fn apply(&self, psi: &[Complex64]) -> Vec<Complex64> {
+        let npw = self.basis.npw();
+        assert_eq!(psi.len(), npw);
+        let n = self.basis.n;
+        // Kinetic part (diagonal in G).
+        let mut out: Vec<Complex64> = psi
+            .iter()
+            .zip(&self.basis.kinetic)
+            .map(|(c, &k)| c.scale(k))
+            .collect();
+        // Potential part: sphere -> grid -> real space -> multiply -> back.
+        let mut grid = vec![Complex64::ZERO; self.basis.grid_len()];
+        for (i, &c) in psi.iter().enumerate() {
+            grid[self.basis.grid_offset(i)] = c;
+        }
+        ifft3d_serial(&mut grid, n);
+        for (g, &v) in grid.iter_mut().zip(&self.v_local) {
+            *g = g.scale(v);
+        }
+        fft3d_serial(&mut grid, n);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += grid[self.basis.grid_offset(i)];
+        }
+        out
+    }
+
+    /// Apply `H` to every column of a band matrix.
+    pub fn apply_block(&self, x: &ZMatrix) -> ZMatrix {
+        assert_eq!(x.rows(), self.basis.npw());
+        let mut out = ZMatrix::zeros(x.rows(), x.cols());
+        for j in 0..x.cols() {
+            let hx = self.apply(x.col(j));
+            out.col_mut(j).copy_from_slice(&hx);
+        }
+        out
+    }
+
+    /// Dense matrix representation (tests only — O(npw²) FFT applications).
+    pub fn dense(&self) -> ZMatrix {
+        let npw = self.basis.npw();
+        let mut h = ZMatrix::zeros(npw, npw);
+        for j in 0..npw {
+            let mut e = vec![Complex64::ZERO; npw];
+            e[j] = Complex64::ONE;
+            let col = self.apply(&e);
+            h.col_mut(j).copy_from_slice(&col);
+        }
+        h
+    }
+}
+
+fn periodic_dist(a: f64, b: f64, n: f64) -> f64 {
+    let d = (a - b).rem_euclid(n);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_linalg::blas1::zdotc;
+
+    fn small_free() -> Hamiltonian {
+        Hamiltonian::free(PwBasis::new(8, 1.5))
+    }
+
+    #[test]
+    fn free_hamiltonian_is_diagonal_kinetic() {
+        let h = small_free();
+        let npw = h.basis.npw();
+        for j in [0, 1, npw - 1] {
+            let mut e = vec![Complex64::ZERO; npw];
+            e[j] = Complex64::ONE;
+            let he = h.apply(&e);
+            for (i, v) in he.iter().enumerate() {
+                let expect = if i == j { h.basis.kinetic[j] } else { 0.0 };
+                assert!(
+                    (v.re - expect).abs() < 1e-10 && v.im.abs() < 1e-10,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian() {
+        let basis = PwBasis::new(8, 1.5);
+        let h = Hamiltonian::with_atoms(basis, &[(0.25, 0.5, 0.5), (0.75, 0.5, 0.5)], -2.0, 1.5);
+        let npw = h.basis.npw();
+        // Random-ish test vectors.
+        let mk = |seed: u64| -> Vec<Complex64> {
+            (0..npw)
+                .map(|i| {
+                    let t = (i as u64 + seed).wrapping_mul(0x9E3779B97F4A7C15);
+                    Complex64::new(
+                        ((t >> 16) % 1000) as f64 / 500.0 - 1.0,
+                        ((t >> 40) % 1000) as f64 / 500.0 - 1.0,
+                    )
+                })
+                .collect()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let ha = h.apply(&a);
+        let hb = h.apply(&b);
+        let lhs = zdotc(&a, &hb);
+        let rhs = zdotc(&ha, &b);
+        assert!(
+            (lhs - rhs).abs() < 1e-8,
+            "<a|Hb> = <Ha|b>: {lhs:?} vs {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_potential_shifts_spectrum() {
+        let basis = PwBasis::new(8, 1.0);
+        let npw = basis.npw();
+        let shift = 0.7;
+        let h = Hamiltonian::new(basis, vec![shift; 8 * 8 * 8]);
+        let mut e = vec![Complex64::ZERO; npw];
+        e[0] = Complex64::ONE; // Gamma point, kinetic 0
+        let he = h.apply(&e);
+        assert!((he[0].re - shift).abs() < 1e-10);
+        for v in &he[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn attractive_well_lowers_ground_state_energy() {
+        let basis = PwBasis::new(8, 1.5);
+        let h = Hamiltonian::with_atoms(basis, &[(0.5, 0.5, 0.5)], -1.0, 1.2);
+        let npw = h.basis.npw();
+        // Rayleigh quotient of the Gamma plane wave must go below zero
+        // kinetic energy.
+        let mut e = vec![Complex64::ZERO; npw];
+        e[0] = Complex64::ONE;
+        let he = h.apply(&e);
+        assert!(he[0].re < 0.0, "attractive well: {}", he[0].re);
+    }
+
+    #[test]
+    fn apply_block_matches_apply() {
+        let h = small_free();
+        let npw = h.basis.npw();
+        let x = ZMatrix::from_fn(npw, 3, |i, j| {
+            Complex64::new((i + j) as f64, i as f64 * 0.1)
+        });
+        let hx = h.apply_block(&x);
+        for j in 0..3 {
+            let col = h.apply(x.col(j));
+            for i in 0..npw {
+                assert!((hx[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

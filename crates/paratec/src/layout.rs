@@ -1,0 +1,134 @@
+//! The parallel data layouts of the paper's Fig. 4.
+//!
+//! Fourier space: the wavefunction sphere is organized into columns of
+//! fixed `(gx, gy)` and distributed with the greedy balancer ("the
+//! load-balancing algorithm first orders the columns in descending order,
+//! and then distributes them among the processors such that the
+//! next-available column is assigned to the processor containing the
+//! fewest points", §4.2). Real space: each processor holds a contiguous
+//! block of x-y planes.
+
+use pvs_fft::sphere::{balance_columns, gsphere_columns, proc_loads, GColumn};
+
+/// The Fourier-space layout: columns and their processor assignment.
+#[derive(Debug, Clone)]
+pub struct FourierLayout {
+    /// Sphere columns.
+    pub columns: Vec<GColumn>,
+    /// `assignment[c]` = owning processor of column `c`.
+    pub assignment: Vec<usize>,
+    /// Processor count.
+    pub procs: usize,
+}
+
+impl FourierLayout {
+    /// Build the layout for an `n³` grid, cutoff `g2_max`, `procs`
+    /// processors.
+    pub fn new(n: usize, g2_max: f64, procs: usize) -> Self {
+        let columns = gsphere_columns(n, g2_max);
+        let assignment = balance_columns(&columns, procs);
+        Self {
+            columns,
+            assignment,
+            procs,
+        }
+    }
+
+    /// Points per processor.
+    pub fn loads(&self) -> Vec<usize> {
+        proc_loads(&self.columns, &self.assignment, self.procs)
+    }
+
+    /// Load imbalance: `max/mean − 1`.
+    pub fn imbalance(&self) -> f64 {
+        let loads = self.loads();
+        let max = *loads.iter().max().expect("procs >= 1") as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean - 1.0
+        }
+    }
+
+    /// Columns owned by processor `q` (Fig. 4a's colour groups).
+    pub fn columns_of(&self, q: usize) -> Vec<GColumn> {
+        self.columns
+            .iter()
+            .zip(&self.assignment)
+            .filter(|&(_, &a)| a == q)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+}
+
+/// The real-space layout: contiguous z-plane slabs (Fig. 4b).
+#[derive(Debug, Clone, Copy)]
+pub struct RealLayout {
+    /// Grid edge.
+    pub n: usize,
+    /// Processors.
+    pub procs: usize,
+}
+
+impl RealLayout {
+    /// Planes owned by processor `q` as a `(start, count)` range.
+    pub fn planes_of(&self, q: usize) -> (usize, usize) {
+        let base = self.n / self.procs;
+        let extra = self.n % self.procs;
+        let count = base + usize::from(q < extra);
+        let start = q * base + q.min(extra);
+        (start, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_processor_fig4_example_is_balanced() {
+        // The paper's Fig. 4a shows a three-processor decomposition with
+        // roughly equal point counts.
+        let layout = FourierLayout::new(16, 20.0, 3);
+        assert!(
+            layout.imbalance() < 0.05,
+            "imbalance {}",
+            layout.imbalance()
+        );
+        let owned: usize = (0..3).map(|q| layout.columns_of(q).len()).sum();
+        assert_eq!(owned, layout.columns.len());
+    }
+
+    #[test]
+    fn imbalance_stays_small_even_for_many_procs() {
+        let layout = FourierLayout::new(32, 60.0, 32);
+        assert!(
+            layout.imbalance() < 0.10,
+            "imbalance {}",
+            layout.imbalance()
+        );
+    }
+
+    #[test]
+    fn real_layout_covers_all_planes() {
+        let layout = RealLayout { n: 10, procs: 3 };
+        let mut total = 0;
+        let mut next = 0;
+        for q in 0..3 {
+            let (start, count) = layout.planes_of(q);
+            assert_eq!(start, next, "contiguous");
+            next = start + count;
+            total += count;
+        }
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn real_layout_even_when_divisible() {
+        let layout = RealLayout { n: 8, procs: 4 };
+        for q in 0..4 {
+            assert_eq!(layout.planes_of(q).1, 2);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Paper-vs-model comparisons and qualitative "shape" checks.
+//!
+//! The reproduction's success criterion is the *shape* of the results —
+//! who wins, by roughly what factor, where scaling crosses over — not the
+//! absolute numbers (our substrate is a simulator, not the authors'
+//! machines). [`Comparison`] records a paper/model pair and its ratio;
+//! [`ShapeCheck`] records a qualitative assertion and whether the model
+//! reproduces it.
+
+/// One paper-vs-model data point.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared ("LBMHD ES P=64 Gflops/P").
+    pub label: String,
+    /// Published value.
+    pub paper: f64,
+    /// Modelled value.
+    pub model: f64,
+}
+
+impl Comparison {
+    /// Build a comparison.
+    pub fn new(label: impl Into<String>, paper: f64, model: f64) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            model,
+        }
+    }
+
+    /// `model / paper`.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            f64::INFINITY
+        } else {
+            self.model / self.paper
+        }
+    }
+
+    /// Whether the model lands within `factor`× of the paper in either
+    /// direction.
+    pub fn within_factor(&self, factor: f64) -> bool {
+        let r = self.ratio();
+        r >= 1.0 / factor && r <= factor
+    }
+
+    /// One rendered line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<42} paper {:>8.3}  model {:>8.3}  ratio {:>5.2}x",
+            self.label,
+            self.paper,
+            self.model,
+            self.ratio()
+        )
+    }
+}
+
+/// One qualitative assertion about the result shape.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// What the paper claims ("ES sustains a higher fraction than X1").
+    pub claim: String,
+    /// Whether the model reproduces it.
+    pub holds: bool,
+    /// Supporting detail.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Build a check.
+    pub fn new(claim: impl Into<String>, holds: bool, detail: impl Into<String>) -> Self {
+        Self {
+            claim: claim.into(),
+            holds,
+            detail: detail.into(),
+        }
+    }
+
+    /// One rendered line.
+    pub fn line(&self) -> String {
+        format!(
+            "[{}] {} — {}",
+            if self.holds { "PASS" } else { "FAIL" },
+            self.claim,
+            self.detail
+        )
+    }
+}
+
+/// Render a block of checks, returning `(text, all_passed)`.
+pub fn shape_checks(checks: &[ShapeCheck]) -> (String, bool) {
+    let text = checks
+        .iter()
+        .map(ShapeCheck::line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    let ok = checks.iter().all(|c| c.holds);
+    (text, ok)
+}
+
+/// Geometric-mean ratio of a comparison set (the headline fidelity
+/// number of EXPERIMENTS.md).
+pub fn geometric_mean_ratio(cs: &[Comparison]) -> f64 {
+    if cs.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = cs.iter().map(|c| c.ratio().abs().max(1e-30).ln()).sum();
+    (log_sum / cs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_factor() {
+        let c = Comparison::new("x", 2.0, 3.0);
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+        assert!(c.within_factor(2.0));
+        assert!(!c.within_factor(1.2));
+    }
+
+    #[test]
+    fn within_factor_is_symmetric() {
+        let over = Comparison::new("a", 1.0, 2.5);
+        let under = Comparison::new("b", 2.5, 1.0);
+        assert_eq!(over.within_factor(3.0), under.within_factor(3.0));
+        assert_eq!(over.within_factor(2.0), under.within_factor(2.0));
+    }
+
+    #[test]
+    fn geometric_mean_of_inverse_pair_is_one() {
+        let cs = vec![
+            Comparison::new("a", 1.0, 2.0),
+            Comparison::new("b", 2.0, 1.0),
+        ];
+        assert!((geometric_mean_ratio(&cs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_check_rendering() {
+        let (text, ok) = shape_checks(&[
+            ShapeCheck::new("claim A", true, "4 > 3"),
+            ShapeCheck::new("claim B", false, "2 < 3"),
+        ]);
+        assert!(text.contains("[PASS] claim A"));
+        assert!(text.contains("[FAIL] claim B"));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn empty_comparisons_mean_one() {
+        assert_eq!(geometric_mean_ratio(&[]), 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Minimal JSON emission for machine-readable results.
+//!
+//! The regeneration binaries accept `--json` so downstream tooling can
+//! consume the model's output without scraping tables. The emitter is
+//! deliberately tiny (objects, arrays, strings, finite numbers, booleans)
+//! — no external serialization dependency needed.
+
+use pvs_core::report::PerfReport;
+
+/// Escape a string for JSON.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite number (JSON has no NaN/Inf; they become null).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON object under construction.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field.
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn number(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), number(value)));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add an already-rendered JSON value.
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Render.
+    pub fn render(&self) -> String {
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+}
+
+/// Render a JSON array from already-rendered values.
+pub fn array(values: impl IntoIterator<Item = String>) -> String {
+    format!("[{}]", values.into_iter().collect::<Vec<_>>().join(","))
+}
+
+/// Serialize a [`PerfReport`].
+pub fn perf_report(r: &PerfReport) -> String {
+    let phases = array(r.phases.iter().map(|p| {
+        JsonObject::new()
+            .string("name", &p.name)
+            .number("seconds", p.seconds)
+            .number("flops", p.flops)
+            .boolean("is_comm", p.is_comm)
+            .render()
+    }));
+    let mut obj = JsonObject::new()
+        .string("machine", &r.machine)
+        .number("procs", r.procs as f64)
+        .number("time_s", r.time_s)
+        .number("comm_s", r.comm_s)
+        .number("gflops_per_p", r.gflops_per_p)
+        .number("pct_peak", r.pct_peak);
+    if let Some(avl) = r.avl() {
+        obj = obj.number("avl", avl);
+    }
+    if let Some(vor) = r.vor_pct() {
+        obj = obj.number("vor_pct", vor);
+    }
+    obj.raw("phases", phases).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_core::report::PhaseBreakdown;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            machine: "ES".into(),
+            procs: 64,
+            time_s: 1.5,
+            comm_s: 0.25,
+            flops_per_p: 1e9,
+            gflops_per_p: 4.2,
+            pct_peak: 52.5,
+            vector_metrics: None,
+            phases: vec![PhaseBreakdown {
+                name: "collision".into(),
+                seconds: 1.25,
+                flops: 1e9,
+                is_comm: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_are_finite_or_null() {
+        assert_eq!(number(2.5), "2.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let s = JsonObject::new()
+            .string("k", "v")
+            .number("n", 3.0)
+            .boolean("b", true)
+            .render();
+        assert_eq!(s, "{\"k\":\"v\",\"n\":3,\"b\":true}");
+    }
+
+    #[test]
+    fn perf_report_roundtrips_key_fields() {
+        let s = perf_report(&sample());
+        assert!(s.contains("\"machine\":\"ES\""));
+        assert!(s.contains("\"gflops_per_p\":4.2"));
+        assert!(s.contains("\"phases\":[{"));
+        assert!(s.contains("\"is_comm\":false"));
+        // No AVL for a superscalar report.
+        assert!(!s.contains("avl"));
+    }
+
+    #[test]
+    fn array_rendering() {
+        assert_eq!(array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

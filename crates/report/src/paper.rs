@@ -1,0 +1,463 @@
+//! The published numbers of the paper's Tables 3–7, transcribed verbatim.
+//!
+//! Every entry is `(Gflop/s per processor, % of peak)`; `None` marks cells
+//! the paper leaves blank (configuration not run). The machine column
+//! order is fixed by [`MACHINES`].
+
+/// Machine column order used by every table here.
+pub const MACHINES: [&str; 6] = ["Power3", "Power4", "Altix", "ES", "X1", "X1-CAF"];
+
+/// One row of a published table.
+#[derive(Debug, Clone)]
+pub struct PaperRow {
+    /// Configuration label (grid size, atom count, particles per cell…).
+    pub config: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// Entries in [`MACHINES`] order: `(Gflops/P, %peak)`.
+    pub entries: [Option<(f64, f64)>; 6],
+}
+
+fn row(config: &'static str, procs: usize, entries: [Option<(f64, f64)>; 6]) -> PaperRow {
+    PaperRow {
+        config,
+        procs,
+        entries,
+    }
+}
+
+/// Table 3: LBMHD per-processor performance.
+pub fn table3() -> Vec<PaperRow> {
+    vec![
+        row(
+            "4096x4096",
+            16,
+            [
+                Some((0.107, 7.0)),
+                Some((0.279, 5.0)),
+                Some((0.598, 10.0)),
+                Some((4.62, 58.0)),
+                Some((4.32, 34.0)),
+                Some((4.55, 36.0)),
+            ],
+        ),
+        row(
+            "4096x4096",
+            64,
+            [
+                Some((0.142, 9.0)),
+                Some((0.296, 6.0)),
+                Some((0.615, 10.0)),
+                Some((4.29, 54.0)),
+                Some((4.35, 34.0)),
+                Some((4.26, 33.0)),
+            ],
+        ),
+        row(
+            "4096x4096",
+            256,
+            [
+                Some((0.136, 9.0)),
+                Some((0.281, 5.0)),
+                None,
+                Some((3.21, 40.0)),
+                None,
+                None,
+            ],
+        ),
+        row(
+            "8192x8192",
+            64,
+            [
+                Some((0.105, 7.0)),
+                Some((0.270, 5.0)),
+                Some((0.645, 11.0)),
+                Some((4.64, 58.0)),
+                Some((4.48, 35.0)),
+                Some((4.70, 37.0)),
+            ],
+        ),
+        row(
+            "8192x8192",
+            256,
+            [
+                Some((0.115, 8.0)),
+                Some((0.278, 5.0)),
+                None,
+                Some((4.26, 53.0)),
+                Some((2.70, 21.0)),
+                Some((2.91, 23.0)),
+            ],
+        ),
+        row(
+            "8192x8192",
+            1024,
+            [
+                Some((0.108, 7.0)),
+                None,
+                None,
+                Some((3.30, 41.0)),
+                None,
+                None,
+            ],
+        ),
+    ]
+}
+
+/// Table 4: PARATEC per-processor performance (X1-CAF column unused).
+pub fn table4() -> Vec<PaperRow> {
+    vec![
+        row(
+            "432 atom",
+            32,
+            [
+                Some((0.950, 63.0)),
+                Some((2.02, 39.0)),
+                Some((3.71, 62.0)),
+                Some((4.76, 60.0)),
+                Some((3.04, 24.0)),
+                None,
+            ],
+        ),
+        row(
+            "432 atom",
+            64,
+            [
+                Some((0.848, 57.0)),
+                Some((1.73, 33.0)),
+                Some((3.24, 54.0)),
+                Some((4.67, 58.0)),
+                Some((2.59, 20.0)),
+                None,
+            ],
+        ),
+        row(
+            "432 atom",
+            128,
+            [
+                Some((0.739, 49.0)),
+                Some((1.50, 29.0)),
+                None,
+                Some((4.74, 59.0)),
+                Some((1.91, 15.0)),
+                None,
+            ],
+        ),
+        row(
+            "432 atom",
+            256,
+            [
+                Some((0.572, 38.0)),
+                Some((1.08, 21.0)),
+                None,
+                Some((4.17, 52.0)),
+                None,
+                None,
+            ],
+        ),
+        row(
+            "432 atom",
+            512,
+            [
+                Some((0.413, 28.0)),
+                None,
+                None,
+                Some((3.39, 42.0)),
+                None,
+                None,
+            ],
+        ),
+        row(
+            "432 atom",
+            1024,
+            [None, None, None, Some((2.08, 26.0)), None, None],
+        ),
+        row(
+            "686 atom",
+            64,
+            [
+                None,
+                None,
+                None,
+                Some((5.25, 66.0)),
+                Some((3.73, 29.0)),
+                None,
+            ],
+        ),
+        row(
+            "686 atom",
+            128,
+            [
+                None,
+                None,
+                None,
+                Some((4.95, 62.0)),
+                Some((3.01, 24.0)),
+                None,
+            ],
+        ),
+        row(
+            "686 atom",
+            256,
+            [
+                None,
+                None,
+                None,
+                Some((4.59, 57.0)),
+                Some((1.27, 10.0)),
+                None,
+            ],
+        ),
+        row(
+            "686 atom",
+            512,
+            [None, None, None, Some((3.76, 47.0)), None, None],
+        ),
+        row(
+            "686 atom",
+            1024,
+            [None, None, None, Some((2.53, 32.0)), None, None],
+        ),
+    ]
+}
+
+/// Table 5: Cactus per-processor performance (weak scaling).
+pub fn table5() -> Vec<PaperRow> {
+    vec![
+        row(
+            "80x80x80",
+            16,
+            [
+                Some((0.314, 21.0)),
+                Some((0.577, 11.0)),
+                Some((0.892, 15.0)),
+                Some((1.47, 18.0)),
+                Some((0.540, 4.0)),
+                None,
+            ],
+        ),
+        row(
+            "80x80x80",
+            64,
+            [
+                Some((0.217, 14.0)),
+                Some((0.496, 10.0)),
+                Some((0.699, 12.0)),
+                Some((1.36, 17.0)),
+                Some((0.427, 3.0)),
+                None,
+            ],
+        ),
+        row(
+            "80x80x80",
+            256,
+            [
+                Some((0.216, 14.0)),
+                Some((0.475, 9.0)),
+                None,
+                Some((1.35, 17.0)),
+                Some((0.409, 3.0)),
+                None,
+            ],
+        ),
+        row(
+            "80x80x80",
+            1024,
+            [
+                Some((0.215, 14.0)),
+                None,
+                None,
+                Some((1.34, 17.0)),
+                None,
+                None,
+            ],
+        ),
+        row(
+            "250x64x64",
+            16,
+            [
+                Some((0.097, 6.0)),
+                Some((0.556, 11.0)),
+                Some((0.514, 9.0)),
+                Some((2.83, 35.0)),
+                Some((0.813, 6.0)),
+                None,
+            ],
+        ),
+        row(
+            "250x64x64",
+            64,
+            [
+                Some((0.082, 6.0)),
+                None,
+                Some((0.422, 7.0)),
+                Some((2.70, 34.0)),
+                Some((0.717, 6.0)),
+                None,
+            ],
+        ),
+        row(
+            "250x64x64",
+            256,
+            [
+                Some((0.071, 5.0)),
+                None,
+                None,
+                Some((2.70, 34.0)),
+                Some((0.677, 5.0)),
+                None,
+            ],
+        ),
+        row(
+            "250x64x64",
+            1024,
+            [
+                Some((0.060, 4.0)),
+                None,
+                None,
+                Some((2.70, 34.0)),
+                None,
+                None,
+            ],
+        ),
+    ]
+}
+
+/// Table 6: GTC per-processor performance.
+pub fn table6() -> Vec<PaperRow> {
+    vec![
+        row(
+            "10 part/cell",
+            32,
+            [
+                Some((0.135, 9.0)),
+                Some((0.299, 6.0)),
+                Some((0.290, 5.0)),
+                Some((0.961, 12.0)),
+                Some((1.00, 8.0)),
+                None,
+            ],
+        ),
+        row(
+            "10 part/cell",
+            64,
+            [
+                Some((0.132, 9.0)),
+                Some((0.324, 6.0)),
+                Some((0.257, 4.0)),
+                Some((0.835, 10.0)),
+                Some((0.803, 6.0)),
+                None,
+            ],
+        ),
+        row(
+            "100 part/cell",
+            32,
+            [
+                Some((0.135, 9.0)),
+                Some((0.293, 6.0)),
+                Some((0.333, 6.0)),
+                Some((1.34, 17.0)),
+                Some((1.50, 12.0)),
+                None,
+            ],
+        ),
+        row(
+            "100 part/cell",
+            64,
+            [
+                Some((0.133, 9.0)),
+                Some((0.294, 6.0)),
+                Some((0.308, 5.0)),
+                Some((1.25, 16.0)),
+                Some((1.36, 11.0)),
+                None,
+            ],
+        ),
+        row(
+            "100 p/c hybrid",
+            1024,
+            [Some((0.063, 4.0)), None, None, None, None, None],
+        ),
+    ]
+}
+
+/// Table 7: ES speedup vs each platform, per application (columns:
+/// Power3, Power4, Altix, X1).
+pub fn table7() -> Vec<(&'static str, [f64; 4])> {
+    vec![
+        ("LBMHD", [30.6, 15.3, 7.2, 1.5]),
+        ("PARATEC", [8.2, 3.9, 1.4, 3.9]),
+        ("CACTUS", [45.0, 5.1, 6.4, 4.0]),
+        ("GTC", [9.4, 4.3, 4.1, 0.9]),
+        ("Average", [23.3, 7.1, 4.8, 2.6]),
+    ]
+}
+
+/// Look up a published cell.
+pub fn lookup(rows: &[PaperRow], config: &str, procs: usize, machine: &str) -> Option<(f64, f64)> {
+    let col = MACHINES.iter().position(|&m| m == machine)?;
+    rows.iter()
+        .find(|r| r.config == config && r.procs == procs)
+        .and_then(|r| r.entries[col])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_known_cells() {
+        assert_eq!(lookup(&table3(), "4096x4096", 16, "ES"), Some((4.62, 58.0)));
+        assert_eq!(
+            lookup(&table4(), "432 atom", 32, "Power3"),
+            Some((0.950, 63.0))
+        );
+        assert_eq!(lookup(&table5(), "250x64x64", 16, "X1"), Some((0.813, 6.0)));
+        assert_eq!(
+            lookup(&table6(), "100 part/cell", 32, "X1"),
+            Some((1.50, 12.0))
+        );
+    }
+
+    #[test]
+    fn lookup_respects_blanks() {
+        assert_eq!(lookup(&table3(), "4096x4096", 256, "Altix"), None);
+        assert_eq!(lookup(&table4(), "686 atom", 512, "X1"), None);
+    }
+
+    #[test]
+    fn es_pct_always_beats_x1_pct_in_paper() {
+        // The paper's central claim, checked against its own numbers.
+        for rows in [table3(), table4(), table5(), table6()] {
+            for r in rows {
+                if let (Some((_, es)), Some((_, x1))) = (r.entries[3], r.entries[4]) {
+                    assert!(es > x1, "{} P={}: ES {es}% vs X1 {x1}%", r.config, r.procs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table7_average_is_consistent() {
+        let t = table7();
+        let avg = t.last().expect("average row").1;
+        for col in 0..4 {
+            let mean: f64 = t[..4].iter().map(|(_, v)| v[col]).sum::<f64>() / 4.0;
+            assert!(
+                (mean - avg[col]).abs() < 0.15,
+                "column {col}: {mean} vs {}",
+                avg[col]
+            );
+        }
+    }
+
+    #[test]
+    fn every_table_uses_the_machine_order() {
+        for rows in [table3(), table4(), table5(), table6()] {
+            for r in &rows {
+                assert_eq!(r.entries.len(), MACHINES.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Vector processor configurations.
+
+/// Description of one vector processing unit (an ES processor, an X1 SSP, or
+/// an X1 MSP when `ssp_count > 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorUnitConfig {
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// Hardware maximum vector length (elements per vector register):
+    /// 256 on the ES, 64 on the X1.
+    pub max_vl: usize,
+    /// Replicated vector pipes per SSP-equivalent; each pipe retires one
+    /// fused multiply-add (2 flops) per cycle.
+    pub pipes: usize,
+    /// Vector registers available (72 on the ES, 32 per X1 SSP) — bounds how
+    /// many temporaries a loop body may keep live before spilling.
+    pub vector_registers: usize,
+    /// Per-vector-instruction startup (issue + pipeline fill that chaining
+    /// cannot hide) in cycles.
+    pub startup_cycles: f64,
+    /// Number of single-streaming processors ganged into this logical unit:
+    /// 1 for the ES CPU and the bare SSP, 4 for the X1 MSP.
+    pub ssp_count: usize,
+    /// Peak scalar-unit performance in Gflop/s (1.0 on the ES — 1/8 of
+    /// vector peak; 0.4 on one X1 SSP's 400 MHz scalar core).
+    pub scalar_peak_gflops: f64,
+}
+
+impl VectorUnitConfig {
+    /// Peak vector performance of the whole unit in Gflop/s
+    /// (pipes × 2 flops × clock × ssp_count).
+    pub fn vector_peak_gflops(&self) -> f64 {
+        self.pipes as f64 * 2.0 * self.clock_mhz * 1e-3 * self.ssp_count as f64
+    }
+
+    /// Ratio of vector peak to the scalar performance available when a loop
+    /// fails to vectorize *and* (on an MSP) to multistream: the paper's
+    /// 8:1 (ES) vs 32:1 (X1 MSP) asymmetry.
+    pub fn serialization_penalty(&self) -> f64 {
+        self.vector_peak_gflops() / self.scalar_peak_gflops
+    }
+}
+
+/// The Earth Simulator processor: 500 MHz, 8 vector pipes, VL=256,
+/// 72 vector registers, 8 Gflop/s vector peak, 1 Gflop/s scalar unit.
+pub fn es_processor() -> VectorUnitConfig {
+    VectorUnitConfig {
+        clock_mhz: 500.0,
+        max_vl: 256,
+        pipes: 8,
+        vector_registers: 72,
+        startup_cycles: 10.0,
+        ssp_count: 1,
+        scalar_peak_gflops: 1.0,
+    }
+}
+
+/// One Cray X1 single-streaming processor: two 800 MHz vector pipes, VL=64,
+/// 32 vector registers, 3.2 Gflop/s peak, 400 MHz 2-way scalar core.
+pub fn x1_ssp() -> VectorUnitConfig {
+    VectorUnitConfig {
+        clock_mhz: 800.0,
+        max_vl: 64,
+        pipes: 2,
+        vector_registers: 32,
+        startup_cycles: 12.0,
+        ssp_count: 1,
+        scalar_peak_gflops: 0.4,
+    }
+}
+
+/// The Cray X1 multi-streaming processor: four ganged SSPs, 12.8 Gflop/s
+/// peak. A serialized loop runs on one SSP's scalar core, so the effective
+/// penalty is 32:1 rather than the ES's 8:1.
+pub fn x1_msp() -> VectorUnitConfig {
+    VectorUnitConfig {
+        ssp_count: 4,
+        ..x1_ssp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn es_peak_matches_table1() {
+        assert!((es_processor().vector_peak_gflops() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x1_msp_peak_matches_table1() {
+        assert!((x1_msp().vector_peak_gflops() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssp_is_quarter_of_msp() {
+        assert!((x1_ssp().vector_peak_gflops() * 4.0 - x1_msp().vector_peak_gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_asymmetry_8_vs_32() {
+        assert!((es_processor().serialization_penalty() - 8.0).abs() < 1e-9);
+        assert!((x1_msp().serialization_penalty() - 32.0).abs() < 1e-9);
+    }
+}

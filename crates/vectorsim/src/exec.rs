@@ -1,0 +1,403 @@
+//! Execution timing of loop nests on a vector unit.
+//!
+//! The model charges, per strip of a vectorized loop, one chained startup
+//! plus `chunk / pipes` cycles per vector instruction in the body, and
+//! bounds the result by sustained memory bandwidth (vector machines overlap
+//! pipelined memory fetches with computation, so the bound is a `max`, not
+//! a sum). Scalar loops run on the scalar core; on an X1 MSP only one of
+//! the four SSP scalar cores does useful work in a serialized region.
+
+use crate::config::VectorUnitConfig;
+use crate::metrics::VectorMetrics;
+use crate::stripmine::{num_strips, strip_chunks};
+
+/// How the compiler classified a loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoopClass {
+    /// Vectorized; `multistreamable` says whether the X1 compiler could also
+    /// distribute iterations across the MSP's four SSPs (irrelevant on the
+    /// ES, whose unit has `ssp_count == 1`).
+    Vectorizable {
+        /// Whether MSP multistreaming applies.
+        multistreamable: bool,
+    },
+    /// Left on the scalar unit (dependences, nested ifs, …).
+    Scalar,
+}
+
+/// One loop nest to execute.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorLoop {
+    /// Trip count of the (innermost, vectorized) loop.
+    pub trips: usize,
+    /// How many times the inner loop runs (product of outer loop trip
+    /// counts); 1 for a flat loop.
+    pub outer_iters: usize,
+    /// Floating-point operations per inner iteration.
+    pub flops_per_iter: f64,
+    /// Memory traffic (loads + stores) in bytes per inner iteration.
+    pub bytes_per_iter: f64,
+    /// Fraction of the loop's vector instructions that are gather/scatter
+    /// (indexed) memory operations. Gathers cannot use the replicated
+    /// pipes: they issue roughly one element per cycle, which is why PIC
+    /// deposition runs far below peak even when fully vectorized (§6).
+    pub gather_fraction: f64,
+    /// Vector-register temporaries the loop body keeps live; a body needing
+    /// more than the hardware provides spills, inflating the instruction
+    /// count (the Cactus BSSN kernel's "large number of variables" hits the
+    /// X1's 32 registers per SSP much harder than the ES's 72).
+    pub live_vector_temps: usize,
+    /// Compiler classification.
+    pub class: LoopClass,
+}
+
+impl VectorLoop {
+    /// Total floating-point operations in the nest.
+    pub fn total_flops(&self) -> f64 {
+        self.flops_per_iter * self.trips as f64 * self.outer_iters as f64
+    }
+
+    /// Total memory traffic in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_per_iter * self.trips as f64 * self.outer_iters as f64
+    }
+
+    /// Computational intensity (flops per byte).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes_per_iter == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops_per_iter / self.bytes_per_iter
+        }
+    }
+}
+
+/// Memory environment the unit executes in.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryEnv {
+    /// Sustained memory bandwidth available to this unit, bytes per cycle
+    /// (e.g. ES: 32 GB/s at 500 MHz = 64 B/cycle).
+    pub bytes_per_cycle: f64,
+    /// Derating in `(0, 1]` from bank conflicts / gather-scatter, computed
+    /// by the caller (e.g. from `pvs-memsim::banks`).
+    pub access_efficiency: f64,
+}
+
+impl MemoryEnv {
+    /// Conflict-free environment with the given bandwidth.
+    pub fn clean(bytes_per_cycle: f64) -> Self {
+        Self {
+            bytes_per_cycle,
+            access_efficiency: 1.0,
+        }
+    }
+}
+
+/// Result of executing one loop nest.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecResult {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Hardware-counter style metrics.
+    pub metrics: VectorMetrics,
+    /// Floating-point operations performed.
+    pub flops: f64,
+}
+
+impl ExecResult {
+    /// Achieved Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.flops / 1e9 / self.seconds
+        }
+    }
+}
+
+/// A vector processing unit bound to a configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorUnit {
+    config: VectorUnitConfig,
+}
+
+impl VectorUnit {
+    /// Wrap a configuration.
+    pub fn new(config: VectorUnitConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VectorUnitConfig {
+        &self.config
+    }
+
+    /// Execute a loop nest, returning time and counter metrics.
+    pub fn execute(&self, l: &VectorLoop, mem: &MemoryEnv) -> ExecResult {
+        match l.class {
+            LoopClass::Scalar => self.execute_scalar(l),
+            LoopClass::Vectorizable { multistreamable } => {
+                self.execute_vector(l, mem, multistreamable)
+            }
+        }
+    }
+
+    fn execute_scalar(&self, l: &VectorLoop) -> ExecResult {
+        let flops = l.total_flops();
+        // Scalar units reach only a fraction of their nominal peak on real
+        // code (the ES scalar unit is a modest 4-way in-order-ish core).
+        const SCALAR_EFFICIENCY: f64 = 0.5;
+        let seconds = flops / (self.config.scalar_peak_gflops * 1e9 * SCALAR_EFFICIENCY);
+        let mut metrics = VectorMetrics::default();
+        // Operations, not flops: normalize by the 2-flop MADD convention so
+        // scalar and vector operation counts are commensurable in VOR.
+        metrics.record_scalar((flops / 2.0) as u64);
+        ExecResult {
+            seconds,
+            metrics,
+            flops,
+        }
+    }
+
+    fn execute_vector(&self, l: &VectorLoop, mem: &MemoryEnv, multistreamable: bool) -> ExecResult {
+        let cfg = &self.config;
+        // How many SSPs participate, and what trip count each one sees.
+        let streams = if multistreamable { cfg.ssp_count } else { 1 };
+        let trips_per_stream = l.trips.div_ceil(streams);
+
+        // Arithmetic vector instructions per iteration (one MADD retires two
+        // flops). Memory instructions chain with arithmetic and overlap with
+        // the pipelined fetches, so their cost is carried entirely by the
+        // bandwidth bound below rather than by issue slots. Register
+        // pressure beyond the architected vector registers forces spill
+        // loads/stores, inflating the instruction count proportionally.
+        let spill_factor = (l.live_vector_temps as f64 / cfg.vector_registers as f64).max(1.0);
+        let vinsn_per_iter = (l.flops_per_iter / 2.0).max(1.0) * spill_factor;
+
+        let chunks = strip_chunks(trips_per_stream, cfg.max_vl);
+        let gf = l.gather_fraction.clamp(0.0, 1.0);
+        let mut cycles_per_outer = 0.0;
+        for &c in &chunks {
+            // Each vector instruction pays its issue/startup latency plus
+            // its execution slots; short chunks cannot amortize the startup,
+            // which is exactly why AVL matters. Gather/scatter elements
+            // retire roughly one per cycle for the whole unit (all SSPs of
+            // an MSP contend for the indexed memory ports), further slowed
+            // by bank conflicts (`access_efficiency`).
+            let arith = cfg.startup_cycles + c as f64 / cfg.pipes as f64;
+            // Gather throughput is set by the banked DRAM, not the core
+            // clock: ~one element per GATHER_REFERENCE_NS per processor,
+            // shared by all SSPs of an MSP, degraded by bank conflicts.
+            let gather_elem_cycles =
+                cfg.clock_mhz / 500.0 * streams as f64 / mem.access_efficiency.sqrt().max(0.05);
+            let gather = cfg.startup_cycles + c as f64 * gather_elem_cycles;
+            cycles_per_outer += vinsn_per_iter * ((1.0 - gf) * arith + gf * gather);
+        }
+        let compute_cycles = cycles_per_outer * l.outer_iters as f64;
+
+        // Memory bound over the whole nest: bytes are global and the
+        // bandwidth is a property of the whole unit, shared by all streams.
+        let memory_cycles =
+            l.total_bytes() / (mem.bytes_per_cycle * mem.access_efficiency).max(f64::MIN_POSITIVE);
+        let total_cycles = compute_cycles.max(memory_cycles);
+
+        let seconds = total_cycles / (cfg.clock_mhz * 1e6);
+
+        // Counter accounting: each vector instruction processes `chunk`
+        // element slots, so element ops = instructions-weighted chunk sums —
+        // this makes AVL come out as the average strip length, exactly what
+        // the hardware counters report.
+        let flops = l.total_flops();
+        let instructions = (num_strips(trips_per_stream, cfg.max_vl) as f64 * vinsn_per_iter).ceil()
+            as u64
+            * l.outer_iters as u64
+            * streams as u64;
+        let element_ops = (vinsn_per_iter * trips_per_stream as f64).ceil() as u64
+            * l.outer_iters as u64
+            * streams as u64;
+        let mut metrics = VectorMetrics::default();
+        metrics.record_vector(element_ops, instructions.max(1));
+        ExecResult {
+            seconds,
+            metrics,
+            flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{es_processor, x1_msp};
+
+    /// ES memory: 32 GB/s at 500 MHz = 64 bytes/cycle.
+    fn es_mem() -> MemoryEnv {
+        MemoryEnv::clean(64.0)
+    }
+
+    fn compute_heavy(trips: usize) -> VectorLoop {
+        VectorLoop {
+            trips,
+            outer_iters: 100,
+            flops_per_iter: 64.0,
+            bytes_per_iter: 16.0, // intensity 4: compute-bound on the ES
+            gather_fraction: 0.0,
+            live_vector_temps: 8,
+            class: LoopClass::Vectorizable {
+                multistreamable: true,
+            },
+        }
+    }
+
+    #[test]
+    fn long_vectors_approach_peak() {
+        let unit = VectorUnit::new(es_processor());
+        let r = unit.execute(&compute_heavy(4096), &es_mem());
+        let frac = r.gflops() / unit.config().vector_peak_gflops();
+        assert!(
+            frac > 0.55,
+            "long compute-bound loop should exceed 55% of peak, got {frac}"
+        );
+        assert!((r.metrics.avl() - 256.0).abs() < 1.0);
+        assert_eq!(r.metrics.vor(), 1.0);
+    }
+
+    #[test]
+    fn short_vectors_lose_to_startup() {
+        let unit = VectorUnit::new(es_processor());
+        let long = unit.execute(&compute_heavy(4096), &es_mem());
+        let short = unit.execute(&compute_heavy(16), &es_mem());
+        assert!(
+            short.gflops() < long.gflops() * 0.7,
+            "short {} vs long {}",
+            short.gflops(),
+            long.gflops()
+        );
+        assert!(short.metrics.avl() <= 16.0);
+    }
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        let unit = VectorUnit::new(es_processor());
+        // LBMHD-like: 1.5 flops per 8-byte word = 0.1875 flops/byte.
+        let l = VectorLoop {
+            trips: 4096,
+            outer_iters: 100,
+            flops_per_iter: 12.0,
+            bytes_per_iter: 64.0,
+            gather_fraction: 0.0,
+            live_vector_temps: 8,
+            class: LoopClass::Vectorizable {
+                multistreamable: true,
+            },
+        };
+        let r = unit.execute(&l, &es_mem());
+        // Bandwidth bound: 64 B/cycle * 0.1875 flop/B = 12 flops/cycle
+        // = 6 Gflop/s at 500 MHz (75% of peak) upper bound.
+        assert!(r.gflops() <= 6.0 + 1e-6, "{}", r.gflops());
+        assert!(r.gflops() > 3.0, "{}", r.gflops());
+    }
+
+    #[test]
+    fn bank_conflicts_slow_memory_bound_loops() {
+        let unit = VectorUnit::new(es_processor());
+        let l = VectorLoop {
+            trips: 4096,
+            outer_iters: 10,
+            flops_per_iter: 4.0,
+            bytes_per_iter: 64.0,
+            gather_fraction: 0.0,
+            live_vector_temps: 8,
+            class: LoopClass::Vectorizable {
+                multistreamable: true,
+            },
+        };
+        let clean = unit.execute(&l, &es_mem());
+        let conflicted = unit.execute(
+            &l,
+            &MemoryEnv {
+                bytes_per_cycle: 64.0,
+                access_efficiency: 0.25,
+            },
+        );
+        assert!(conflicted.seconds > 3.0 * clean.seconds);
+    }
+
+    #[test]
+    fn msp_multistreaming_quadruples_throughput() {
+        let unit = VectorUnit::new(x1_msp());
+        let mem = MemoryEnv::clean(42.6); // 34.1 GB/s at 800 MHz
+        let streamed = VectorLoop {
+            trips: 4096,
+            outer_iters: 100,
+            flops_per_iter: 64.0,
+            bytes_per_iter: 16.0,
+            gather_fraction: 0.0,
+            live_vector_temps: 8,
+            class: LoopClass::Vectorizable {
+                multistreamable: true,
+            },
+        };
+        let unstreamed = VectorLoop {
+            class: LoopClass::Vectorizable {
+                multistreamable: false,
+            },
+            ..streamed
+        };
+        let rs = unit.execute(&streamed, &mem);
+        let ru = unit.execute(&unstreamed, &mem);
+        let ratio = rs.gflops() / ru.gflops();
+        assert!((3.0..=4.5).contains(&ratio), "multistream speedup {ratio}");
+    }
+
+    #[test]
+    fn serialized_loop_pays_32x_on_msp_8x_on_es() {
+        let es = VectorUnit::new(es_processor());
+        let x1 = VectorUnit::new(x1_msp());
+        let vl = compute_heavy(4096);
+        let sl = VectorLoop {
+            class: LoopClass::Scalar,
+            ..vl
+        };
+
+        let es_pen = es.execute(&vl, &es_mem()).gflops() / es.execute(&sl, &es_mem()).gflops();
+        let mem = MemoryEnv::clean(42.6);
+        let x1_pen = x1.execute(&vl, &mem).gflops() / x1.execute(&sl, &mem).gflops();
+        assert!(
+            x1_pen > 2.5 * es_pen,
+            "X1 serialization penalty ({x1_pen:.1}x) must far exceed ES ({es_pen:.1}x)"
+        );
+    }
+
+    #[test]
+    fn x1_avl_capped_at_64() {
+        let unit = VectorUnit::new(x1_msp());
+        let r = unit.execute(&compute_heavy(4096), &MemoryEnv::clean(42.6));
+        assert!(r.metrics.avl() <= 64.0 + 1e-9);
+        assert!(r.metrics.avl() > 60.0);
+    }
+
+    #[test]
+    fn scalar_run_has_zero_vor() {
+        let unit = VectorUnit::new(es_processor());
+        let l = VectorLoop {
+            trips: 100,
+            outer_iters: 1,
+            flops_per_iter: 10.0,
+            bytes_per_iter: 8.0,
+            gather_fraction: 0.0,
+            live_vector_temps: 8,
+            class: LoopClass::Scalar,
+        };
+        let r = unit.execute(&l, &es_mem());
+        assert_eq!(r.metrics.vor(), 0.0);
+    }
+
+    #[test]
+    fn flop_accounting_is_exact() {
+        let unit = VectorUnit::new(es_processor());
+        let l = compute_heavy(1000);
+        let r = unit.execute(&l, &es_mem());
+        assert!((r.flops - 64.0 * 1000.0 * 100.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's future work, running: a block-structured AMR solver tracks
+//! an advected feature with local refinement, and the cross-architecture
+//! engine quantifies what AMR tile sizes do to vector machines.
+//!
+//! ```text
+//! cargo run --release --example amr_refinement
+//! ```
+
+use pvs::amr::perf::{sweep_tile_sizes, AmrWorkload};
+use pvs::amr::solver::AmrSim;
+use pvs::core::engine::Engine;
+use pvs::core::platforms;
+
+fn main() {
+    // Part 1: the real AMR solver following a moving Gaussian.
+    let gauss = |cx: f64| {
+        move |x: f64, y: f64| {
+            let d = |a: f64, b: f64| {
+                let r = (a - b).rem_euclid(32.0);
+                r.min(32.0 - r)
+            };
+            (-(d(x, cx).powi(2) + d(y, 16.0).powi(2)) / 10.0).exp()
+        }
+    };
+    let mut sim = AmrSim::new(4, 8, (1.0, 0.0), 0.02, gauss(10.0));
+    println!("AMR advection of a Gaussian (4x4 tiles of 8x8 cells, 2x refinement):\n");
+    println!(
+        "{:>6} {:>8} {:>16} {:>12}",
+        "step", "time", "refined tiles", "L1 error"
+    );
+    for _ in 0..6 {
+        sim.run(10);
+        let t = sim.time();
+        let err = sim.l1_error(gauss(10.0 + t));
+        println!(
+            "{:>6} {:>8.2} {:>13}/16 {:>12.5}",
+            sim.steps_taken(),
+            t,
+            sim.mesh.refined_tiles(),
+            err
+        );
+    }
+    println!("\nRefinement follows the feature; accuracy tracks the fine level where");
+    println!("it matters while most of the domain stays coarse.\n");
+
+    // Part 2: what tile size does to the five machines.
+    println!("Vector performance vs AMR tile size (Gflops/P, 2^20 cells/step):\n");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "tile", "Power3", "Power4", "Altix", "ES", "X1"
+    );
+    for tile in sweep_tile_sizes() {
+        let w = AmrWorkload::new(1 << 20, tile);
+        let row: Vec<String> = platforms::all()
+            .into_iter()
+            .map(|m| format!("{:.2}", Engine::new(m).run(&w.phases(), 1).gflops_per_p))
+            .collect();
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            tile, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!("\nThe ES needs tiles comparable to its 256-element vector length to");
+    println!("deliver; the superscalar machines barely notice - the answer to the");
+    println!("question the paper closes with.");
+}

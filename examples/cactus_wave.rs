@@ -1,0 +1,63 @@
+//! A gravitational plane wave evolved with the Cactus-style ADM solver:
+//! propagation at the speed of light, constraint preservation, and
+//! second-order convergence, verified live.
+//!
+//! ```text
+//! cargo run --release --example cactus_wave
+//! ```
+
+use pvs::cactus::grid::h;
+use pvs::cactus::solver::{tt_plane_wave, CactusConfig, CactusSim};
+
+fn wave_error(n: usize, steps_per_unit: usize, t_final: f64) -> f64 {
+    let dt = 1.0 / steps_per_unit as f64;
+    let mut sim = CactusSim::from_fields(
+        CactusConfig {
+            dt,
+            ..CactusConfig::periodic_cube(n)
+        },
+        |_, _, z| tt_plane_wave(z, n, 0.01),
+    );
+    sim.run((t_final / dt) as usize);
+    let kappa = 2.0 * std::f64::consts::PI / n as f64;
+    let mut worst: f64 = 0.0;
+    for z in 0..n {
+        let exact = 0.01 * (kappa * z as f64 - kappa * t_final).cos();
+        worst = worst.max((sim.grid.get(h(0), 1, 1, z as isize) - exact).abs());
+    }
+    worst
+}
+
+fn main() {
+    println!("Evolving a transverse-traceless gravitational plane wave (linearized ADM,");
+    println!("iterative Crank-Nicholson, periodic 3D grid).\n");
+
+    let n = 24;
+    let mut sim = CactusSim::from_fields(CactusConfig::periodic_cube(n), |_, _, z| {
+        tt_plane_wave(z, n, 0.01)
+    });
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "time", "max |h_xx|", "constraint RMS"
+    );
+    for _ in 0..6 {
+        sim.run((n as f64 / 6.0 / sim.config.dt) as usize);
+        println!(
+            "{:>8.2} {:>12.6} {:>16.3e}",
+            sim.time(),
+            sim.grid.max_abs(h(0)),
+            sim.constraint_violation()
+        );
+    }
+    println!("(one full period = {n} time units: the wave returns to its start)\n");
+
+    println!("Spatial convergence at t = 6 (dt scaled with dx):");
+    let e16 = wave_error(16, 4, 6.0);
+    let e32 = wave_error(32, 8, 6.0);
+    println!("  n = 16: max error {e16:.3e}");
+    println!("  n = 32: max error {e32:.3e}");
+    println!(
+        "  observed order: {:.2} (2nd-order finite differences + ICN)",
+        (e16 / e32).log2()
+    );
+}

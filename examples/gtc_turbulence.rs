@@ -1,0 +1,61 @@
+//! A self-consistent gyrokinetic particle-in-cell run: perturbed plasma
+//! relaxing through E×B dynamics, with the work-vector deposition that
+//! the vector ports require, verified against serial scatter on the fly.
+//!
+//! ```text
+//! cargo run --release --example gtc_turbulence
+//! ```
+
+use pvs::gtc::sim::{GtcConfig, GtcSim};
+
+fn main() {
+    let cfg = GtcConfig::new(48, 48, 8);
+    println!(
+        "GTC-style gyrokinetic PIC: {}x{} grid, {} particles/cell = {} particles\n",
+        cfg.nx,
+        cfg.ny,
+        cfg.particles_per_cell,
+        cfg.nx * cfg.ny * cfg.particles_per_cell
+    );
+
+    // Two identical simulations: serial scatter vs work-vector deposition
+    // (the Nishiguchi transform the ES/X1 ports need). They must agree.
+    let mut serial = GtcSim::new(cfg, 11, 0.3);
+    let mut vectorized = GtcSim::new(
+        GtcConfig {
+            work_vector_lanes: Some(64),
+            ..cfg
+        },
+        11,
+        0.3,
+    );
+
+    println!(
+        "{:>6} {:>16} {:>18} {:>14}",
+        "step", "field energy", "total charge", "wv mismatch"
+    );
+    for step in 0..=10 {
+        if step > 0 {
+            serial.step();
+            vectorized.step();
+        }
+        let mismatch = serial
+            .particles
+            .x
+            .iter()
+            .zip(&vectorized.particles.x)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>6} {:>16.6e} {:>18.9e} {:>14.2e}",
+            step,
+            serial.field_energy(),
+            serial.particles.total_charge(),
+            mismatch,
+        );
+    }
+
+    println!("\nThe work-vector deposition reproduces the serial trajectory to");
+    println!("rounding error while being dependence-free across vector lanes -");
+    println!("the transformation that lets PIC charge deposition vectorize (§6.1).");
+}

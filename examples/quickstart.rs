@@ -1,0 +1,62 @@
+//! Quickstart: describe a computational kernel as a phase stream and ask
+//! the engine how each of the study's five machines would run it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pvs::core::engine::Engine;
+use pvs::core::phase::{CommPattern, Phase, VectorizationInfo};
+use pvs::core::platforms;
+use pvs::memsim::bandwidth::AccessPattern;
+
+fn main() {
+    // A bandwidth-starved streaming kernel (LBMHD-like): 1.5 flops per
+    // word of memory traffic, fully vectorizable, with a halo exchange
+    // every step.
+    let phases = vec![
+        Phase::loop_nest("stream_kernel", 1 << 20, 100)
+            .flops_per_iter(12.0)
+            .bytes_per_iter(64.0)
+            .pattern(AccessPattern::UnitStride)
+            .working_set(512 << 20)
+            .vector(VectorizationInfo::full()),
+        Phase::comm(
+            "halo",
+            CommPattern::Halo2d {
+                px: 8,
+                py: 8,
+                bytes_edge: 100_000,
+                bytes_corner: 1_000,
+            },
+        )
+        .repetitions(100),
+    ];
+
+    println!("A low-computational-intensity kernel on the five machines of the study:\n");
+    println!(
+        "{:<8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "Machine", "Gflops/P", "%peak", "AVL", "VOR%", "comm%"
+    );
+    for machine in platforms::all() {
+        let report = Engine::new(machine).run(&phases, 64);
+        println!(
+            "{:<8} {:>10.3} {:>7.1}% {:>8} {:>8} {:>7.1}%",
+            report.machine,
+            report.gflops_per_p,
+            report.pct_peak,
+            report
+                .avl()
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            report
+                .vor_pct()
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            100.0 * report.comm_fraction(),
+        );
+    }
+    println!("\nThe vector machines win by an order of magnitude on this kernel: its");
+    println!("intensity (~1.5 flops/word) is far below what cache hierarchies need,");
+    println!("but well within what 4 bytes/flop of memory bandwidth sustains.");
+}

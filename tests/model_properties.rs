@@ -1,0 +1,131 @@
+//! Property tests on the performance model itself: directional sanity
+//! (more bandwidth never hurts, overheads never help, scalar never beats
+//! vector on a vector machine) across randomized workloads.
+
+use proptest::prelude::*;
+use pvs::core::engine::Engine;
+use pvs::core::phase::{Phase, VectorizationInfo};
+use pvs::core::platforms;
+use pvs::memsim::bandwidth::AccessPattern;
+
+fn loop_phase(trips: usize, flops: f64, bytes: f64, v: VectorizationInfo) -> Phase {
+    Phase::loop_nest("p", trips.max(1), 50)
+        .flops_per_iter(flops.max(0.5))
+        .bytes_per_iter(bytes.max(1.0))
+        .pattern(AccessPattern::UnitStride)
+        .working_set(usize::MAX / 2)
+        .vector(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn more_memory_bandwidth_never_hurts(
+        trips in 64usize..8192,
+        flops in 1.0f64..64.0,
+        bytes in 8.0f64..256.0,
+    ) {
+        let phases = [loop_phase(trips, flops, bytes, VectorizationInfo::full())];
+        let base = platforms::earth_simulator();
+        let mut fat = base.clone();
+        fat.mem_bw_gbs *= 2.0;
+        let t_base = Engine::new(base).run(&phases, 4).time_s;
+        let t_fat = Engine::new(fat).run(&phases, 4).time_s;
+        prop_assert!(t_fat <= t_base * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn vector_op_overhead_never_helps(
+        trips in 64usize..8192,
+        flops in 1.0f64..64.0,
+        overhead in 1.0f64..4.0,
+    ) {
+        let clean = [loop_phase(trips, flops, 16.0, VectorizationInfo::full())];
+        let mut v = VectorizationInfo::full();
+        v.vector_op_overhead = overhead;
+        let dirty = [loop_phase(trips, flops, 16.0, v)];
+        let engine = Engine::new(platforms::x1());
+        let t_clean = engine.run(&clean, 4).time_s;
+        let t_dirty = engine.run(&dirty, 4).time_s;
+        prop_assert!(t_dirty >= t_clean * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn scalar_never_beats_vectorized_on_vector_machines(
+        trips in 256usize..8192,
+        flops in 2.0f64..64.0,
+    ) {
+        for machine in [platforms::earth_simulator(), platforms::x1()] {
+            let vec = [loop_phase(trips, flops, 16.0, VectorizationInfo::full())];
+            let sca = [loop_phase(trips, flops, 16.0, VectorizationInfo::scalar())];
+            let engine = Engine::new(machine);
+            let t_vec = engine.run(&vec, 4).time_s;
+            let t_sca = engine.run(&sca, 4).time_s;
+            prop_assert!(t_sca >= t_vec, "scalar {t_sca} vs vector {t_vec}");
+        }
+    }
+
+    #[test]
+    fn longer_vectors_never_run_slower_per_element(
+        short in 8usize..64,
+        factor in 2usize..16,
+        flops in 2.0f64..64.0,
+    ) {
+        // Same total elements, organized as short or long inner loops.
+        let long = short * factor;
+        let total = long * 64;
+        let mk = |trips: usize| {
+            Phase::loop_nest("p", trips, total / trips)
+                .flops_per_iter(flops)
+                .bytes_per_iter(8.0)
+                .working_set(usize::MAX / 2)
+                .vector(VectorizationInfo::full())
+        };
+        let engine = Engine::new(platforms::earth_simulator());
+        let t_short = engine.run(&[mk(short)], 1).time_s;
+        let t_long = engine.run(&[mk(long)], 1).time_s;
+        prop_assert!(t_long <= t_short * (1.0 + 1e-9), "long {t_long} vs short {t_short}");
+    }
+
+    #[test]
+    fn register_spilling_never_helps(
+        temps in 8usize..200,
+        flops in 2.0f64..64.0,
+    ) {
+        let mut pressured = VectorizationInfo::full();
+        pressured.live_vector_temps = temps;
+        let base = [loop_phase(2048, flops, 16.0, VectorizationInfo::full())];
+        let spilled = [loop_phase(2048, flops, 16.0, pressured)];
+        let engine = Engine::new(platforms::x1());
+        let t_base = engine.run(&base, 4).time_s;
+        let t_spilled = engine.run(&spilled, 4).time_s;
+        prop_assert!(t_spilled >= t_base * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn avl_never_exceeds_the_hardware_vector_length(
+        trips in 1usize..10_000,
+        flops in 1.0f64..64.0,
+    ) {
+        let phases = [loop_phase(trips, flops, 16.0, VectorizationInfo::full())];
+        let es = Engine::new(platforms::earth_simulator()).run(&phases, 1);
+        let x1 = Engine::new(platforms::x1()).run(&phases, 1);
+        prop_assert!(es.avl().expect("vector") <= 256.0 + 1e-9);
+        prop_assert!(x1.avl().expect("vector") <= 64.0 + 1e-9);
+    }
+
+    #[test]
+    fn gflops_never_exceed_peak(
+        trips in 64usize..8192,
+        flops in 1.0f64..128.0,
+        bytes in 1.0f64..64.0,
+    ) {
+        for machine in platforms::all() {
+            let peak = machine.peak_gflops;
+            let phases = [loop_phase(trips, flops, bytes, VectorizationInfo::full())];
+            let r = Engine::new(machine).run(&phases, 1);
+            prop_assert!(r.gflops_per_p <= peak * (1.0 + 1e-9), "{} > peak {peak}", r.gflops_per_p);
+        }
+    }
+}

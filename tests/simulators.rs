@@ -1,0 +1,162 @@
+//! Integration: cross-validation of the simulated substrate — measured
+//! (discrete-event) network behaviour vs analytic expectations, prefetch
+//! simulation vs its closed form, and engine sanity across the whole
+//! platform × workload matrix.
+
+use pvs::netsim::collectives::measured_bisection_gbs;
+use pvs::netsim::topology::{Network, NetworkConfig, TopologyKind};
+
+fn net(kind: TopologyKind, endpoints: usize) -> Network {
+    Network::new(NetworkConfig {
+        kind,
+        endpoints,
+        link_bw_gbs: 1.0,
+        latency_us: 5.0,
+    })
+}
+
+#[test]
+fn measured_bisection_ranks_topologies_like_the_analytic_model() {
+    for endpoints in [32, 64, 128] {
+        let xbar = measured_bisection_gbs(&net(TopologyKind::Crossbar, endpoints), 4_000_000);
+        let full = measured_bisection_gbs(
+            &net(
+                TopologyKind::FatTree {
+                    arity: 4,
+                    slim: 1.0,
+                },
+                endpoints,
+            ),
+            4_000_000,
+        );
+        let slim = measured_bisection_gbs(
+            &net(
+                TopologyKind::FatTree {
+                    arity: 4,
+                    slim: 0.5,
+                },
+                endpoints,
+            ),
+            4_000_000,
+        );
+        let torus = measured_bisection_gbs(&net(TopologyKind::Torus2D, endpoints), 4_000_000);
+        assert!(
+            xbar >= torus,
+            "P={endpoints}: crossbar {xbar} vs torus {torus}"
+        );
+        assert!(full > slim, "P={endpoints}: full {full} vs slim {slim}");
+    }
+}
+
+#[test]
+fn torus_bisection_grows_as_sqrt_of_endpoints() {
+    let b64 = net(TopologyKind::Torus2D, 64).analytic_bisection_gbs();
+    let b1024 = net(TopologyKind::Torus2D, 1024).analytic_bisection_gbs();
+    // 16x the endpoints, 4x the bisection.
+    let growth = b1024 / b64;
+    assert!((3.0..6.0).contains(&growth), "sqrt scaling, got {growth}x");
+}
+
+#[test]
+fn prefetch_simulation_matches_closed_form_across_run_lengths() {
+    use pvs::memsim::prefetch::{ghost_zone_coverage, PrefetchConfig, StreamPrefetcher};
+    use pvs::memsim::trace::ghost_zone_sweep;
+
+    let cfg = PrefetchConfig {
+        num_streams: 4,
+        min_run_to_engage: 3,
+        line_bytes: 128,
+    };
+    for interior_lines in [8usize, 16, 64] {
+        let interior_elems = interior_lines * 16; // 8-byte elements
+        let analytic = ghost_zone_coverage(interior_elems, 8, &cfg);
+        let mut sim = StreamPrefetcher::new(cfg);
+        for a in ghost_zone_sweep(64, interior_elems, 32, 8) {
+            sim.access(a);
+        }
+        assert!(
+            (analytic - sim.coverage()).abs() < 0.08,
+            "{interior_lines} lines: analytic {analytic} vs simulated {}",
+            sim.coverage()
+        );
+    }
+}
+
+#[test]
+fn engine_is_sane_across_the_full_platform_workload_matrix() {
+    use pvs::cactus::perf::{CactusVariant, CactusWorkload};
+    use pvs::core::engine::Engine;
+    use pvs::core::platforms;
+    use pvs::gtc::perf::{GtcVariant, GtcWorkload};
+    use pvs::lbmhd::perf::LbmhdWorkload;
+    use pvs::paratec::perf::ParatecWorkload;
+
+    for m in platforms::all() {
+        for app in [
+            "LBMHD", "PARATEC", "CACTUS-S", "CACTUS-L", "GTC-10", "GTC-100",
+        ] {
+            let phases = match app {
+                "LBMHD" => LbmhdWorkload::new(4096, 64).phases(),
+                "PARATEC" => ParatecWorkload::si432(64).phases(),
+                "CACTUS-S" => CactusWorkload::small(64).phases(CactusVariant::for_machine(m.name)),
+                "CACTUS-L" => CactusWorkload::large(64).phases(CactusVariant::for_machine(m.name)),
+                "GTC-10" => GtcWorkload::new(10, 64).phases(GtcVariant::for_machine(m.name)),
+                "GTC-100" => GtcWorkload::new(100, 64).phases(GtcVariant::for_machine(m.name)),
+                _ => unreachable!(),
+            };
+            let name = m.name;
+            let r = Engine::new(m.clone()).run(&phases, 64);
+            assert!(
+                r.gflops_per_p.is_finite() && r.gflops_per_p > 0.0,
+                "{name}/{app}: {}",
+                r.gflops_per_p
+            );
+            assert!(
+                r.pct_peak > 0.0 && r.pct_peak <= 100.0,
+                "{name}/{app}: {}% of peak",
+                r.pct_peak
+            );
+            assert!(r.comm_fraction() >= 0.0 && r.comm_fraction() < 1.0);
+            if m.is_vector() {
+                let avl = r.avl().expect("vector metrics");
+                assert!(avl > 0.0 && avl <= 256.0 + 1e-9, "{name}/{app}: AVL {avl}");
+                let vor = r.vor_pct().expect("vector metrics");
+                assert!((0.0..=100.0).contains(&vor), "{name}/{app}: VOR {vor}");
+            }
+        }
+    }
+}
+
+#[test]
+fn one_sided_semantics_never_slow_communication_down() {
+    use pvs::core::engine::Engine;
+    use pvs::core::phase::{CommPattern, Phase};
+    use pvs::core::platforms;
+
+    for pattern in [
+        CommPattern::Halo2d {
+            px: 8,
+            py: 8,
+            bytes_edge: 100_000,
+            bytes_corner: 1_000,
+        },
+        CommPattern::AllToAll {
+            ranks: 64,
+            bytes_per_pair: 10_000,
+        },
+        CommPattern::AllReduce {
+            ranks: 64,
+            bytes: 65_536,
+        },
+    ] {
+        let two_sided = Phase::comm("c", pattern);
+        let one_sided = Phase::comm("c", pattern).one_sided(true);
+        let engine = Engine::new(platforms::x1());
+        let t2 = engine.run(std::slice::from_ref(&two_sided), 64).comm_s;
+        let t1 = engine.run(std::slice::from_ref(&one_sided), 64).comm_s;
+        assert!(
+            t1 <= t2 + 1e-12,
+            "{pattern:?}: one-sided {t1} vs two-sided {t2}"
+        );
+    }
+}
