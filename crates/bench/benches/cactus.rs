@@ -2,7 +2,7 @@
 //! radiation boundary enforcement relative to the interior sweep (the
 //! unvectorized-hotspot story of §5), and the ICN integrator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_bench::harness::{criterion_group, criterion_main, Criterion};
 use pvs_cactus::boundary::{apply_periodic, apply_radiation};
 use pvs_cactus::grid::Grid3;
 use pvs_cactus::rhs::{apply_sommerfeld_rhs, evaluate};

@@ -2,7 +2,7 @@
 //! deposition implementations (serial scatter, work-vector, threaded) and
 //! the nested-if vs split-condition shift classification (§6.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_bench::harness::{criterion_group, criterion_main, Criterion};
 use pvs_gtc::deposit::{deposit_gyro_serial, deposit_gyro_threaded, deposit_gyro_workvector};
 use pvs_gtc::field::solve_potential;
 use pvs_gtc::grid2d::Grid2d;

@@ -2,7 +2,7 @@
 //! collision/stream costs, and the MPI-vs-CAF exchange comparison the
 //! paper's X1 CAF column motivates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_bench::harness::{criterion_group, criterion_main, Criterion};
 use pvs_lbmhd::collision::{collide_site, equilibrium_b, equilibrium_f, SiteMoments};
 use pvs_lbmhd::init::crossed_current_sheets;
 use pvs_lbmhd::parallel::{run_distributed, ExchangeMode};

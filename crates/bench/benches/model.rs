@@ -1,7 +1,7 @@
 //! Benchmarks of the evaluation framework itself: the cache and bank
 //! simulators, the discrete-event network, and full table regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_bench::harness::{criterion_group, criterion_main, Criterion};
 use pvs_core::engine::Engine;
 use pvs_core::platforms;
 use pvs_lbmhd::perf::LbmhdWorkload;

@@ -2,7 +2,7 @@
 //! GEMM, looped single-FFT vs simultaneous multi-FFT (the §4.1 vector
 //! port transformation), and the Hamiltonian application.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pvs_bench::harness::{criterion_group, criterion_main, Criterion};
 use pvs_fft::fft1d::FftPlan;
 use pvs_fft::multi::MultiFft;
 use pvs_linalg::complex::Complex64;

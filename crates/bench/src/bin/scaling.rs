@@ -3,15 +3,19 @@
 //! and weak (Cactus) scaling behaviour the paper discusses, plus the
 //! headline cross-machine claim: "the 64-way vector systems still
 //! performed up to 20% faster than 1024 Power3 processors" (§6.2/§7).
+//!
+//! The whole (app × P × machine) grid is evaluated through the parallel
+//! sweep executor; jobs are enumerated and printed in the same order, so
+//! the output is identical at any thread count.
 
 use pvs_cactus::perf::{CactusVariant, CactusWorkload};
-use pvs_core::engine::Engine;
+use pvs_core::engine::{run_sweep, SweepJob};
 use pvs_core::platforms;
 use pvs_gtc::perf::{GtcVariant, GtcWorkload};
 use pvs_lbmhd::perf::LbmhdWorkload;
 use pvs_paratec::perf::ParatecWorkload;
 
-fn run(machine: pvs_core::machine::Machine, app: &str, procs: usize) -> f64 {
+fn job(machine: pvs_core::machine::Machine, app: &str, procs: usize) -> SweepJob {
     let phases = match app {
         "LBMHD" => LbmhdWorkload::new(8192, procs).phases(),
         "PARATEC" => ParatecWorkload::si432(procs).phases(),
@@ -31,24 +35,47 @@ fn run(machine: pvs_core::machine::Machine, app: &str, procs: usize) -> f64 {
             } else {
                 GtcVariant::for_machine(machine.name)
             };
-            return Engine::new(machine)
-                .run(&w.phases(variant), procs)
-                .gflops_per_p;
+            w.phases(variant)
         }
         _ => unreachable!(),
     };
-    Engine::new(machine).run(&phases, procs).gflops_per_p
+    SweepJob {
+        machine,
+        phases,
+        procs,
+    }
 }
 
 fn main() {
     let procs = [16usize, 64, 256, 1024];
-    for app in ["LBMHD", "PARATEC", "CACTUS", "GTC"] {
+    let apps = ["LBMHD", "PARATEC", "CACTUS", "GTC"];
+
+    // Pass 1: enumerate the grid (app-major, then P, then machine), plus
+    // the three aggregate-comparison cells at the end.
+    let mut jobs = Vec::new();
+    for app in apps {
+        for &p in &procs {
+            jobs.push(job(platforms::power3(), app, p));
+            jobs.push(job(platforms::earth_simulator(), app, p));
+            jobs.push(job(platforms::x1(), app, p));
+        }
+    }
+    jobs.push(job(platforms::earth_simulator(), "GTC", 64));
+    jobs.push(job(platforms::x1(), "GTC", 64));
+    jobs.push(job(platforms::power3(), "GTC", 1024));
+
+    // Pass 2: evaluate in parallel (results keep enumeration order).
+    let results = run_sweep(jobs);
+
+    // Pass 3: print in enumeration order.
+    let mut next = results.iter();
+    for app in apps {
         println!("{app}: Gflops/P vs P\n");
         println!("{:>6} {:>9} {:>9} {:>9}", "P", "Power3", "ES", "X1");
         for &p in &procs {
-            let p3 = run(platforms::power3(), app, p);
-            let es = run(platforms::earth_simulator(), app, p);
-            let x1 = run(platforms::x1(), app, p);
+            let p3 = next.next().expect("Power3 cell").gflops_per_p;
+            let es = next.next().expect("ES cell").gflops_per_p;
+            let x1 = next.next().expect("X1 cell").gflops_per_p;
             println!("{p:>6} {p3:>9.3} {es:>9.3} {x1:>9.3}");
         }
         println!();
@@ -56,9 +83,9 @@ fn main() {
 
     // The famous aggregate comparison: 64 vector processors vs 1024
     // Power3 processors running GTC flat-out.
-    let es64 = 64.0 * run(platforms::earth_simulator(), "GTC", 64);
-    let x164 = 64.0 * run(platforms::x1(), "GTC", 64);
-    let p3_1024 = 1024.0 * run(platforms::power3(), "GTC", 1024);
+    let es64 = 64.0 * next.next().expect("ES aggregate").gflops_per_p;
+    let x164 = 64.0 * next.next().expect("X1 aggregate").gflops_per_p;
+    let p3_1024 = 1024.0 * next.next().expect("Power3 aggregate").gflops_per_p;
     println!("GTC aggregate performance (same problem):");
     println!("      64 ES processors: {es64:>8.1} Gflop/s");
     println!("      64 X1 MSPs:       {x164:>8.1} Gflop/s");

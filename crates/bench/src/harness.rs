@@ -1,0 +1,190 @@
+//! Dependency-free benchmark harness with a Criterion-compatible surface.
+//!
+//! The bench targets in `benches/` were written against the subset of the
+//! `criterion` API they actually use (`benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `finish`, and the two entry-point
+//! macros). This module provides that surface on `std` alone so the
+//! workspace builds and benches offline. Timing methodology is simpler
+//! than Criterion's (auto-calibrated batched samples, median-of-samples
+//! reporting) but adequate for the A/B ablations these benches exist for:
+//! both sides of every comparison run under the identical harness.
+//!
+//! Set `PVS_BENCH_SAMPLE_MS` to change the per-sample time target
+//! (default 2 ms; raise it for lower-noise numbers).
+
+use std::time::{Duration, Instant};
+
+/// Per-sample measurement time target in milliseconds.
+fn sample_target() -> Duration {
+    let ms = std::env::var("PVS_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Top-level handle passed to every benchmark function (Criterion-shaped).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-count setting.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (Criterion-compatible knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        per_iter.sort_by(f64::total_cmp);
+        if per_iter.is_empty() {
+            println!("{}/{name}: no measurements", self.name);
+        } else {
+            let median = per_iter[per_iter.len() / 2];
+            let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+            println!(
+                "{}/{name}: time [{} {} {}] ({} samples)",
+                self.name,
+                fmt_time(lo),
+                fmt_time(median),
+                fmt_time(hi),
+                per_iter.len(),
+            );
+        }
+        self
+    }
+
+    /// End the group (Criterion-compatible no-op).
+    pub fn finish(self) {}
+}
+
+/// Measures one routine: calibrates a batch size on first use, then times
+/// whole batches so per-iteration overhead vanishes.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling repetitions to the per-sample target.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibration: time a single call (also serves as warmup).
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed();
+        let target = sample_target();
+        let n = if once.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Criterion-compatible group declaration: expands to a function running
+/// each benchmark function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible entry point: expands to `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters >= 1);
+        assert!(count as u64 >= b.iters, "calibration call counts too");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut ran = 0;
+        g.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,9 +1,17 @@
 //! Regeneration of the paper's evaluation tables from the performance
 //! model, printed side by side with the published values.
+//!
+//! Every generator runs its model-evaluation cells through the
+//! [`pvs_core::pool`] sweep executor: cells are enumerated serially in
+//! row-major order, evaluated in parallel, and reassembled in enumeration
+//! order, so the rendered output is byte-identical at any thread count.
+//! The `*_threads` variants pin the worker count (1 = serial reference);
+//! the plain functions use [`default_threads`].
 
-use pvs_core::engine::Engine;
+use pvs_core::engine::{run_sweep_threads, SweepJob};
 use pvs_core::machine::Machine;
 use pvs_core::platforms;
+use pvs_core::pool::default_threads;
 use pvs_core::report::PerfReport;
 use pvs_report::compare::{geometric_mean_ratio, Comparison, ShapeCheck};
 use pvs_report::paper::{self, PaperRow, MACHINES};
@@ -157,11 +165,6 @@ pub fn table2_text() -> String {
     t.render()
 }
 
-/// Run a phase stream on a machine by name.
-fn run_on(name: &str, phases: &[pvs_core::phase::Phase], procs: usize) -> PerfReport {
-    Engine::new(machine_by_name(name)).run(phases, procs)
-}
-
 fn cell_with_paper(model: &PerfReport, paper: Option<(f64, f64)>) -> String {
     match paper {
         Some((g, p)) => format!(
@@ -185,11 +188,15 @@ fn harvest(
 
 /// Generic per-table driver: for each `(config_label, procs)` row, build
 /// the per-machine phase stream with `phases_for(config, machine, procs)`.
-fn build_table(
+/// Cells are evaluated on `threads` workers; the three-pass structure
+/// (serial enumeration, parallel sweep, serial assembly) keeps the output
+/// byte-identical to the `threads = 1` reference.
+fn build_table_threads(
     title: &str,
     paper_rows: Vec<PaperRow>,
     machines: &[&str],
     mut phases_for: impl FnMut(&str, &str, usize) -> Vec<pvs_core::phase::Phase>,
+    threads: usize,
 ) -> (Table, Vec<Comparison>, Vec<(String, PerfReport)>) {
     let mut headers = vec!["Config".to_string(), "P".to_string()];
     headers.extend(machines.iter().map(|m| m.to_string()));
@@ -198,10 +205,18 @@ fn build_table(
         headers,
         rows: Vec::new(),
     };
-    let mut comparisons = Vec::new();
-    let mut reports = Vec::new();
-    for row in &paper_rows {
-        let mut cells = vec![row.config.to_string(), row.procs.to_string()];
+
+    // Pass 1 (serial): enumerate cells row-major, collecting sweep jobs.
+    // `job` is None for cells the paper leaves blank.
+    struct CellPlan {
+        row: usize,
+        machine: String,
+        published: Option<(f64, f64)>,
+        job: Option<usize>,
+    }
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    let mut plan: Vec<CellPlan> = Vec::new();
+    for (ri, row) in paper_rows.iter().enumerate() {
         for &m in machines {
             let col = MACHINES
                 .iter()
@@ -209,26 +224,68 @@ fn build_table(
                 .expect("known machine");
             let published = row.entries[col];
             let phases = phases_for(row.config, m, row.procs);
-            if phases.is_empty() {
-                cells.push(blank_cell());
-                continue;
-            }
-            let report = run_on(m, &phases, row.procs);
-            harvest(
-                &mut comparisons,
-                format!(
-                    "{} {} P={} {}",
-                    title_short(title),
-                    row.config,
-                    row.procs,
-                    m
-                ),
-                &report,
+            let job = if phases.is_empty() {
+                None
+            } else {
+                jobs.push(SweepJob {
+                    machine: machine_by_name(m),
+                    phases,
+                    procs: row.procs,
+                });
+                Some(jobs.len() - 1)
+            };
+            plan.push(CellPlan {
+                row: ri,
+                machine: m.to_string(),
                 published,
-            );
-            cells.push(cell_with_paper(&report, published));
-            reports.push((format!("{}|{}|{}", row.config, row.procs, m), report));
+                job,
+            });
         }
+    }
+
+    // Pass 2 (parallel): evaluate every cell; results come back in job order.
+    let results = run_sweep_threads(jobs, threads);
+
+    // Pass 3 (serial): reassemble rows and comparisons in enumeration order.
+    let mut comparisons = Vec::new();
+    let mut reports = Vec::new();
+    let mut cells = Vec::new();
+    let mut current_row = usize::MAX;
+    for cell in plan {
+        if cell.row != current_row {
+            if current_row != usize::MAX {
+                table.push_row(std::mem::take(&mut cells));
+            }
+            current_row = cell.row;
+            let row = &paper_rows[cell.row];
+            cells = vec![row.config.to_string(), row.procs.to_string()];
+        }
+        let row = &paper_rows[cell.row];
+        match cell.job {
+            None => cells.push(blank_cell()),
+            Some(j) => {
+                let report = &results[j];
+                harvest(
+                    &mut comparisons,
+                    format!(
+                        "{} {} P={} {}",
+                        title_short(title),
+                        row.config,
+                        row.procs,
+                        cell.machine
+                    ),
+                    report,
+                    cell.published,
+                );
+                cells.push(cell_with_paper(report, cell.published));
+                reports.push((
+                    format!("{}|{}|{}", row.config, row.procs, cell.machine),
+                    report.clone(),
+                ));
+            }
+        }
+    }
+    if current_row != usize::MAX {
         table.push_row(cells);
     }
     (table, comparisons, reports)
@@ -244,9 +301,15 @@ fn find<'a>(reports: &'a [(String, PerfReport)], key: &str) -> Option<&'a PerfRe
 
 /// Table 3: LBMHD.
 pub fn table3_model() -> TableOutput {
+    table3_model_threads(default_threads())
+}
+
+/// [`table3_model`] with an explicit worker count (1 = serial
+/// reference; any count renders identically).
+pub fn table3_model_threads(threads: usize) -> TableOutput {
     use pvs_lbmhd::perf::LbmhdWorkload;
     let machines = ["Power3", "Power4", "Altix", "ES", "X1", "X1-CAF"];
-    let (table, comparisons, reports) = build_table(
+    let (table, comparisons, reports) = build_table_threads(
         "Table 3: LBMHD per processor performance (model vs paper)",
         paper::table3(),
         &machines,
@@ -262,6 +325,7 @@ pub fn table3_model() -> TableOutput {
             }
             w.phases()
         },
+        threads,
     );
 
     let mut checks = Vec::new();
@@ -310,9 +374,15 @@ pub fn table3_model() -> TableOutput {
 
 /// Table 4: PARATEC.
 pub fn table4_model() -> TableOutput {
+    table4_model_threads(default_threads())
+}
+
+/// [`table4_model`] with an explicit worker count (1 = serial
+/// reference; any count renders identically).
+pub fn table4_model_threads(threads: usize) -> TableOutput {
     use pvs_paratec::perf::ParatecWorkload;
     let machines = ["Power3", "Power4", "Altix", "ES", "X1"];
-    let (table, comparisons, reports) = build_table(
+    let (table, comparisons, reports) = build_table_threads(
         "Table 4: PARATEC per processor performance (model vs paper)",
         paper::table4(),
         &machines,
@@ -324,6 +394,7 @@ pub fn table4_model() -> TableOutput {
             };
             w.phases()
         },
+        threads,
     );
 
     let mut checks = Vec::new();
@@ -372,9 +443,15 @@ pub fn table4_model() -> TableOutput {
 
 /// Table 5: Cactus.
 pub fn table5_model() -> TableOutput {
+    table5_model_threads(default_threads())
+}
+
+/// [`table5_model`] with an explicit worker count (1 = serial
+/// reference; any count renders identically).
+pub fn table5_model_threads(threads: usize) -> TableOutput {
     use pvs_cactus::perf::{CactusVariant, CactusWorkload};
     let machines = ["Power3", "Power4", "Altix", "ES", "X1"];
-    let (table, comparisons, reports) = build_table(
+    let (table, comparisons, reports) = build_table_threads(
         "Table 5: Cactus per processor performance, weak scaling (model vs paper)",
         paper::table5(),
         &machines,
@@ -386,6 +463,7 @@ pub fn table5_model() -> TableOutput {
             };
             w.phases(CactusVariant::for_machine(machine))
         },
+        threads,
     );
 
     let mut checks = Vec::new();
@@ -445,9 +523,15 @@ pub fn table5_model() -> TableOutput {
 
 /// Table 6: GTC.
 pub fn table6_model() -> TableOutput {
+    table6_model_threads(default_threads())
+}
+
+/// [`table6_model`] with an explicit worker count (1 = serial
+/// reference; any count renders identically).
+pub fn table6_model_threads(threads: usize) -> TableOutput {
     use pvs_gtc::perf::{GtcVariant, GtcWorkload};
     let machines = ["Power3", "Power4", "Altix", "ES", "X1"];
-    let (table, comparisons, reports) = build_table(
+    let (table, comparisons, reports) = build_table_threads(
         "Table 6: GTC per processor performance (model vs paper)",
         paper::table6(),
         &machines,
@@ -466,6 +550,7 @@ pub fn table6_model() -> TableOutput {
             let ppc = if config.starts_with("10 ") { 10 } else { 100 };
             GtcWorkload::new(ppc, procs).phases(GtcVariant::for_machine(machine))
         },
+        threads,
     );
 
     let mut checks = Vec::new();
@@ -527,56 +612,82 @@ fn table7_cells() -> Vec<(&'static str, &'static str, usize, [usize; 4])> {
     ]
 }
 
-/// Table 7: ES speedup vs each platform (model vs paper).
-pub fn table7_model() -> TableOutput {
+/// Phase stream for one Table 7 / Fig. 9 application cell.
+fn app_phases(app: &str, config: &str, machine: &str, procs: usize) -> Vec<pvs_core::phase::Phase> {
     use pvs_cactus::perf::{CactusVariant, CactusWorkload};
     use pvs_gtc::perf::{GtcVariant, GtcWorkload};
     use pvs_lbmhd::perf::LbmhdWorkload;
     use pvs_paratec::perf::ParatecWorkload;
+    match app {
+        "LBMHD" => {
+            let grid = if config.starts_with("4096") {
+                4096
+            } else {
+                8192
+            };
+            LbmhdWorkload::new(grid, procs).phases()
+        }
+        "PARATEC" => {
+            if config.starts_with("432") {
+                ParatecWorkload::si432(procs).phases()
+            } else {
+                ParatecWorkload::si686(procs).phases()
+            }
+        }
+        "CACTUS" => {
+            let w = if config == "80x80x80" {
+                CactusWorkload::small(procs)
+            } else {
+                CactusWorkload::large(procs)
+            };
+            w.phases(CactusVariant::for_machine(machine))
+        }
+        "GTC" => {
+            let ppc = if config.starts_with("10 ") { 10 } else { 100 };
+            GtcWorkload::new(ppc, procs).phases(GtcVariant::for_machine(machine))
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
 
-    let run_app = |app: &str, config: &str, machine: &str, procs: usize| -> f64 {
-        let phases = match app {
-            "LBMHD" => {
-                let grid = if config.starts_with("4096") {
-                    4096
-                } else {
-                    8192
-                };
-                LbmhdWorkload::new(grid, procs).phases()
-            }
-            "PARATEC" => {
-                if config.starts_with("432") {
-                    ParatecWorkload::si432(procs).phases()
-                } else {
-                    ParatecWorkload::si686(procs).phases()
-                }
-            }
-            "CACTUS" => {
-                let w = if config == "80x80x80" {
-                    CactusWorkload::small(procs)
-                } else {
-                    CactusWorkload::large(procs)
-                };
-                w.phases(CactusVariant::for_machine(machine))
-            }
-            "GTC" => {
-                let ppc = if config.starts_with("10 ") { 10 } else { 100 };
-                GtcWorkload::new(ppc, procs).phases(GtcVariant::for_machine(machine))
-            }
-            other => panic!("unknown app {other}"),
-        };
-        run_on(machine, &phases, procs).gflops_per_p
-    };
+/// Table 7: ES speedup vs each platform (model vs paper).
+pub fn table7_model() -> TableOutput {
+    table7_model_threads(default_threads())
+}
 
+/// [`table7_model`] with an explicit worker count (1 = serial reference;
+/// any count renders identically).
+pub fn table7_model_threads(threads: usize) -> TableOutput {
     let mut table = Table::new(
         "Table 7: ES speedup vs each platform, largest comparable configuration (model vs paper)",
         &["Name", "Power3", "Power4", "Altix", "X1"],
     );
     let paper7 = paper::table7();
-    let mut comparisons = Vec::new();
     let comparators = ["Power3", "Power4", "Altix", "X1"];
-    let mut sums = [0.0f64; 4];
+
+    // Pass 1: two jobs (ES + comparator) per cell, row-major.
+    let mut jobs: Vec<SweepJob> = Vec::new();
     for (app, config, _, procs_per_machine) in table7_cells() {
+        for (col, &m) in comparators.iter().enumerate() {
+            let p = procs_per_machine[col];
+            for machine in ["ES", m] {
+                jobs.push(SweepJob {
+                    machine: machine_by_name(machine),
+                    phases: app_phases(app, config, machine, p),
+                    procs: p,
+                });
+            }
+        }
+    }
+
+    // Pass 2: evaluate.
+    let results = run_sweep_threads(jobs, threads);
+
+    // Pass 3: assemble speedups in enumeration order.
+    let mut comparisons = Vec::new();
+    let mut sums = [0.0f64; 4];
+    let mut next = results.iter();
+    for (app, _, _, _) in table7_cells() {
         let mut cells = vec![app.to_string()];
         let paper_row = paper7
             .iter()
@@ -584,9 +695,8 @@ pub fn table7_model() -> TableOutput {
             .map(|(_, v)| *v)
             .expect("paper row");
         for (col, &m) in comparators.iter().enumerate() {
-            let p = procs_per_machine[col];
-            let es = run_app(app, config, "ES", p);
-            let other = run_app(app, config, m, p);
+            let es = next.next().expect("ES report").gflops_per_p;
+            let other = next.next().expect("comparator report").gflops_per_p;
             let speedup = es / other;
             sums[col] += speedup;
             cells.push(format!("{speedup:.1} (paper {:.1})", paper_row[col]));
@@ -626,11 +736,12 @@ pub fn table7_model() -> TableOutput {
 /// Figure 9: sustained fraction of peak at P=64 (Cactus Power4 at P=16),
 /// largest comparable problem sizes.
 pub fn fig9_model() -> TableOutput {
-    use pvs_cactus::perf::{CactusVariant, CactusWorkload};
-    use pvs_gtc::perf::{GtcVariant, GtcWorkload};
-    use pvs_lbmhd::perf::LbmhdWorkload;
-    use pvs_paratec::perf::ParatecWorkload;
+    fig9_model_threads(default_threads())
+}
 
+/// [`fig9_model`] with an explicit worker count (1 = serial reference;
+/// any count renders identically).
+pub fn fig9_model_threads(threads: usize) -> TableOutput {
     let machines = ["Power3", "Power4", "Altix", "ES", "X1"];
     let mut table = Table::new(
         "Figure 9: Sustained performance (% of peak) using 64 processors (model vs paper)",
@@ -655,26 +766,42 @@ pub fn fig9_model() -> TableOutput {
             [Some(9.0), Some(6.0), Some(5.0), Some(16.0), Some(11.0)],
         ),
     ];
+    // Fig. 9 configurations are the largest comparable sizes of Tables 3-6.
+    let config_for = |app: &str| match app {
+        "LBMHD" => "8192x8192",
+        "PARATEC" => "432 atom",
+        "CACTUS" => "250x64x64",
+        "GTC" => "100 part/cell",
+        _ => unreachable!(),
+    };
+    // Cactus Power4 ran only P=16 on the large case.
+    let procs_for = |app: &str, m: &str| if app == "CACTUS" && m == "Power4" { 16 } else { 64 };
+
+    // Pass 1: one job per (app, machine) cell, row-major.
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for (app, _) in &paper_vals {
+        for &m in &machines {
+            let procs = procs_for(app, m);
+            jobs.push(SweepJob {
+                machine: machine_by_name(m),
+                phases: app_phases(app, config_for(app), m, procs),
+                procs,
+            });
+        }
+    }
+
+    // Pass 2: evaluate.
+    let results = run_sweep_threads(jobs, threads);
+
+    // Pass 3: assemble in enumeration order.
     let mut comparisons = Vec::new();
     let mut model_vals: Vec<[f64; 5]> = Vec::new();
+    let mut next = results.iter();
     for (app, paper_row) in &paper_vals {
         let mut cells = vec![app.to_string()];
         let mut row_vals = [0.0f64; 5];
         for (col, &m) in machines.iter().enumerate() {
-            // Cactus Power4 ran only P=16 on the large case.
-            let procs = if *app == "CACTUS" && m == "Power4" {
-                16
-            } else {
-                64
-            };
-            let phases = match *app {
-                "LBMHD" => LbmhdWorkload::new(8192, procs).phases(),
-                "PARATEC" => ParatecWorkload::si432(procs).phases(),
-                "CACTUS" => CactusWorkload::large(procs).phases(CactusVariant::for_machine(m)),
-                "GTC" => GtcWorkload::new(100, procs).phases(GtcVariant::for_machine(m)),
-                _ => unreachable!(),
-            };
-            let r = run_on(m, &phases, procs);
+            let r = next.next().expect("fig9 report");
             row_vals[col] = r.pct_peak;
             if let Some(p) = paper_row[col] {
                 comparisons.push(Comparison::new(

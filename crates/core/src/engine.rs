@@ -10,6 +10,7 @@
 
 use crate::machine::{CpuClass, Machine};
 use crate::phase::{CommPattern, CommPhase, LoopPhase, Phase};
+use crate::pool::{default_threads, ThreadPool};
 use crate::report::{PerfReport, PhaseBreakdown};
 use pvs_memsim::banks::BankedMemory;
 use pvs_memsim::trace::scrambled_indices;
@@ -108,6 +109,37 @@ impl Engine {
             },
             phases: breakdown,
         }
+    }
+
+    /// Execute a batch of `(phases, procs)` configurations on this
+    /// machine, fanned out across host cores, with results in input order.
+    ///
+    /// Each cell is an independent pure function of `(machine, phases,
+    /// procs)`, so the parallel batch is bit-identical to running
+    /// [`Engine::run`] serially over the same configurations.
+    pub fn run_sweep(&self, batch: Vec<(Vec<Phase>, usize)>) -> Vec<PerfReport> {
+        self.run_sweep_threads(batch, default_threads())
+    }
+
+    /// [`Engine::run_sweep`] with an explicit worker count (1 = serial,
+    /// used by the determinism tests).
+    pub fn run_sweep_threads(
+        &self,
+        batch: Vec<(Vec<Phase>, usize)>,
+        threads: usize,
+    ) -> Vec<PerfReport> {
+        let machine = self.machine.clone();
+        run_sweep_threads(
+            batch
+                .into_iter()
+                .map(|(phases, procs)| SweepJob {
+                    machine: machine.clone(),
+                    phases,
+                    procs,
+                })
+                .collect(),
+            threads,
+        )
     }
 
     fn run_loop(&self, l: &LoopPhase) -> (f64, Option<VectorMetrics>) {
@@ -238,6 +270,45 @@ impl Engine {
         };
         (wire + copy) * c.repetitions as f64
     }
+}
+
+/// One cell of a cross-machine sweep: a machine, its phase stream, and
+/// the processor count the stream was built for.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// The machine model to run on.
+    pub machine: Machine,
+    /// The phase stream (already built for `procs` processors).
+    pub phases: Vec<Phase>,
+    /// Processor count the phases were decomposed for.
+    pub procs: usize,
+}
+
+impl SweepJob {
+    /// Convenience constructor.
+    pub fn new(machine: Machine, phases: Vec<Phase>, procs: usize) -> Self {
+        Self {
+            machine,
+            phases,
+            procs,
+        }
+    }
+}
+
+/// Run a machine × workload × procs grid in parallel across host cores,
+/// returning one report per job **in input order** — the batch engine
+/// behind the Table 3–7 generators in `pvs-bench`.
+pub fn run_sweep(jobs: Vec<SweepJob>) -> Vec<PerfReport> {
+    run_sweep_threads(jobs, default_threads())
+}
+
+/// [`run_sweep`] with an explicit worker count. `threads == 1` is the
+/// serial reference path; any other count produces byte-identical output
+/// because every job is pure and results are reassembled in input order.
+pub fn run_sweep_threads(jobs: Vec<SweepJob>, threads: usize) -> Vec<PerfReport> {
+    ThreadPool::new(threads).map(jobs, |job| {
+        Engine::new(job.machine).run(&job.phases, job.procs)
+    })
 }
 
 #[cfg(test)]
@@ -461,5 +532,47 @@ mod tests {
         let r = Engine::new(platforms::power3()).run(&phases, 16);
         assert!(r.comm_s > 0.0);
         assert!(r.comm_fraction() > 0.0 && r.comm_fraction() < 1.0);
+    }
+
+    /// Render the fields the table generators consume, so byte-identity
+    /// of the parallel path is checked on exactly what users see.
+    fn fingerprint(r: &PerfReport) -> String {
+        format!(
+            "{}|{}|{:.17e}|{:.17e}|{:.17e}|{:.17e}",
+            r.machine, r.procs, r.time_s, r.comm_s, r.gflops_per_p, r.pct_peak
+        )
+    }
+
+    #[test]
+    fn sweep_parallel_output_is_bit_identical_to_serial() {
+        let jobs: Vec<SweepJob> = platforms::all()
+            .into_iter()
+            .flat_map(|m| {
+                [16usize, 64].into_iter().map(move |procs| {
+                    SweepJob::new(m.clone(), vec![lbmhd_like(), blas3_like()], procs)
+                })
+            })
+            .collect();
+        let serial: Vec<String> = run_sweep_threads(jobs.clone(), 1)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let parallel: Vec<String> = run_sweep_threads(jobs, 4).iter().map(fingerprint).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn engine_batch_matches_individual_runs() {
+        let engine = Engine::new(platforms::x1());
+        let batch = vec![
+            (vec![lbmhd_like()], 4usize),
+            (vec![blas3_like()], 16),
+            (vec![lbmhd_like(), blas3_like()], 64),
+        ];
+        let swept = engine.run_sweep(batch.clone());
+        for ((phases, procs), got) in batch.into_iter().zip(&swept) {
+            let lone = engine.run(&phases, procs);
+            assert_eq!(fingerprint(&lone), fingerprint(got));
+        }
     }
 }

@@ -17,7 +17,13 @@
 //!   crates (`pvs-lbmhd`, `pvs-paratec`, `pvs-cactus`, `pvs-gtc`);
 //! * [`engine`]: the execution model that maps a phase stream onto a
 //!   machine, producing wall-clock time, Gflop/s per processor, percentage
-//!   of peak, AVL and VOR — the exact columns of Tables 3–6.
+//!   of peak, AVL and VOR — the exact columns of Tables 3–6, plus the
+//!   [`engine::run_sweep`] batch API that fans a machine × workload ×
+//!   procs grid out across host cores with deterministic result ordering;
+//! * [`pool`]: the std-only work-sharing thread pool behind `run_sweep`
+//!   (no external crates — the whole workspace builds offline);
+//! * [`rng`]: deterministic in-tree SplitMix64/PCG32 generators replacing
+//!   `rand`, so every seeded simulation is bit-reproducible.
 //!
 //! ## Example
 //!
@@ -42,9 +48,13 @@ pub mod engine;
 pub mod machine;
 pub mod phase;
 pub mod platforms;
+pub mod pool;
 pub mod report;
+pub mod rng;
 
-pub use engine::Engine;
+pub use engine::{run_sweep, run_sweep_threads, Engine, SweepJob};
 pub use machine::{CpuClass, Machine};
 pub use phase::{CommPattern, Phase, VectorizationInfo};
+pub use pool::ThreadPool;
 pub use report::{PerfReport, PhaseBreakdown};
+pub use rng::{Pcg32, SplitMix64};

@@ -1,0 +1,317 @@
+//! A work-sharing thread pool on `std::thread` + `Mutex`/`Condvar`, with
+//! deterministic result ordering.
+//!
+//! The paper's evaluation is a grid — 4 applications × 5 machines × many
+//! processor counts — and every cell is an independent `Engine::run`. This
+//! pool fans those cells out across host cores. Two guarantees make the
+//! parallel sweep drop-in for the serial one:
+//!
+//! * **Deterministic ordering** — [`ThreadPool::map`] returns results in
+//!   input order regardless of which worker finished first, so table and
+//!   figure output is byte-identical to the serial path.
+//! * **Panic propagation** — a panic inside a task is captured and
+//!   re-raised on the caller's thread once all tasks of the batch have
+//!   drained (the earliest-indexed panic wins, again deterministically).
+//!
+//! No external crates: the queue is a `Mutex<VecDeque>` woken by a
+//! `Condvar`, workers are plain `std::thread`s, and completion is counted
+//! under the same lock (work-sharing: idle workers pull the next task the
+//! moment they finish, so ragged task durations still load-balance).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is pushed or shutdown begins.
+    work_ready: Condvar,
+}
+
+/// The pool. Dropping it drains outstanding jobs and joins the workers.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Number of worker threads to use by default: the `PVS_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// host's available parallelism (1 if that cannot be determined).
+pub fn default_threads() -> usize {
+    match std::env::var("PVS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pvs-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Pool sized by [`default_threads`].
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a fire-and-forget job. A panicking job is contained (the
+    /// worker survives); use [`ThreadPool::map`] when the caller needs the
+    /// panic re-raised.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock().expect("pool lock");
+        assert!(!q.shutdown, "spawn on a shut-down pool");
+        q.jobs.push_back(Box::new(job));
+        drop(q);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Apply `f` to every item, in parallel, returning results **in input
+    /// order**. Panics in `f` are re-raised here after the whole batch has
+    /// drained; when several tasks panic, the lowest-indexed panic is the
+    /// one re-raised, so failure behaviour is deterministic too.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        struct Batch<R> {
+            slots: Mutex<BatchSlots<R>>,
+            done: Condvar,
+        }
+        struct BatchSlots<R> {
+            results: Vec<Option<std::thread::Result<R>>>,
+            finished: usize,
+        }
+        let batch = Arc::new(Batch {
+            slots: Mutex::new(BatchSlots {
+                results: (0..n).map(|_| None).collect(),
+                finished: 0,
+            }),
+            done: Condvar::new(),
+        });
+        let f = Arc::new(f);
+        for (i, item) in items.into_iter().enumerate() {
+            let batch = Arc::clone(&batch);
+            let f = Arc::clone(&f);
+            self.spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                let mut slots = batch.slots.lock().expect("batch lock");
+                slots.results[i] = Some(out);
+                slots.finished += 1;
+                if slots.finished == slots.results.len() {
+                    batch.done.notify_all();
+                }
+            });
+        }
+        let mut slots = batch.slots.lock().expect("batch lock");
+        while slots.finished < n {
+            slots = batch.done.wait(slots).expect("batch wait");
+        }
+        let results = std::mem::take(&mut slots.results);
+        drop(slots);
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for r in results {
+            match r.expect("slot filled") {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool lock");
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_ready.wait(q).expect("pool wait");
+            }
+        };
+        // Contain panics so one bad task cannot take the worker down;
+        // `map` re-raises them on the submitting thread.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// One-shot convenience: map `items` through `f` on a temporary pool of
+/// `threads` workers, preserving input order.
+pub fn parallel_map_threads<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    ThreadPool::new(threads).map(items, f)
+}
+
+/// [`parallel_map_threads`] with [`default_threads`] workers.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    parallel_map_threads(items, default_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order() {
+        // Ragged task durations: later items finish first, results must
+        // still come back in input order.
+        let pool = ThreadPool::new(4);
+        let out = pool.map((0..64usize).collect(), |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_degenerate_case_matches() {
+        let serial = parallel_map_threads((0..40u64).collect(), 1, |i| i.wrapping_mul(31) ^ 5);
+        let wide = parallel_map_threads((0..40u64).collect(), 8, |i| i.wrapping_mul(31) ^ 5);
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        let pool = ThreadPool::new(3);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0, 1, 2, 3], |i| {
+                if i == 2 {
+                    panic!("task {i} exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("task 2 exploded"), "payload: {msg}");
+        // The pool survives the panic and keeps serving.
+        assert_eq!(pool.map(vec![10, 20], |x| x + 1), vec![11, 21]);
+    }
+
+    #[test]
+    fn workers_share_the_queue() {
+        // With 4 workers and 4 long tasks, all should run concurrently —
+        // observed as a peak in-flight count above 1. (On a single-core
+        // host the scheduler may still interleave them; require >= 2 only
+        // when parallelism is real.)
+        let pool = ThreadPool::new(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let (p, f) = (Arc::clone(&peak), Arc::clone(&inflight));
+        pool.map((0..8u32).collect(), move |_| {
+            let now = f.fetch_add(1, Ordering::SeqCst) + 1;
+            p.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            f.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains the queue before joining
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,7 +1,6 @@
 //! Particle storage (structure-of-arrays, as vector machines demand).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pvs_core::rng::Pcg32;
 
 /// A population of gyrokinetic marker particles (guiding centres plus
 /// gyroradius and weight), stored SoA so the deposition and push loops
@@ -54,16 +53,18 @@ impl Particles {
 
     /// Uniformly loaded population: `n` particles over an `nx × ny`
     /// domain, gyroradii in `[0.5, rho_max]`, unit weights scaled so the
-    /// mean charge density is 1.
+    /// mean charge density is 1. Draws come from the in-tree
+    /// [`Pcg32`] generator, so a given seed produces the same population
+    /// on every host and toolchain.
     pub fn load_uniform(n: usize, nx: usize, ny: usize, rho_max: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let mut p = Particles::default();
         let w = (nx * ny) as f64 / n as f64;
         for _ in 0..n {
             p.push(
-                rng.gen::<f64>() * nx as f64,
-                rng.gen::<f64>() * ny as f64,
-                0.5 + rng.gen::<f64>() * (rho_max - 0.5).max(0.0),
+                rng.next_f64() * nx as f64,
+                rng.next_f64() * ny as f64,
+                0.5 + rng.next_f64() * (rho_max - 0.5).max(0.0),
                 w,
             );
         }

@@ -101,7 +101,6 @@ pub fn orthonormality_error(m: &ZMatrix) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn test_matrix(rows: usize, cols: usize, seed: u64) -> ZMatrix {
         ZMatrix::from_fn(rows, cols, |i, j| {
@@ -161,14 +160,22 @@ mod tests {
         assert!(a.max_abs_diff(&b) < 1e-10);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        #[test]
-        fn spans_preserved_dimension(rows in 8usize..40, cols in 1usize..6, seed in 0u64..1000) {
-            let cols = cols.min(rows);
-            let mut m = test_matrix(rows, cols, seed);
-            gram_schmidt(&mut m);
-            prop_assert!(orthonormality_error(&m) < 1e-9);
+    #[test]
+    fn spans_preserved_dimension() {
+        // Former proptest property: every column count against tall,
+        // square-ish and minimal row counts, three seeds each.
+        for rows in [8usize, 17, 39] {
+            for cols in 1usize..6 {
+                for seed in [0u64, 421, 999] {
+                    let cols = cols.min(rows);
+                    let mut m = test_matrix(rows, cols, seed);
+                    gram_schmidt(&mut m);
+                    assert!(
+                        orthonormality_error(&m) < 1e-9,
+                        "rows={rows} cols={cols} seed={seed}"
+                    );
+                }
+            }
         }
     }
 }

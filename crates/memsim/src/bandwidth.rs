@@ -339,6 +339,70 @@ mod tests {
     }
 
     #[test]
+    fn bandwidth_monotonic_in_working_set() {
+        // Deterministic sweep: growing the working set never increases
+        // sustained bandwidth (cache capture only ever helps), for every
+        // access pattern, across sizes straddling both cache capacities.
+        let m = power3_model();
+        let patterns = [
+            AccessPattern::UnitStride,
+            AccessPattern::Strided {
+                stride_elems: 4,
+                elem_bytes: 8,
+            },
+            AccessPattern::Strided {
+                stride_elems: 64,
+                elem_bytes: 8,
+            },
+            AccessPattern::Indirect {
+                elem_bytes: 8,
+                reuse: 0.5,
+            },
+            AccessPattern::GhostZoneSweep {
+                interior_elems: 512,
+                elem_bytes: 8,
+                streams: 2,
+            },
+        ];
+        for pattern in patterns {
+            let mut prev = f64::INFINITY;
+            for shift in 10..31 {
+                let ws = 1usize << shift;
+                let bw = m.sustained_gbs(ws, pattern);
+                assert!(
+                    bw <= prev * (1.0 + 1e-12),
+                    "ws={ws} pattern={pattern:?}: {bw} > {prev}"
+                );
+                prev = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn line_utilization_bounded_and_reuse_monotone() {
+        // Utilization stays in (0, 1] over a stride sweep, and indirect
+        // utilization never decreases with reuse.
+        let m = power3_model();
+        for stride in [1usize, 2, 3, 8, 15, 16, 17, 64, 255] {
+            let u = m.line_utilization(AccessPattern::Strided {
+                stride_elems: stride,
+                elem_bytes: 8,
+            });
+            assert!(u > 0.0 && u <= 1.0, "stride={stride}: {u}");
+        }
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let reuse = i as f64 / 10.0;
+            let u = m.line_utilization(AccessPattern::Indirect {
+                elem_bytes: 8,
+                reuse,
+            });
+            assert!(u >= prev - 1e-12, "reuse={reuse}");
+            prev = u;
+        }
+    }
+
+    #[test]
     fn cacheless_model_is_pattern_insensitive_here() {
         let m = BandwidthModel::cacheless(32.0);
         let a = m.sustained_gbs(1 << 30, AccessPattern::UnitStride);

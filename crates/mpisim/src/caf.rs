@@ -12,8 +12,7 @@
 //! and holds handles to every other rank's window.
 
 use crate::comm::Comm;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A co-array: one window of `len` doubles per rank, remotely accessible.
 pub struct CoArray {
@@ -67,25 +66,25 @@ impl CoArray {
     /// One-sided put: write `data` into image `image`'s window starting at
     /// `offset` (co-array remote assignment `a(off:off+n)[image] = data`).
     pub fn put(&self, image: usize, offset: usize, data: &[f64]) {
-        let mut w = self.windows[image].write();
+        let mut w = self.windows[image].write().expect("window lock");
         w[offset..offset + data.len()].copy_from_slice(data);
     }
 
     /// One-sided get: read `len` elements from image `image` at `offset`.
     pub fn get(&self, image: usize, offset: usize, len: usize) -> Vec<f64> {
-        let w = self.windows[image].read();
+        let w = self.windows[image].read().expect("window lock");
         w[offset..offset + len].to_vec()
     }
 
     /// Read-modify access to the local window.
     pub fn local_mut<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
-        let mut w = self.windows[self.rank].write();
+        let mut w = self.windows[self.rank].write().expect("window lock");
         f(&mut w)
     }
 
     /// Read access to the local window.
     pub fn local<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
-        let w = self.windows[self.rank].read();
+        let w = self.windows[self.rank].read().expect("window lock");
         f(&w)
     }
 }

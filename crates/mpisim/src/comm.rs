@@ -1,8 +1,8 @@
 //! Two-sided communication: ranks, typed messages, collectives.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
 
 /// Payload of an in-flight message.
 #[derive(Debug, Clone)]
@@ -10,7 +10,7 @@ pub(crate) enum Payload {
     /// Floating-point data (the applications exchange f64 arrays).
     Data(Vec<f64>),
     /// A shared window handle, used once during co-array creation.
-    Window(Arc<parking_lot::RwLock<Vec<f64>>>),
+    Window(Arc<RwLock<Vec<f64>>>),
 }
 
 #[derive(Debug, Clone)]
@@ -109,12 +109,7 @@ impl Comm {
         }
     }
 
-    pub(crate) fn send_window(
-        &mut self,
-        dst: usize,
-        tag: u64,
-        w: Arc<parking_lot::RwLock<Vec<f64>>>,
-    ) {
+    pub(crate) fn send_window(&mut self, dst: usize, tag: u64, w: Arc<RwLock<Vec<f64>>>) {
         self.senders[dst]
             .send(Packet {
                 src: self.rank,
@@ -124,11 +119,7 @@ impl Comm {
             .expect("receiver alive");
     }
 
-    pub(crate) fn recv_window(
-        &mut self,
-        src: usize,
-        tag: u64,
-    ) -> Arc<parking_lot::RwLock<Vec<f64>>> {
+    pub(crate) fn recv_window(&mut self, src: usize, tag: u64) -> Arc<RwLock<Vec<f64>>> {
         if let Some(pos) = self
             .pending
             .iter()
@@ -302,7 +293,7 @@ where
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
     for _ in 0..nranks {
-        let (s, r) = unbounded::<Packet>();
+        let (s, r) = channel::<Packet>();
         senders.push(s);
         receivers.push(r);
     }

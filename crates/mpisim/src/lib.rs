@@ -3,10 +3,11 @@
 //! The four applications of the SC 2004 study are distributed-memory MPI
 //! codes (LBMHD additionally has a Co-array Fortran port). This crate
 //! provides the runtime they run on in this reproduction: ranks are OS
-//! threads, messages are typed packets over `crossbeam` channels, and the
-//! one-sided (CAF/SHMEM-style) layer exposes remote windows through shared
-//! memory — the same semantics hardware-supported globally addressable
-//! memory gives the X1.
+//! threads, messages are typed packets over `std::sync::mpsc` channels,
+//! and the one-sided (CAF/SHMEM-style) layer exposes remote windows
+//! through shared memory (`std::sync::RwLock`) — the same semantics
+//! hardware-supported globally addressable memory gives the X1. The whole
+//! runtime is standard library only, so it builds with no network access.
 //!
 //! * [`comm`]: two-sided primitives (`send`/`recv` with tag matching and
 //!   out-of-order buffering), collectives (barrier, allreduce, gather,

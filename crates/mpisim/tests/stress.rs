@@ -1,8 +1,9 @@
 //! Stress and property tests for the message-passing runtime: ragged
 //! payloads, adversarial orderings, repeated collectives, and co-array
-//! consistency under load.
+//! consistency under load. The former `proptest` properties are run as
+//! deterministic parameter sweeps so they execute on every `cargo test`
+//! with no external dependencies.
 
-use proptest::prelude::*;
 use pvs_mpisim::caf::CoArray;
 use pvs_mpisim::run;
 
@@ -122,45 +123,63 @@ fn coarray_puts_from_all_ranks_land() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Deterministic stand-in for proptest's float vectors: a fixed-seed hash
+/// stream mapped into `[-1e6, 1e6)`.
+fn payload_of(len: usize, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            ((h >> 11) as f64 / (1u64 << 53) as f64) * 2e6 - 1e6
+        })
+        .collect()
+}
 
-    #[test]
-    fn allgather_preserves_arbitrary_payloads(
-        payload in prop::collection::vec(-1e6f64..1e6, 0..20),
-        ranks in 2usize..6,
-    ) {
-        let payload_c = payload.clone();
-        let results = run(ranks, move |mut comm| {
-            // Each rank contributes the payload scaled by its rank.
-            let mine: Vec<f64> = payload_c.iter().map(|v| v * (comm.rank() + 1) as f64).collect();
-            comm.allgather(&mine)
-        });
-        for gathered in &results {
-            prop_assert_eq!(gathered.len(), ranks);
-            for (src, part) in gathered.iter().enumerate() {
-                prop_assert_eq!(part.len(), payload.len());
-                for (a, b) in part.iter().zip(&payload) {
-                    prop_assert!((a - b * (src + 1) as f64).abs() < 1e-9);
+#[test]
+fn allgather_preserves_arbitrary_payloads() {
+    for ranks in 2usize..6 {
+        for len in [0usize, 1, 7, 19] {
+            let payload = payload_of(len, ranks as u64 * 31 + len as u64);
+            let payload_c = payload.clone();
+            let results = run(ranks, move |mut comm| {
+                // Each rank contributes the payload scaled by its rank.
+                let mine: Vec<f64> = payload_c
+                    .iter()
+                    .map(|v| v * (comm.rank() + 1) as f64)
+                    .collect();
+                comm.allgather(&mine)
+            });
+            for gathered in &results {
+                assert_eq!(gathered.len(), ranks);
+                for (src, part) in gathered.iter().enumerate() {
+                    assert_eq!(part.len(), payload.len());
+                    for (a, b) in part.iter().zip(&payload) {
+                        assert!((a - b * (src + 1) as f64).abs() < 1e-9);
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn broadcast_from_any_root(root in 0usize..5, len in 0usize..32) {
-        let results = run(5, move |mut comm| {
-            let data = if comm.rank() == root {
-                (0..len).map(|i| i as f64 * 1.5).collect()
-            } else {
-                Vec::new()
-            };
-            comm.broadcast(root, data)
-        });
-        for r in &results {
-            prop_assert_eq!(r.len(), len);
-            for (i, &v) in r.iter().enumerate() {
-                prop_assert_eq!(v, i as f64 * 1.5);
+#[test]
+fn broadcast_from_any_root() {
+    for root in 0usize..5 {
+        for len in [0usize, 5, 31] {
+            let results = run(5, move |mut comm| {
+                let data = if comm.rank() == root {
+                    (0..len).map(|i| i as f64 * 1.5).collect()
+                } else {
+                    Vec::new()
+                };
+                comm.broadcast(root, data)
+            });
+            for r in &results {
+                assert_eq!(r.len(), len);
+                for (i, &v) in r.iter().enumerate() {
+                    assert_eq!(v, i as f64 * 1.5);
+                }
             }
         }
     }

@@ -417,6 +417,51 @@ mod tests {
     }
 
     #[test]
+    fn routes_valid_and_symmetric_across_topologies() {
+        // Deterministic all-pairs sweep over every topology family at
+        // several endpoint counts (including non-powers of the arity):
+        // every route uses in-range link ids, and hop counts are
+        // symmetric for these symmetric topologies.
+        for endpoints in [1usize, 2, 5, 8, 13, 16, 27] {
+            let kinds = [
+                TopologyKind::Crossbar,
+                TopologyKind::FatTree {
+                    arity: 2,
+                    slim: 1.0,
+                },
+                TopologyKind::FatTree {
+                    arity: 4,
+                    slim: 0.5,
+                },
+                TopologyKind::Torus2D,
+            ];
+            for kind in kinds {
+                let net = Network::new(cfg(kind, endpoints));
+                for s in 0..endpoints {
+                    for d in 0..endpoints {
+                        let route = net.route(s, d);
+                        for id in &route {
+                            assert!(
+                                *id < net.num_links(),
+                                "{kind:?} n={endpoints} {s}->{d}: link {id}"
+                            );
+                            assert!(net.link_bw(*id) > 0.0);
+                        }
+                        assert_eq!(
+                            route.len(),
+                            net.hops(d, s),
+                            "{kind:?} n={endpoints} {s}<->{d} asymmetric"
+                        );
+                        if s == d {
+                            assert!(route.is_empty());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn near_square_factors() {
         assert_eq!(near_square(16), (4, 4));
         assert_eq!(near_square(32), (8, 4));

@@ -37,7 +37,6 @@ pub fn average_vector_length(n: usize, vl: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn exact_multiple() {
@@ -78,22 +77,43 @@ mod tests {
         assert!((average_vector_length(80, 64) - 40.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn chunks_sum_to_n(n in 0usize..10_000, vl in 1usize..512) {
-            prop_assert_eq!(strip_chunks(n, vl).iter().sum::<usize>(), n);
-        }
+    // The former proptest properties, swept deterministically over a grid
+    // that hits every boundary class: vl | n, n < vl, n = vl ± 1, n = 0,
+    // prime/awkward values, and the hardware vector lengths (64, 256).
+    const NS: [usize; 16] = [
+        0, 1, 2, 3, 10, 63, 64, 65, 100, 250, 255, 256, 257, 999, 4096, 9999,
+    ];
+    const VLS: [usize; 9] = [1, 2, 3, 7, 63, 64, 256, 500, 511];
 
-        #[test]
-        fn avl_bounded_by_vl(n in 1usize..10_000, vl in 1usize..512) {
-            let avl = average_vector_length(n, vl);
-            prop_assert!(avl > 0.0 && avl <= vl as f64 + 1e-12);
+    #[test]
+    fn chunks_sum_to_n() {
+        for n in NS {
+            for vl in VLS {
+                assert_eq!(strip_chunks(n, vl).iter().sum::<usize>(), n, "n={n} vl={vl}");
+            }
         }
+    }
 
-        #[test]
-        fn all_chunks_positive_and_bounded(n in 1usize..10_000, vl in 1usize..512) {
-            for c in strip_chunks(n, vl) {
-                prop_assert!(c >= 1 && c <= vl);
+    #[test]
+    fn avl_bounded_by_vl() {
+        for n in NS.into_iter().filter(|&n| n >= 1) {
+            for vl in VLS {
+                let avl = average_vector_length(n, vl);
+                assert!(
+                    avl > 0.0 && avl <= vl as f64 + 1e-12,
+                    "n={n} vl={vl} avl={avl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_chunks_positive_and_bounded() {
+        for n in NS.into_iter().filter(|&n| n >= 1) {
+            for vl in VLS {
+                for c in strip_chunks(n, vl) {
+                    assert!(c >= 1 && c <= vl, "n={n} vl={vl} chunk={c}");
+                }
             }
         }
     }
