@@ -205,6 +205,35 @@ impl CactusWorkload {
     }
 }
 
+/// The kernels this crate registers with the static-analysis layer: both
+/// Table 5 block shapes (80³ and the ES-memory-forced 250×64×64) on both
+/// vector machines, each with that machine's own port variant. The two
+/// shapes are the paper's own AVL discussion: x-extent 80 vs 250 is what
+/// drives the reported AVL difference.
+pub fn kernel_descriptors() -> Vec<pvs_core::kernel::KernelDescriptor> {
+    use pvs_core::kernel::{descriptors_from_phases, MachineKind};
+    let mut out = Vec::new();
+    for (tag, w) in [
+        ("small", CactusWorkload::small(64)),
+        ("large", CactusWorkload::large(64)),
+    ] {
+        for machine in [MachineKind::Es, MachineKind::X1Msp] {
+            let variant = CactusVariant::for_machine(machine.name());
+            let mut ds = descriptors_from_phases(
+                "cactus",
+                "crates/cactus/src/perf.rs",
+                machine,
+                &w.phases(variant),
+            );
+            for d in &mut ds {
+                d.kernel = format!("{tag}/{}", d.kernel);
+            }
+            out.extend(ds);
+        }
+    }
+    out
+}
+
 /// The processor counts of Table 5.
 pub fn table5_procs() -> Vec<usize> {
     vec![16, 64, 256, 1024]
@@ -220,6 +249,24 @@ mod tests {
     fn run(machine: pvs_core::machine::Machine, w: &CactusWorkload) -> PerfReport {
         let variant = CactusVariant::for_machine(machine.name);
         Engine::new(machine).run(&w.phases(variant), w.procs)
+    }
+
+    #[test]
+    fn registered_kernels_static_dynamic_agree() {
+        for d in kernel_descriptors() {
+            let s = d.static_prediction();
+            let m = d.dynamic_metrics();
+            if s.avl > 0.0 {
+                assert!(
+                    (m.avl() - s.avl).abs() / s.avl < 0.05,
+                    "{}: static AVL {} vs dynamic {}",
+                    d.kernel,
+                    s.avl,
+                    m.avl()
+                );
+            }
+            assert!((m.vor() - s.vor).abs() < 0.05, "{}", d.kernel);
+        }
     }
 
     #[test]

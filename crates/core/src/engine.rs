@@ -8,6 +8,7 @@
 //! by the discrete-event network simulator in `pvs-netsim`, with one-sided
 //! (CAF) semantics skipping the MPI intermediate-copy traffic.
 
+use crate::kernel::vector_loop_from_phase;
 use crate::machine::{CpuClass, Machine};
 use crate::phase::{CommPattern, CommPhase, LoopPhase, Phase};
 use crate::pool::{default_threads, ThreadPool};
@@ -18,7 +19,7 @@ use pvs_netsim::collectives::{
     all_to_all_time_sampled, allreduce_time, halo_exchange_2d_time, halo_exchange_3d_time,
 };
 use pvs_netsim::topology::Network;
-use pvs_vectorsim::exec::{LoopClass, MemoryEnv, VectorLoop, VectorUnit};
+use pvs_vectorsim::exec::{MemoryEnv, VectorUnit};
 use pvs_vectorsim::metrics::VectorMetrics;
 
 /// Accesses sampled when simulating bank behaviour for a loop phase.
@@ -149,26 +150,7 @@ impl Engine {
                 banks,
                 mem_efficiency,
             } => {
-                let class = if l.vector.vectorizable {
-                    LoopClass::Vectorizable {
-                        multistreamable: l.vector.multistreamable,
-                    }
-                } else {
-                    LoopClass::Scalar
-                };
-                // The overhead multiplier models non-MADD operation mixes
-                // and vector-register spilling by inflating the effective
-                // instruction count per iteration.
-                let overhead = l.vector.vector_op_overhead.max(1.0);
-                let vloop = VectorLoop {
-                    trips: l.trips,
-                    outer_iters: l.outer_iters,
-                    flops_per_iter: l.flops_per_iter * overhead,
-                    bytes_per_iter: l.bytes_per_iter,
-                    live_vector_temps: l.vector.live_vector_temps,
-                    gather_fraction: l.vector.gather_fraction,
-                    class,
-                };
+                let vloop = vector_loop_from_phase(l);
                 let efficiency = mem_efficiency * self.bank_efficiency(l, banks);
                 let env = MemoryEnv {
                     bytes_per_cycle: self.machine.bytes_per_cycle(),

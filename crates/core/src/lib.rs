@@ -45,6 +45,7 @@
 //! ```
 
 pub mod engine;
+pub mod kernel;
 pub mod machine;
 pub mod phase;
 pub mod platforms;
@@ -53,6 +54,7 @@ pub mod report;
 pub mod rng;
 
 pub use engine::{run_sweep, run_sweep_threads, Engine, SweepJob};
+pub use kernel::{KernelDescriptor, MachineKind, StaticPrediction};
 pub use machine::{CpuClass, Machine};
 pub use phase::{CommPattern, Phase, VectorizationInfo};
 pub use pool::ThreadPool;

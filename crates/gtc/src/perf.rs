@@ -254,6 +254,26 @@ impl GtcWorkload {
     }
 }
 
+/// The kernels this crate registers with the static-analysis layer: the
+/// Table 6 loop phases of a representative configuration, using each
+/// vector machine's own code variant (the ES keeps the nested-if scalar
+/// shift; the X1 runs the split-condition vector rewrite).
+pub fn kernel_descriptors() -> Vec<pvs_core::kernel::KernelDescriptor> {
+    use pvs_core::kernel::{descriptors_from_phases, MachineKind};
+    let w = GtcWorkload::new(10, 64);
+    let mut out = Vec::new();
+    for machine in [MachineKind::Es, MachineKind::X1Msp] {
+        let variant = GtcVariant::for_machine(machine.name());
+        out.extend(descriptors_from_phases(
+            "gtc",
+            "crates/gtc/src/perf.rs",
+            machine,
+            &w.phases(variant),
+        ));
+    }
+    out
+}
+
 /// The Table 6 cells: (particles per cell, procs).
 pub fn table6_configs() -> Vec<(usize, usize)> {
     vec![(10, 32), (10, 64), (100, 32), (100, 64)]
@@ -269,6 +289,24 @@ mod tests {
     fn run(machine: pvs_core::machine::Machine, w: &GtcWorkload) -> PerfReport {
         let variant = GtcVariant::for_machine(machine.name);
         Engine::new(machine).run(&w.phases(variant), w.procs)
+    }
+
+    #[test]
+    fn registered_kernels_static_dynamic_agree() {
+        for d in kernel_descriptors() {
+            let s = d.static_prediction();
+            let m = d.dynamic_metrics();
+            if s.avl > 0.0 {
+                assert!(
+                    (m.avl() - s.avl).abs() / s.avl < 0.05,
+                    "{}: static AVL {} vs dynamic {}",
+                    d.kernel,
+                    s.avl,
+                    m.avl()
+                );
+            }
+            assert!((m.vor() - s.vor).abs() < 0.05, "{}", d.kernel);
+        }
     }
 
     #[test]

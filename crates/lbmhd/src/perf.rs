@@ -132,6 +132,25 @@ impl LbmhdWorkload {
     }
 }
 
+/// The kernels this crate registers with the static-analysis layer: the
+/// Table 3 loop phases of a representative configuration, on both vector
+/// machines. `pvs-lint` cross-checks each descriptor's static
+/// intensity/AVL/VOR prediction against the dynamic execution model.
+pub fn kernel_descriptors() -> Vec<pvs_core::kernel::KernelDescriptor> {
+    use pvs_core::kernel::{descriptors_from_phases, MachineKind};
+    let w = LbmhdWorkload::new(4096, 64);
+    let mut out = Vec::new();
+    for machine in [MachineKind::Es, MachineKind::X1Msp] {
+        out.extend(descriptors_from_phases(
+            "lbmhd",
+            "crates/lbmhd/src/perf.rs",
+            machine,
+            &w.phases(),
+        ));
+    }
+    out
+}
+
 /// The (grid, processor-count) cells of Table 3.
 pub fn table3_configs() -> Vec<(usize, usize)> {
     vec![
@@ -152,6 +171,24 @@ mod tests {
 
     fn run(machine: pvs_core::machine::Machine, w: &LbmhdWorkload) -> pvs_core::report::PerfReport {
         Engine::new(machine).run(&w.phases(), w.procs)
+    }
+
+    #[test]
+    fn registered_kernels_static_dynamic_agree() {
+        for d in kernel_descriptors() {
+            let s = d.static_prediction();
+            let m = d.dynamic_metrics();
+            if s.avl > 0.0 {
+                assert!(
+                    (m.avl() - s.avl).abs() / s.avl < 0.05,
+                    "{}: static AVL {} vs dynamic {}",
+                    d.kernel,
+                    s.avl,
+                    m.avl()
+                );
+            }
+            assert!((m.vor() - s.vor).abs() < 0.05, "{}", d.kernel);
+        }
     }
 
     #[test]

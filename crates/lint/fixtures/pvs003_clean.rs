@@ -1,0 +1,8 @@
+// A comment mentioning Instant::now() is fine; so is a string below.
+use std::time::Duration;
+
+pub fn pause() {
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+pub const NOTE: &str = "SystemTime belongs in pvs-bench";

@@ -1,0 +1,14 @@
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub mod hidden {
+    pub use std::time::*;
+}

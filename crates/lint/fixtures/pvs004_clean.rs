@@ -1,0 +1,7 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+// SAFETY: no-op body; exists to exercise the comment window rule.
+pub unsafe fn documented() {}

@@ -1,0 +1,5 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn no_docs() {}

@@ -1,0 +1,10 @@
+use std::collections::{BTreeMap, HashSet};
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}
+
+pub fn render(map: &BTreeMap<u32, f64>) -> Vec<String> {
+    map.iter().map(|(k, v)| format!("{k}: {v}")).collect()
+}

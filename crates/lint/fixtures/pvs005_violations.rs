@@ -1,0 +1,16 @@
+use std::collections::HashMap;
+
+pub fn render(table: &[(u32, f64)]) -> Vec<String> {
+    let mut index = HashMap::new();
+    for (k, v) in table {
+        index.insert(*k, *v);
+    }
+    let mut rows = Vec::new();
+    for (k, v) in index.iter() {
+        rows.push(format!("{k}: {v}"));
+    }
+    for k in index.keys() {
+        rows.push(format!("{k}"));
+    }
+    rows
+}

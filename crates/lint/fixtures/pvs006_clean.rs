@@ -1,0 +1,9 @@
+use std::sync::mpsc::Receiver;
+
+pub fn total(rx: &Receiver<(usize, f64)>) -> f64 {
+    let mut slots = vec![0.0; 8];
+    while let Ok((i, x)) = rx.try_recv() {
+        slots[i] = x;
+    }
+    slots.iter().sum()
+}

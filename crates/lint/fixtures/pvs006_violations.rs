@@ -1,0 +1,20 @@
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+
+pub fn total(rx: &Receiver<f64>) -> f64 {
+    let mut sum = 0.0;
+    while let Ok(x) = rx.try_recv() {
+        sum += x;
+    }
+    sum
+}
+
+pub fn weighted() -> f64 {
+    let mut weights = HashMap::new();
+    weights.insert(1u32, 0.5);
+    let mut acc = 0.0;
+    for (_k, v) in weights.iter() {
+        acc += v;
+    }
+    acc
+}

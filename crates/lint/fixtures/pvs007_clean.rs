@@ -1,0 +1,8 @@
+#![allow(clippy::needless_range_loop)]
+
+#[allow(clippy::too_many_arguments)]
+pub fn f() {}
+
+pub fn g(opt: Option<u32>) -> u32 {
+    opt.expect("present")
+}

@@ -1,0 +1,5 @@
+#![allow(dead_code)]
+#![allow(unused, clippy::all)]
+
+#[expect(unused_variables)]
+pub fn f(x: u32) {}

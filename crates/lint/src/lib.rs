@@ -1,0 +1,196 @@
+//! `pvs-lint`: in-tree static analysis for the PVS workspace.
+//!
+//! Two pass families share one diagnostic engine ([`diag`]):
+//!
+//! * **Invariant lints** keep the properties the rest of the test suite
+//!   *assumes* true by construction: the offline std-only build
+//!   ([`manifest`], PVS001/PVS002) and the determinism/safety source
+//!   rules ([`source`], PVS003–PVS007) that make sweep output
+//!   byte-identical and `unsafe` auditable.
+//! * **Model lints** ([`model`], PVS008–PVS010) cross-check every
+//!   registered kernel descriptor's static vectorization story against
+//!   the dynamic pipeline model — the reproduction's analogue of
+//!   comparing compiler listing files against hardware counters.
+//!
+//! The `pvs-lint` binary (`cargo run -p pvs-lint`) drives both families
+//! over the whole workspace; `tests/lint_clean.rs` wires the same entry
+//! point into tier-1. Run `pvs-lint --explain PVS00x` for the rationale
+//! behind any code.
+
+pub mod diag;
+pub mod manifest;
+pub mod model;
+pub mod scan;
+pub mod source;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diag::{sort_diagnostics, Diagnostic, LintCode};
+use source::SourceContext;
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All diagnostics, sorted by file, line, code, message.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of Rust source files scanned by the source passes.
+    pub files_scanned: usize,
+    /// Number of kernel descriptors cross-checked by the model passes.
+    pub kernels_checked: usize,
+}
+
+impl LintReport {
+    /// `(errors, warnings)` severity counts.
+    pub fn counts(&self) -> (usize, usize) {
+        diag::count(&self.diagnostics)
+    }
+
+    /// Render the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        diag::report_json(&self.diagnostics, self.files_scanned, self.kernels_checked)
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for
+/// deterministic diagnostic order.
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The Rust sources the source passes walk: every `crates/*/src` tree
+/// plus the facade crate's own `src/`. Root `tests/` (host-facing
+/// integration harnesses, legitimately timed) and fixture trees are
+/// deliberately out of scope — the invariants lint *model and library*
+/// code.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        members.sort();
+        for member in members {
+            rust_files_under(&member.join("src"), &mut out);
+        }
+    }
+    rust_files_under(&root.join("src"), &mut out);
+    out
+}
+
+/// Crate name for a workspace-relative source path
+/// (`crates/core/src/…` → `core`; the facade's `src/…` → `pvs`).
+fn crate_of(rel: &Path) -> &str {
+    let mut parts = rel.components();
+    match parts.next().and_then(|c| c.as_os_str().to_str()) {
+        Some("crates") => parts
+            .next()
+            .and_then(|c| c.as_os_str().to_str())
+            .unwrap_or("pvs"),
+        _ => "pvs",
+    }
+}
+
+/// Run every lint pass over the workspace at `root`.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut diagnostics = manifest::check_workspace_manifests(root);
+
+    let files = source_files(root);
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel_str = rel.display().to_string();
+        match fs::read_to_string(path) {
+            Ok(text) => diagnostics.extend(source::check_source(
+                SourceContext {
+                    crate_name: crate_of(rel),
+                    path: &rel_str,
+                },
+                &text,
+            )),
+            Err(err) => diagnostics.push(Diagnostic::new(
+                LintCode::Pvs003,
+                &rel_str,
+                0,
+                format!("cannot read source file: {err}"),
+            )),
+        }
+    }
+
+    let (model_diags, kernels_checked) = model::check_registered_kernels();
+    diagnostics.extend(model_diags);
+    sort_diagnostics(&mut diagnostics);
+    LintReport {
+        diagnostics,
+        files_scanned: files.len(),
+        kernels_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn walker_sees_every_crate_and_skips_fixtures() {
+        let root = workspace_root();
+        let files = source_files(&root);
+        assert!(files.len() > 50, "only {} files", files.len());
+        for needle in [
+            "crates/core/src/lib.rs",
+            "crates/lint/src/lib.rs",
+            "crates/vectorsim/src/descriptor.rs",
+            "src/lib.rs",
+        ] {
+            assert!(
+                files.iter().any(|p| p.ends_with(needle)),
+                "walker missed {needle}"
+            );
+        }
+        assert!(
+            files.iter().all(|p| !p.to_string_lossy().contains("fixtures")),
+            "fixtures must not be walked"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+
+    #[test]
+    fn crate_names_resolve_from_paths() {
+        assert_eq!(crate_of(Path::new("crates/bench/src/harness.rs")), "bench");
+        assert_eq!(crate_of(Path::new("crates/core/src/engine.rs")), "core");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "pvs");
+    }
+
+    #[test]
+    fn workspace_lints_clean_of_errors() {
+        let report = lint_workspace(&workspace_root());
+        let (errors, _warnings) = report.counts();
+        let error_diags: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == diag::Severity::Error)
+            .map(|d| d.render())
+            .collect();
+        assert_eq!(errors, 0, "{error_diags:#?}");
+        assert!(report.files_scanned > 50);
+        assert!(report.kernels_checked >= 20);
+    }
+}

@@ -1,0 +1,148 @@
+//! The `pvs-lint` driver: walk the workspace, run every pass, report.
+//!
+//! ```text
+//! cargo run -p pvs-lint              # human-readable findings
+//! cargo run -p pvs-lint -- --json    # machine-readable report
+//! cargo run -p pvs-lint -- --explain PVS003
+//! cargo run -p pvs-lint -- --root /path/to/checkout
+//! ```
+//!
+//! Exit status: 0 when the tree is clean (warnings allowed), 1 when any
+//! error-severity finding fired, 2 on usage errors.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pvs_lint::diag::LintCode;
+use pvs_lint::lint_workspace;
+
+/// Print a line to stdout, tolerating a closed pipe (`pvs-lint | head`
+/// must not panic mid-report).
+fn out_line(line: &str) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn usage() -> &'static str {
+    "usage: pvs-lint [--json] [--root DIR] [--explain PVS00N]\n\
+     \n\
+     Walks every workspace manifest, Rust source file, and registered\n\
+     kernel descriptor, and reports invariant violations. Exit 0 when\n\
+     clean (warnings allowed), 1 on errors, 2 on usage errors.\n\
+     \n\
+     Lint codes:"
+}
+
+fn print_code_table() {
+    for code in LintCode::all() {
+        eprintln!("  {} ({}): {}", code.as_str(), code.severity(), code.summary());
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("pvs-lint: --root needs a directory\n\n{}", usage());
+                    print_code_table();
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(code) => explain = Some(code),
+                None => {
+                    eprintln!("pvs-lint: --explain needs a lint code\n\n{}", usage());
+                    print_code_table();
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                print_code_table();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pvs-lint: unknown argument `{other}`\n\n{}", usage());
+                print_code_table();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(code_name) = explain {
+        return match LintCode::parse(&code_name) {
+            Some(code) => {
+                out_line(code.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("pvs-lint: unknown lint code `{code_name}`; known codes:");
+                print_code_table();
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let root = match root_arg {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!(
+                        "pvs-lint: no workspace Cargo.toml found above {} — pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = lint_workspace(&root);
+    let (errors, warnings) = report.counts();
+
+    if json {
+        out_line(&report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            out_line(&d.render());
+        }
+        out_line(&format!(
+            "pvs-lint: {} file(s) scanned, {} kernel descriptor(s) cross-checked: \
+             {errors} error(s), {warnings} warning(s)",
+            report.files_scanned, report.kernels_checked
+        ));
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

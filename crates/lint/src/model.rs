@@ -1,0 +1,234 @@
+//! Model lints (PVS008–PVS010): static kernel analysis cross-checked
+//! against the dynamic vector-pipeline model.
+//!
+//! Every paper application registers its kernels as
+//! [`KernelDescriptor`]s. The static side predicts computational
+//! intensity, AVL, and VOR from strip-mining arithmetic alone — the
+//! numbers a compiler listing file would show; the dynamic side runs the
+//! same loop through `pvs-vectorsim`'s instruction-accounting model —
+//! the numbers `ftrace`/`pat` hardware counters would show. The two
+//! derivations are independent, so divergence means one of them (or the
+//! descriptor) is wrong: PVS008 fires on AVL disagreement, PVS009 on
+//! VOR disagreement. PVS010 is an advisory: a *vectorizable* kernel
+//! whose predicted AVL sits below half the machine's vector length is
+//! leaving the vector pipes mostly idle, the paper's recurring
+//! short-inner-loop pathology (Cactus §5.2's small-`x` grids).
+
+use pvs_core::kernel::KernelDescriptor;
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Maximum tolerated relative AVL gap between static prediction and
+/// dynamic measurement (the acceptance criterion's 5%).
+pub const AVL_TOLERANCE: f64 = 0.05;
+
+/// Maximum tolerated absolute VOR gap (VOR is already in `[0, 1]`).
+pub const VOR_TOLERANCE: f64 = 0.05;
+
+/// Every registered kernel descriptor in the workspace: the vectorsim
+/// calibration microkernels plus the four paper applications, in a
+/// stable order.
+pub fn collect_descriptors() -> Vec<KernelDescriptor> {
+    let mut out = pvs_vectorsim::descriptor::reference_descriptors();
+    out.extend(pvs_lbmhd::perf::kernel_descriptors());
+    out.extend(pvs_gtc::perf::kernel_descriptors());
+    out.extend(pvs_cactus::perf::kernel_descriptors());
+    out.extend(pvs_paratec::perf::kernel_descriptors());
+    out
+}
+
+fn relative_gap(dynamic: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        dynamic.abs()
+    } else {
+        (dynamic - predicted).abs() / predicted.abs()
+    }
+}
+
+/// Cross-check one descriptor; diagnostics are spanned to the file that
+/// registered it.
+pub fn check_descriptor(d: &KernelDescriptor) -> Vec<Diagnostic> {
+    check_against(d, d.static_prediction())
+}
+
+/// The comparison core, with the static side injectable so tests can
+/// exercise every divergence arm (a consistent registry never trips
+/// PVS009: both derivations read the same `LoopClass`, so only a change
+/// to one of them — the thing this lint guards — can split them).
+pub fn check_against(
+    d: &KernelDescriptor,
+    s: pvs_core::kernel::StaticPrediction,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let m = d.dynamic_metrics();
+    let label = format!("{}/{} on {}", d.app, d.kernel, d.machine.name());
+
+    let avl_gap = relative_gap(m.avl(), s.avl);
+    if avl_gap > AVL_TOLERANCE {
+        out.push(Diagnostic::new(
+            LintCode::Pvs008,
+            d.source_hint,
+            0,
+            format!(
+                "{label}: static AVL prediction {:.2} diverges from dynamic \
+                 {:.2} ({:.1}% > {:.0}% tolerance) — descriptor or model is \
+                 out of date",
+                s.avl,
+                m.avl(),
+                avl_gap * 100.0,
+                AVL_TOLERANCE * 100.0
+            ),
+        ));
+    }
+
+    let vor_gap = (m.vor() - s.vor).abs();
+    if vor_gap > VOR_TOLERANCE {
+        out.push(Diagnostic::new(
+            LintCode::Pvs009,
+            d.source_hint,
+            0,
+            format!(
+                "{label}: static VOR prediction {:.3} diverges from dynamic \
+                 {:.3} (gap {:.3} > {:.2}) — vectorization class is wrong",
+                s.vor, m.vor(), vor_gap, VOR_TOLERANCE
+            ),
+        ));
+    }
+
+    let max_vl = d.machine.unit().max_vl as f64;
+    if s.vor > 0.0 && s.avl > 0.0 && s.avl < max_vl / 2.0 {
+        out.push(Diagnostic::new(
+            LintCode::Pvs010,
+            d.source_hint,
+            0,
+            format!(
+                "{label}: predicted AVL {:.1} is under half the machine's \
+                 vector length ({max_vl:.0}) — short inner loop leaves the \
+                 vector pipes mostly idle",
+                s.avl
+            ),
+        ));
+    }
+    out
+}
+
+/// Run the model lints over every registered descriptor.
+pub fn check_registered_kernels() -> (Vec<Diagnostic>, usize) {
+    let descriptors = collect_descriptors();
+    let mut out = Vec::new();
+    for d in &descriptors {
+        out.extend(check_descriptor(d));
+    }
+    (out, descriptors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_core::kernel::MachineKind;
+    use pvs_vectorsim::exec::{LoopClass, VectorLoop};
+
+    #[test]
+    fn registry_covers_all_paper_apps_on_both_machines() {
+        let ds = collect_descriptors();
+        for app in ["vectorsim", "lbmhd", "gtc", "cactus", "paratec"] {
+            for machine in [MachineKind::Es, MachineKind::X1Msp] {
+                assert!(
+                    ds.iter().any(|d| d.app == app && d.machine == machine),
+                    "no {app} descriptor for {}",
+                    machine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registered_kernels_have_no_error_findings() {
+        let (diags, kernels) = check_registered_kernels();
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code != LintCode::Pvs010)
+            .collect();
+        assert!(kernels >= 20, "registry unexpectedly small: {kernels}");
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    fn pathological() -> KernelDescriptor {
+        // Tiny trip count + fractional vector-instruction count per
+        // iteration: dynamic ceil-rounding departs from the closed form.
+        KernelDescriptor {
+            app: "fixture",
+            kernel: "rounding_pathology".to_string(),
+            machine: MachineKind::Es,
+            source_hint: "crates/lint/src/model.rs",
+            vloop: VectorLoop {
+                trips: 3,
+                outer_iters: 1,
+                flops_per_iter: 3.0,
+                bytes_per_iter: 8.0,
+                gather_fraction: 0.0,
+                live_vector_temps: 8,
+                class: LoopClass::Vectorizable {
+                    multistreamable: true,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn divergent_descriptor_trips_pvs008() {
+        let diags = check_descriptor(&pathological());
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::Pvs008),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn short_loop_trips_pvs010_as_warning_only() {
+        let mut d = pathological();
+        // Long enough per-iteration work that rounding stays exact, but
+        // a short trip count: AVL 32 on a VL-256 machine.
+        d.vloop.trips = 32;
+        d.vloop.flops_per_iter = 64.0;
+        let diags = check_descriptor(&d);
+        assert!(diags.iter().any(|d| d.code == LintCode::Pvs010));
+        assert!(diags.iter().all(|d| d.code == LintCode::Pvs010), "{diags:?}");
+    }
+
+    #[test]
+    fn vor_divergence_trips_pvs009() {
+        let mut d = pathological();
+        d.vloop.trips = 4096;
+        d.vloop.flops_per_iter = 64.0;
+        // Inject a static side claiming a half-vectorized loop; the
+        // dynamic run retires pure vector ops, so the gap is 0.5.
+        let mut s = d.static_prediction();
+        s.vor = 0.5;
+        let diags = check_against(&d, s);
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::Pvs009),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_scalar_descriptor_is_quiet() {
+        let d = KernelDescriptor {
+            app: "fixture",
+            kernel: "consistent_scalar".to_string(),
+            machine: MachineKind::X1Msp,
+            source_hint: "crates/lint/src/model.rs",
+            vloop: VectorLoop {
+                trips: 1000,
+                outer_iters: 1,
+                flops_per_iter: 8.0,
+                bytes_per_iter: 8.0,
+                gather_fraction: 0.0,
+                live_vector_temps: 4,
+                class: LoopClass::Scalar,
+            },
+        };
+        assert!(check_descriptor(&d).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! The lightweight line tokenizer behind every source lint.
+//!
+//! Lints must not fire on evidence inside comments or string literals (a
+//! doc comment *mentioning* `Instant` is fine; code *calling* it is not),
+//! so the scanner classifies every character of a file before any pass
+//! runs. It is a single forward scan tracking Rust's lexical states:
+//! line comments, (nested) block comments, string literals with escapes,
+//! raw strings with arbitrary `#` fences, byte strings, char literals,
+//! and the char-literal/lifetime ambiguity. Output is one
+//! [`ScannedLine`] per physical source line, holding the line's *code*
+//! (comments removed, literal contents blanked to spaces, delimiters
+//! kept) and its *comment text* (for the `// SAFETY:` convention check).
+//!
+//! This is deliberately not a full lexer: it never tokenizes identifiers
+//! or parses syntax. Every lint that builds on it is a heuristic over
+//! code text, tuned to this workspace's idiom, with fixture goldens
+//! pinning the exact behaviour.
+
+/// One physical source line, split into code and comment channels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScannedLine {
+    /// The line with comments stripped and string/char-literal contents
+    /// blanked to spaces. Column positions are preserved.
+    pub code: String,
+    /// The text of any comment on the line (without the `//`/`/*`
+    /// markers), concatenated if there are several.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with the given fence length.
+    RawStr(usize),
+    /// Inside `'…'`.
+    CharLit,
+}
+
+/// Scan a whole source file into per-line code/comment channels.
+pub fn scan_source(text: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ScannedLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.code.push(' ');
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.code.push('"');
+                    i += 1;
+                } else if let Some(fence) = raw_string_fence(&chars, i) {
+                    // `r"…"`, `r#"…"#`, `br##"…"##` — skip past the
+                    // opening quote; fence is the number of `#`s.
+                    let open_len = raw_string_open_len(&chars, i);
+                    for _ in 0..open_len {
+                        cur.code.push('"');
+                    }
+                    state = State::RawStr(fence);
+                    i += open_len;
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        state = State::CharLit;
+                        cur.code.push('\'');
+                        i += 1;
+                    } else {
+                        // A lifetime: keep the tick as code and move on.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(fence) => {
+                if c == '"' && closes_raw_string(&chars, i, fence) {
+                    for _ in 0..=fence {
+                        cur.code.push('"');
+                    }
+                    state = State::Code;
+                    i += 1 + fence;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        cur.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || state != State::Code {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Is the `'` at `chars[i]` the start of a char literal (vs a lifetime)?
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        // `'\n'`, `'\''`, `'\u{..}'` — escapes are always char literals.
+        Some('\\') => true,
+        // `'x'` — exactly one char then a closing tick.
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// If `chars[i]` starts a raw-string literal (`r"`, `r#"`, `br#"`, …),
+/// return the fence length (number of `#`s); `None` otherwise.
+fn raw_string_fence(chars: &[char], i: usize) -> Option<usize> {
+    // Must not be the tail of an identifier (e.g. the `r` of `var`).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut fence = 0;
+    while chars.get(j) == Some(&'#') {
+        fence += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(fence)
+}
+
+/// Length of the raw-string opener starting at `chars[i]` (through the
+/// opening quote). Only valid when [`raw_string_fence`] matched.
+fn raw_string_open_len(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j + 1 - i // through the `"`
+}
+
+/// Does the `"` at `chars[i]` close a raw string with this fence length?
+fn closes_raw_string(chars: &[char], i: usize, fence: usize) -> bool {
+    (1..=fence).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Word-boundary search: does `code` contain `word` as a whole
+/// identifier-ish token (neighbours are not `[A-Za-z0-9_]`)?
+pub fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let lines = scan_source("let x = 1; // Instant::now() here\nlet y = 2;\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant::now()"));
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert_eq!(lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = code_of("let s = \"Instant::now()\"; call();\n");
+        assert!(!lines[0].contains("Instant"));
+        assert!(lines[0].contains("call();"));
+        // Delimiters survive so token boundaries stay put.
+        assert_eq!(lines[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = code_of(r#"let s = "a\"Instant"; use_it();"#);
+        assert!(!lines[0].contains("Instant"));
+        assert!(lines[0].contains("use_it();"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"unsafe HashMap \"# ; after();\n";
+        let lines = code_of(src);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[0].contains("HashMap"));
+        assert!(lines[0].contains("after();"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a(); /* outer /* inner */ still comment */ b();\nc /* open\nunsafe here\n*/ d();\n";
+        let lines = scan_source(src);
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[0].code.contains("b();"));
+        assert!(!lines[0].code.contains("inner"));
+        assert!(lines[1].code.contains('c'));
+        assert!(!lines[2].code.contains("unsafe"));
+        assert!(lines[2].comment.contains("unsafe"));
+        assert!(lines[3].code.contains("d();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = code_of("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lines[0].contains("str"));
+        // A real char literal is blanked:
+        let lines = code_of("let c = 'x'; let esc = '\\n'; g();\n");
+        assert!(!lines[0].contains('x'));
+        assert!(lines[0].contains("g();"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("Instant::now()", "Instant"));
+        assert!(!has_word("MyInstantThing", "Instant"));
+        assert!(!has_word("Instantaneous", "Instant"));
+        assert!(has_word("x.recv()", "recv"));
+        assert!(has_word("unsafe {", "unsafe"));
+    }
+
+    #[test]
+    fn last_line_without_newline_is_kept() {
+        let lines = scan_source("let x = 1;");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].code, "let x = 1;");
+    }
+
+    #[test]
+    fn column_positions_are_preserved() {
+        let src = "let s = \"abc\"; unsafe {}\n";
+        let lines = code_of(src);
+        let col = src.find("unsafe").unwrap();
+        assert_eq!(&lines[0][col..col + 6], "unsafe");
+    }
+}

@@ -1,0 +1,423 @@
+//! Invariant lints over scanned source files (PVS003–PVS007).
+//!
+//! Each pass is a heuristic over the comment/string-stripped code channel
+//! of [`crate::scan`], tuned to this workspace's idiom and pinned by the
+//! golden fixtures in `fixtures/`. False-negative-averse, false-positive
+//! lean: when a pass cannot decide statically it stays silent, because a
+//! lint that cries wolf gets `allow`ed — and PVS007 exists precisely to
+//! keep that from happening wholesale.
+
+use crate::diag::{Diagnostic, LintCode};
+use crate::scan::{has_word, scan_source, ScannedLine};
+
+/// Where a source file came from, for pass gating and spans.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceContext<'a> {
+    /// Crate the file belongs to ("core", "bench", …; "pvs" for the
+    /// facade crate's own `src/`).
+    pub crate_name: &'a str,
+    /// Repo-relative path used in diagnostics.
+    pub path: &'a str,
+}
+
+/// Run every source pass over one file.
+pub fn check_source(ctx: SourceContext<'_>, text: &str) -> Vec<Diagnostic> {
+    let lines = scan_source(text);
+    let mut out = Vec::new();
+    pass_time_sources(&ctx, &lines, &mut out);
+    pass_unsafe_safety(&ctx, &lines, &mut out);
+    let hash_vars = collect_hash_bindings(&lines);
+    pass_hash_iteration(&ctx, &lines, &hash_vars, &mut out);
+    pass_unordered_accumulation(&ctx, &lines, &hash_vars, &mut out);
+    pass_allow_escape_hatches(&ctx, &lines, &mut out);
+    out
+}
+
+/// PVS003: wall-clock time sources outside `pvs-bench`. The bench
+/// harness times the *host*; everything else models machines and must be
+/// a pure function of its inputs.
+fn pass_time_sources(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "bench" {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        for token in ["Instant", "SystemTime"] {
+            if has_word(&line.code, token) {
+                out.push(Diagnostic::new(
+                    LintCode::Pvs003,
+                    ctx.path,
+                    idx + 1,
+                    format!(
+                        "`{token}` used outside pvs-bench — model and application \
+                         code must be wall-clock free for byte-identical output"
+                    ),
+                ));
+            }
+        }
+        // Whole-module or glob imports would hide `time::Instant` from
+        // the word checks above. `std::time::Duration` (a pure value
+        // type) stays legal everywhere.
+        let hides_clock = line.code.contains("std::time::*")
+            || line.code.contains("use std::time;")
+            || line.code.contains("use core::time;");
+        if hides_clock
+            && !has_word(&line.code, "Instant")
+            && !has_word(&line.code, "SystemTime")
+        {
+            out.push(Diagnostic::new(
+                LintCode::Pvs003,
+                ctx.path,
+                idx + 1,
+                "`std::time` imported wholesale outside pvs-bench — import the \
+                 specific items needed (`Duration` is fine; clock types are not)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+const SAFETY_COMMENT_WINDOW: usize = 3;
+
+/// PVS004: every `unsafe` keyword needs a `SAFETY:` comment on the same
+/// line or within the [`SAFETY_COMMENT_WINDOW`] lines above it.
+fn pass_unsafe_safety(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut Vec<Diagnostic>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        let window_start = idx.saturating_sub(SAFETY_COMMENT_WINDOW);
+        let documented = lines[window_start..=idx]
+            .iter()
+            .any(|l| l.comment.contains("SAFETY:"));
+        if !documented {
+            out.push(Diagnostic::new(
+                LintCode::Pvs004,
+                ctx.path,
+                idx + 1,
+                format!(
+                    "`unsafe` without a `// SAFETY:` comment on the same line or \
+                     the {SAFETY_COMMENT_WINDOW} lines above it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Bindings declared with a hash-container type anywhere in the file:
+/// `let [mut] name` on a line that mentions `HashMap`/`HashSet`.
+fn collect_hash_bindings(lines: &[ScannedLine]) -> Vec<String> {
+    let mut vars = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !has_word(code, "HashMap") && !has_word(code, "HashSet") {
+            continue;
+        }
+        let Some(let_pos) = find_word(code, "let") else {
+            continue;
+        };
+        let rest = code[let_pos + 3..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !vars.contains(&name) {
+            vars.push(name);
+        }
+    }
+    vars
+}
+
+/// Position of `word` in `code` at an identifier boundary.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let after_ok = end >= bytes.len() || !bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_';
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// The iteration forms PVS005 flags on a hash-typed binding.
+const ITERATION_METHODS: [&str; 7] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+];
+
+/// Does this line iterate the named hash binding?
+fn iterates_hash_var(code: &str, name: &str) -> bool {
+    for method in ITERATION_METHODS {
+        let needle = format!("{name}{method}");
+        if code.contains(&needle) && word_before(code, &needle) {
+            return true;
+        }
+    }
+    // `for x in name {` / `for x in &name {` / `.. in name.method() ..`
+    if let Some(in_pos) = find_word(code, "in") {
+        let tail = code[in_pos + 2..].trim_start();
+        let tail = tail.trim_start_matches(['&', '*']).trim_start_matches("mut ");
+        let ident: String = tail
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident == name {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is the needle's first identifier not a suffix of a longer identifier?
+fn word_before(code: &str, needle: &str) -> bool {
+    code.find(needle).is_some_and(|at| {
+        at == 0 || {
+            let b = code.as_bytes()[at - 1];
+            !b.is_ascii_alphanumeric() && b != b'_'
+        }
+    })
+}
+
+/// PVS005: iteration over an unordered hash container. Hash iteration
+/// order is randomized per process; anything it feeds — rendered tables,
+/// figures, accumulated floats — loses byte-identical reproducibility.
+fn pass_hash_iteration(
+    ctx: &SourceContext<'_>,
+    lines: &[ScannedLine],
+    hash_vars: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        for name in hash_vars {
+            if iterates_hash_var(&line.code, name) {
+                out.push(Diagnostic::new(
+                    LintCode::Pvs005,
+                    ctx.path,
+                    idx + 1,
+                    format!(
+                        "iteration over unordered hash container `{name}` — use a \
+                         BTree container or sort first (hash order is \
+                         per-process random)"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// The unordered-source loop headers PVS006 tracks: channel receives and
+/// hash-container walks.
+fn is_unordered_loop_header(code: &str, hash_vars: &[String]) -> bool {
+    let channel_source = [".recv()", ".try_recv()", ".try_iter()", ".recv_timeout("]
+        .iter()
+        .any(|m| code.contains(m));
+    let for_loop = has_word(code, "for") && has_word(code, "in");
+    let while_let = code.contains("while let");
+    if (for_loop || while_let) && channel_source {
+        return true;
+    }
+    for_loop && hash_vars.iter().any(|name| iterates_hash_var(code, name))
+}
+
+/// PVS006: floating-point accumulation inside a loop whose iteration
+/// order is nondeterministic. Float addition is not associative, so the
+/// sum's low bits differ run to run — exactly what the byte-identical
+/// sweep guarantee forbids. Tracks brace depth to know when the loop
+/// body ends.
+fn pass_unordered_accumulation(
+    ctx: &SourceContext<'_>,
+    lines: &[ScannedLine],
+    hash_vars: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut depth: i64 = 0;
+    let mut regions: Vec<i64> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let header = is_unordered_loop_header(code, hash_vars);
+        let entry_depth = depth;
+        depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+        if header && depth > entry_depth {
+            regions.push(entry_depth);
+        } else if !regions.is_empty()
+            && (code.contains("+=") || code.contains("-=") || code.contains("*="))
+        {
+            out.push(Diagnostic::new(
+                LintCode::Pvs006,
+                ctx.path,
+                idx + 1,
+                "compound accumulation inside an unordered-iteration loop — \
+                 float reduction order is nondeterministic; collect in a \
+                 deterministic order and reduce serially"
+                    .to_string(),
+            ));
+        }
+        regions.retain(|&entry| depth > entry);
+    }
+}
+
+/// Lint categories too broad to `allow`/`expect`: suppressing one of
+/// these hides whole defect classes rather than one named false positive.
+const BANNED_SUPPRESSIONS: [&str; 10] = [
+    "warnings",
+    "unused",
+    "dead_code",
+    "unused_variables",
+    "unused_imports",
+    "unused_mut",
+    "unreachable_code",
+    "clippy::all",
+    "clippy::correctness",
+    "clippy::suspicious",
+];
+
+/// PVS007: blanket lint-suppression escape hatches. The workspace builds
+/// warning-clean; broad `#[allow(..)]` categories would let that rot
+/// silently. Narrow, named allows stay legal.
+fn pass_allow_escape_hatches(
+    ctx: &SourceContext<'_>,
+    lines: &[ScannedLine],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        for marker in ["[allow(", "[expect("] {
+            let Some(pos) = code.find(marker) else { continue };
+            let open = pos + marker.len();
+            let inner = match code[open..].find(')') {
+                Some(close) => &code[open..open + close],
+                None => &code[open..],
+            };
+            for item in inner.split(',') {
+                let item = item.trim();
+                if BANNED_SUPPRESSIONS.contains(&item) {
+                    out.push(Diagnostic::new(
+                        LintCode::Pvs007,
+                        ctx.path,
+                        idx + 1,
+                        format!(
+                            "blanket suppression `{item}` — the workspace must stay \
+                             warning-clean without category-wide escape hatches \
+                             (narrow, named lint allows are fine)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        check_source(
+            SourceContext {
+                crate_name,
+                path: "test.rs",
+            },
+            src,
+        )
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+        diags.iter().map(|d| (d.code.as_str(), d.line)).collect()
+    }
+
+    #[test]
+    fn time_sources_flagged_outside_bench_only() {
+        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
+        assert_eq!(
+            codes(&check("core", src)),
+            vec![("PVS003", 1), ("PVS003", 2)]
+        );
+        assert!(check("bench", src).is_empty());
+    }
+
+    #[test]
+    fn time_in_comments_and_strings_is_fine() {
+        let src = "// Instant::now() would be wrong here\nlet s = \"SystemTime\";\n";
+        assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn duration_is_legal_but_module_imports_are_not() {
+        let src = "std::thread::sleep(std::time::Duration::from_millis(2));\n";
+        assert!(check("core", src).is_empty());
+        assert_eq!(codes(&check("core", "use std::time::*;\n")), vec![("PVS003", 1)]);
+        assert_eq!(codes(&check("core", "use std::time;\n")), vec![("PVS003", 1)]);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() {\n    unsafe { danger() }\n}\n";
+        assert_eq!(codes(&check("core", bad)), vec![("PVS004", 2)]);
+        let good = "fn f() {\n    // SAFETY: bounds checked above\n    unsafe { danger() }\n}\n";
+        assert!(check("core", good).is_empty());
+        let same_line = "unsafe { x() } // SAFETY: x is idempotent\n";
+        assert!(check("core", same_line).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flagged() {
+        let src = "let mut m = std::collections::HashMap::new();\n\
+                   m.insert(1, 2.0);\n\
+                   for (k, v) in m.iter() {\n\
+                   }\n";
+        let found = check("report", src);
+        assert!(codes(&found).contains(&("PVS005", 3)), "{found:?}");
+        let sorted = "let m = std::collections::BTreeMap::new();\nfor (k, v) in m.iter() {}\n";
+        assert!(check("report", sorted).is_empty());
+    }
+
+    #[test]
+    fn hash_len_without_iteration_is_fine() {
+        let src = "let set: std::collections::HashSet<_> = xs.iter().collect();\n\
+                   assert_eq!(set.len(), xs.len());\n";
+        assert!(check("paratec", src).is_empty());
+    }
+
+    #[test]
+    fn accumulation_over_channel_flagged() {
+        let src = "let mut sum = 0.0;\n\
+                   while let Ok(x) = rx.try_recv() {\n\
+                       sum += x;\n\
+                   }\n\
+                   total(sum);\n";
+        assert_eq!(codes(&check("core", src)), vec![("PVS006", 3)]);
+    }
+
+    #[test]
+    fn accumulation_in_ordered_loop_is_fine() {
+        let src = "let mut sum = 0.0;\nfor x in results.iter() {\n    sum += x;\n}\n";
+        assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn blanket_allow_flagged_narrow_allow_fine() {
+        let src = "#![allow(dead_code)]\n#[allow(clippy::needless_range_loop)]\nfn f() {}\n";
+        assert_eq!(codes(&check("gtc", src)), vec![("PVS007", 1)]);
+        let expect = "#[expect(unused)]\nfn g() {}\n";
+        assert_eq!(codes(&check("gtc", expect)), vec![("PVS007", 1)]);
+    }
+
+    #[test]
+    fn method_expect_is_not_an_attribute() {
+        let src = "let v = map.get(&k).expect(\"present\");\n";
+        assert!(check("core", src).is_empty());
+    }
+}

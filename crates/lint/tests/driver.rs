@@ -1,0 +1,119 @@
+//! End-to-end tests of the `pvs-lint` binary: exit codes, JSON output,
+//! and `--explain`, driven through `CARGO_BIN_EXE_pvs-lint` against both
+//! the real workspace and a seeded-violation scratch workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pvs-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(lint_bin())
+        .args(args)
+        .output()
+        .expect("pvs-lint runs")
+}
+
+/// A scratch workspace with one violation per pass family.
+fn seeded_workspace() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pvs-lint-e2e-{}", std::process::id()));
+    let src = dir.join("crates/badapp/src");
+    fs::create_dir_all(&src).expect("scratch dirs");
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.dependencies]\nserde = \"1.0\"\n",
+    )
+    .expect("root manifest");
+    fs::write(
+        dir.join("Cargo.lock"),
+        "version = 3\n\n[[package]]\nname = \"rand\"\nversion = \"0.8.5\"\n\
+         source = \"registry+https://github.com/rust-lang/crates.io-index\"\n",
+    )
+    .expect("lockfile");
+    fs::write(
+        dir.join("crates/badapp/Cargo.toml"),
+        "[package]\nname = \"pvs-badapp\"\n",
+    )
+    .expect("member manifest");
+    fs::write(
+        src.join("lib.rs"),
+        "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .expect("seeded source");
+    dir
+}
+
+#[test]
+fn real_workspace_is_clean_and_exits_zero() {
+    let root = workspace_root();
+    let out = run(&["--root", root.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("0 error(s)"),
+        "summary line missing: {stdout}"
+    );
+    assert!(stdout.contains("kernel descriptor(s) cross-checked"));
+}
+
+#[test]
+fn seeded_violations_exit_nonzero_with_correct_spans() {
+    let dir = seeded_workspace();
+    let out = run(&["--root", dir.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    // PVS001 with the manifest line of the serde entry.
+    assert!(
+        stdout.contains("Cargo.toml:5: error[PVS001]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("serde"), "{stdout}");
+    // PVS002 pointing at the lockfile's registry source line.
+    assert!(stdout.contains("Cargo.lock:4: error[PVS002]"), "{stdout}");
+    assert!(stdout.contains("Cargo.lock:6: error[PVS002]"), "{stdout}");
+    // PVS003 in the seeded source, both lines.
+    let src = "crates/badapp/src/lib.rs";
+    assert!(stdout.contains(&format!("{src}:1: error[PVS003]")), "{stdout}");
+    assert!(stdout.contains(&format!("{src}:2: error[PVS003]")), "{stdout}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let root = workspace_root();
+    let out = run(&["--json", "--root", root.to_str().expect("utf-8 path")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"errors\":0"), "{json}");
+    assert!(json.contains("\"files_scanned\":"), "{json}");
+    assert!(json.contains("\"kernels_checked\":"), "{json}");
+    assert!(json.contains("\"diagnostics\":["), "{json}");
+}
+
+#[test]
+fn explain_prints_rationale_and_rejects_unknown_codes() {
+    let out = run(&["--explain", "PVS003"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("PVS003:"), "{stdout}");
+    assert!(stdout.contains("byte-identical"), "{stdout}");
+
+    let bad = run(&["--explain", "PVS999"]);
+    assert_eq!(bad.status.code(), Some(2));
+
+    let unknown_flag = run(&["--frobnicate"]);
+    assert_eq!(unknown_flag.status.code(), Some(2));
+}

@@ -167,6 +167,26 @@ impl ParatecWorkload {
     }
 }
 
+/// The kernels this crate registers with the static-analysis layer: the
+/// Table 4 loop phases of the 432-atom system. The phase stream is
+/// machine-independent (§4.2's multistreaming failure is carried by the
+/// hand-coded phase's `VectorizationInfo`), so the same stream is
+/// registered for both vector machines.
+pub fn kernel_descriptors() -> Vec<pvs_core::kernel::KernelDescriptor> {
+    use pvs_core::kernel::{descriptors_from_phases, MachineKind};
+    let w = ParatecWorkload::si432(64);
+    let mut out = Vec::new();
+    for machine in [MachineKind::Es, MachineKind::X1Msp] {
+        out.extend(descriptors_from_phases(
+            "paratec",
+            "crates/paratec/src/perf.rs",
+            machine,
+            &w.phases(),
+        ));
+    }
+    out
+}
+
 /// Table 4 processor counts per system.
 pub fn table4_configs() -> Vec<(usize, usize)> {
     let mut rows = Vec::new();
@@ -188,6 +208,24 @@ mod tests {
 
     fn run(machine: pvs_core::machine::Machine, w: &ParatecWorkload) -> PerfReport {
         Engine::new(machine).run(&w.phases(), w.procs)
+    }
+
+    #[test]
+    fn registered_kernels_static_dynamic_agree() {
+        for d in kernel_descriptors() {
+            let s = d.static_prediction();
+            let m = d.dynamic_metrics();
+            if s.avl > 0.0 {
+                assert!(
+                    (m.avl() - s.avl).abs() / s.avl < 0.05,
+                    "{}: static AVL {} vs dynamic {}",
+                    d.kernel,
+                    s.avl,
+                    m.avl()
+                );
+            }
+            assert!((m.vor() - s.vor).abs() < 0.05, "{}", d.kernel);
+        }
     }
 
     #[test]

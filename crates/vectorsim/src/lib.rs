@@ -17,7 +17,10 @@
 //!   GTC findings);
 //! * **work-vector dependency resolution** ([`workvec`]): Nishiguchi-style
 //!   replication of a scatter target across the vector length, trading a
-//!   2–8× memory footprint for vectorizability (GTC charge deposition).
+//!   2–8× memory footprint for vectorizability (GTC charge deposition);
+//! * **static kernel descriptors** ([`descriptor`]): the "compiler listing"
+//!   view of a registered kernel — closed-form intensity/AVL/VOR
+//!   predictions that `pvs-lint` cross-checks against the dynamic model.
 //!
 //! ## Example
 //!
@@ -37,12 +40,14 @@
 //! ```
 
 pub mod config;
+pub mod descriptor;
 pub mod exec;
 pub mod metrics;
 pub mod stripmine;
 pub mod workvec;
 
 pub use config::{es_processor, x1_msp, x1_ssp, VectorUnitConfig};
+pub use descriptor::{KernelDescriptor, MachineKind, StaticPrediction};
 pub use exec::{ExecResult, LoopClass, MemoryEnv, VectorLoop, VectorUnit};
 pub use metrics::VectorMetrics;
 pub use stripmine::{average_vector_length, num_strips, strip_chunks};

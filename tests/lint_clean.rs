@@ -1,0 +1,50 @@
+//! Tier-1: the whole workspace must be clean under `pvs-lint`.
+//!
+//! Runs every lint pass — manifest/lockfile invariants, the
+//! determinism/safety source lints, and the static-vs-dynamic kernel
+//! model cross-checks — exactly as `cargo run -p pvs-lint` does, and
+//! fails on any error-severity finding. Warnings (the PVS010
+//! short-vector advisories, a real property of the paper's Cactus
+//! small-grid workloads) are allowed but pinned so silent drift shows.
+
+use std::path::Path;
+
+use pvs::lint::diag::Severity;
+use pvs::lint::lint_workspace;
+
+#[test]
+fn workspace_has_no_lint_errors() {
+    let report = lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.render())
+        .collect();
+    assert!(errors.is_empty(), "{errors:#?}");
+    assert!(
+        report.files_scanned > 100,
+        "walker regressed: only {} files scanned",
+        report.files_scanned
+    );
+    assert!(
+        report.kernels_checked >= 20,
+        "kernel registry regressed: only {} descriptors",
+        report.kernels_checked
+    );
+}
+
+#[test]
+fn known_warnings_are_exactly_the_cactus_short_vector_advisories() {
+    let report = lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let warnings: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .map(|d| d.file.as_str())
+        .collect();
+    assert!(
+        warnings.iter().all(|f| f.contains("cactus")),
+        "unexpected warning outside the known Cactus short-loop set: {warnings:?}"
+    );
+}

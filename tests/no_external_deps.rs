@@ -1,116 +1,42 @@
 //! Guard against reintroducing external crate dependencies.
 //!
-//! The workspace must build with no network and no registry cache, so
-//! every dependency — normal, dev, or build — has to be an in-tree
-//! `pvs-*` path crate. Cargo resolves *declared* dependencies into
-//! Cargo.lock even when they are never compiled (dev-deps of untested
-//! crates, optional deps), so the only safe state is "not declared at
-//! all". These checks parse the manifests and lockfile by hand (no toml
-//! crate, for the same reason) and fail with the offending line.
+//! The checks themselves live in `pvs_lint::manifest` (lint codes PVS001
+//! and PVS002) so the `pvs-lint` driver and this tier-1 test share one
+//! implementation; this file is only the cargo-test entry point. See
+//! `cargo run -p pvs-lint -- --explain PVS001` for the full rationale:
+//! the workspace must build with no network and no registry cache, so
+//! every dependency has to be an in-tree `pvs-*` path crate.
 
-use std::fs;
 use std::path::{Path, PathBuf};
+
+use pvs::lint::diag::LintCode;
+use pvs::lint::manifest::{check_workspace_manifests, workspace_manifest_paths};
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
 }
 
-fn manifest_paths() -> Vec<PathBuf> {
-    let root = workspace_root();
-    let mut out = vec![root.join("Cargo.toml")];
-    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
-        let p = entry.expect("dir entry").path().join("Cargo.toml");
-        if p.is_file() {
-            out.push(p);
-        }
-    }
-    assert!(out.len() >= 14, "expected the full workspace, got {out:?}");
-    out
-}
-
-/// Section headers whose entries must all be `pvs-*` path dependencies.
-fn is_dependency_section(header: &str) -> bool {
-    matches!(
-        header,
-        "[dependencies]"
-            | "[dev-dependencies]"
-            | "[build-dependencies]"
-            | "[workspace.dependencies]"
-    ) || header.starts_with("[target.") && header.contains("dependencies")
-}
-
 #[test]
 fn manifests_declare_only_in_tree_path_dependencies() {
-    for path in manifest_paths() {
-        let text = fs::read_to_string(&path).expect("readable manifest");
-        let mut in_dep_section = false;
-        for (lineno, line) in text.lines().enumerate() {
-            let trimmed = line.trim();
-            if trimmed.starts_with('[') {
-                in_dep_section = is_dependency_section(trimmed);
-                continue;
-            }
-            if !in_dep_section || trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            let name = trimmed
-                .split(['=', '.'])
-                .next()
-                .expect("dependency key")
-                .trim()
-                .trim_matches('"');
-            assert!(
-                name.starts_with("pvs"),
-                "{}:{}: external dependency `{name}` declared — the \
-                 workspace must stay std-only (offline build)",
-                path.display(),
-                lineno + 1
-            );
-            // A pvs-* dep must resolve by path (directly or via the
-            // workspace table), never from a registry.
-            if trimmed.contains("version") {
-                panic!(
-                    "{}:{}: `{name}` pinned by version — use a path \
-                     dependency so no registry lookup is needed",
-                    path.display(),
-                    lineno + 1
-                );
-            }
-        }
-    }
+    let root = workspace_root();
+    assert!(
+        workspace_manifest_paths(&root).len() >= 15,
+        "expected the full workspace"
+    );
+    let offenders: Vec<String> = check_workspace_manifests(&root)
+        .into_iter()
+        .filter(|d| d.code == LintCode::Pvs001)
+        .map(|d| d.render())
+        .collect();
+    assert!(offenders.is_empty(), "{offenders:#?}");
 }
 
 #[test]
 fn lockfile_has_no_registry_packages() {
-    let lock = fs::read_to_string(workspace_root().join("Cargo.lock")).expect("Cargo.lock");
-    let mut package: Option<String> = None;
-    for line in lock.lines() {
-        let trimmed = line.trim();
-        if trimmed == "[[package]]" {
-            package = None;
-            continue;
-        }
-        if let Some(rest) = trimmed.strip_prefix("name = ") {
-            package = Some(rest.trim_matches('"').to_string());
-        }
-        if trimmed.starts_with("source = ") {
-            panic!(
-                "Cargo.lock: package `{}` resolves from an external source \
-                 ({trimmed}) — the workspace must stay path-only",
-                package.as_deref().unwrap_or("<unknown>")
-            );
-        }
-        if let Some(rest) = trimmed.strip_prefix("dependencies = ") {
-            let _ = rest;
-        }
-    }
-    for line in lock.lines() {
-        if let Some(rest) = line.trim().strip_prefix("name = ") {
-            let name = rest.trim_matches('"');
-            assert!(
-                name == "pvs" || name.starts_with("pvs-"),
-                "Cargo.lock: unexpected non-workspace package `{name}`"
-            );
-        }
-    }
+    let offenders: Vec<String> = check_workspace_manifests(&workspace_root())
+        .into_iter()
+        .filter(|d| d.code == LintCode::Pvs002)
+        .map(|d| d.render())
+        .collect();
+    assert!(offenders.is_empty(), "{offenders:#?}");
 }
