@@ -1,0 +1,117 @@
+//! Run the 4-application × 5-machine paper sweep under full
+//! instrumentation and write the observability baseline.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin profile               # BENCH_sweep.json
+//! cargo run --release -p pvs-bench --bin profile -- --smoke    # CI subset
+//! cargo run --release -p pvs-bench --bin profile -- --no-obs   # overhead baseline
+//! ```
+//!
+//! Flags: `--smoke` (4-cell subset, written under `target/`),
+//! `--no-obs` (no recorder attached — the baseline the ≤5% overhead
+//! claim is measured against), `--samples N` (host wall-clock samples
+//! per cell, default 3), `--out PATH` (override the output path).
+
+use pvs_bench::profile::{
+    measure_overhead, paper_cells, run_profile, smoke_cells, ProfileOptions,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    for a in &args {
+        if !["--smoke", "--no-obs", "--samples", "--out", "--overhead"].contains(&a.as_str())
+            && !a.chars().next().map(char::is_alphanumeric).unwrap_or(false)
+        {
+            eprintln!("warning: unrecognized flag {a:?}");
+        }
+    }
+
+    let smoke = flag("--smoke");
+
+    if flag("--overhead") {
+        let rounds = value_of("--overhead")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(9);
+        let cells = if smoke { smoke_cells() } else { paper_cells() };
+        let (observed, plain) = measure_overhead(&cells, rounds);
+        println!(
+            "instrumented {observed:.3e}s vs bare {plain:.3e}s over {} cells \
+             ({rounds} interleaved rounds, min per arm): overhead {:+.1}%",
+            cells.len(),
+            100.0 * (observed / plain - 1.0)
+        );
+        return;
+    }
+    let mut options = ProfileOptions {
+        observe: !flag("--no-obs"),
+        ..ProfileOptions::default()
+    };
+    if let Some(n) = value_of("--samples") {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => options.host_samples = n,
+            _ => eprintln!(
+                "warning: --samples {n:?} is not a positive integer; using {}",
+                options.host_samples
+            ),
+        }
+    }
+
+    let cells = if smoke { smoke_cells() } else { paper_cells() };
+    let out_path = value_of("--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_sweep_smoke.json".to_string()
+        } else {
+            "BENCH_sweep.json".to_string()
+        }
+    });
+
+    let out = run_profile(cells, options);
+    for c in &out.cells {
+        println!(
+            "{:<8} {:<8} P={:<4} {:>7.3} Gflop/s/P  model {:>9.4}s  host {:>9.2e}s  {} counters, {} spans",
+            c.cell.app,
+            c.cell.machine,
+            c.cell.procs,
+            c.report.gflops_per_p,
+            c.report.time_s,
+            c.host_median_s(),
+            c.snapshot.counters.len(),
+            c.span_events,
+        );
+    }
+    println!(
+        "{} cells, sweep on {} threads, host median sum {:.3e}s ({})",
+        out.cells.len(),
+        out.options.threads,
+        out.host_median_sum_s(),
+        if out.options.observe {
+            "observed"
+        } else {
+            "no-obs baseline"
+        }
+    );
+
+    let json = out.to_json();
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    match std::fs::write(&out_path, json + "\n") {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

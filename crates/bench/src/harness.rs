@@ -12,15 +12,46 @@
 //! Set `PVS_BENCH_SAMPLE_MS` to change the per-sample time target
 //! (default 2 ms; raise it for lower-noise numbers).
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-/// Per-sample measurement time target in milliseconds.
+/// Default per-sample time target when `PVS_BENCH_SAMPLE_MS` is unset or
+/// invalid.
+const DEFAULT_SAMPLE_MS: u64 = 2;
+
+/// Resolve a raw `PVS_BENCH_SAMPLE_MS` value: a positive integer wins;
+/// a set-but-invalid value (unparseable or zero) falls back to the
+/// default and returns a warning naming the variable. Pure so the parse
+/// paths are unit-testable without touching process environment.
+fn sample_ms_from(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_SAMPLE_MS, None),
+        Some(s) => match s.trim().parse::<u64>() {
+            Ok(ms) if ms >= 1 => (ms, None),
+            _ => (
+                DEFAULT_SAMPLE_MS,
+                Some(format!(
+                    "warning: PVS_BENCH_SAMPLE_MS={s:?} is not a positive integer; \
+                     using the {DEFAULT_SAMPLE_MS} ms default"
+                )),
+            ),
+        },
+    }
+}
+
+/// Per-sample measurement time target. Resolved once per process; an
+/// invalid `PVS_BENCH_SAMPLE_MS` prints a single stderr warning.
 fn sample_target() -> Duration {
-    let ms = std::env::var("PVS_BENCH_SAMPLE_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(2);
-    Duration::from_millis(ms.max(1))
+    static TARGET_MS: OnceLock<u64> = OnceLock::new();
+    let ms = *TARGET_MS.get_or_init(|| {
+        let raw = std::env::var("PVS_BENCH_SAMPLE_MS").ok();
+        let (ms, warning) = sample_ms_from(raw.as_deref());
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
+        ms
+    });
+    Duration::from_millis(ms)
 }
 
 /// Top-level handle passed to every benchmark function (Criterion-shaped).
@@ -67,13 +98,16 @@ impl BenchmarkGroup {
                 iters: 0,
             };
             f(&mut b);
-            if b.iters > 0 {
-                per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            if let Some(secs) = b.per_iter_secs() {
+                per_iter.push(secs);
             }
         }
         per_iter.sort_by(f64::total_cmp);
         if per_iter.is_empty() {
-            println!("{}/{name}: no measurements", self.name);
+            eprintln!(
+                "warning: {}/{name}: benchmark closure never called Bencher::iter; skipping",
+                self.name
+            );
         } else {
             let median = per_iter[per_iter.len() / 2];
             let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
@@ -120,6 +154,33 @@ impl Bencher {
         self.elapsed += start.elapsed();
         self.iters += n;
     }
+
+    /// Seconds per iteration measured so far, or `None` when the closure
+    /// never called [`Bencher::iter`] — the guard that keeps a zero-iter
+    /// benchmark from reporting `NaN`.
+    pub fn per_iter_secs(&self) -> Option<f64> {
+        if self.iters == 0 {
+            None
+        } else {
+            Some(self.elapsed.as_secs_f64() / self.iters as f64)
+        }
+    }
+}
+
+/// Take `samples` wall-clock measurements of `f` and return seconds per
+/// call for each — the hook `pvs-bench` binaries use for host timing so
+/// clock access stays confined to this crate.
+pub fn time_samples<R, F: FnMut() -> R>(samples: usize, mut f: F) -> Vec<f64> {
+    (0..samples)
+        .filter_map(|_| {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            b.iter(&mut f);
+            b.per_iter_secs()
+        })
+        .collect()
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -172,6 +233,51 @@ mod tests {
         b.iter(|| count += 1);
         assert!(b.iters >= 1);
         assert!(count as u64 >= b.iters, "calibration call counts too");
+    }
+
+    #[test]
+    fn sample_ms_env_parse_paths() {
+        assert_eq!(sample_ms_from(None), (DEFAULT_SAMPLE_MS, None));
+        assert_eq!(sample_ms_from(Some("7")), (7, None));
+        assert_eq!(sample_ms_from(Some(" 12 ")), (12, None));
+        for bad in ["abc", "0", "-3", "", "1.5"] {
+            let (ms, warning) = sample_ms_from(Some(bad));
+            assert_eq!(ms, DEFAULT_SAMPLE_MS, "{bad:?} must fall back");
+            let w = warning.expect("invalid value must warn");
+            assert!(w.contains("PVS_BENCH_SAMPLE_MS"), "warning names the var: {w}");
+            assert!(w.contains(bad) || bad.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_iter_bencher_reports_none_not_nan() {
+        let b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        assert_eq!(b.per_iter_secs(), None);
+    }
+
+    #[test]
+    fn zero_iter_bench_is_skipped_without_panicking() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut calls = 0;
+        // Closure never calls `b.iter` — the bench must be skipped, not
+        // divide 0 elapsed by 0 iterations.
+        g.bench_function("empty", |_b| {
+            calls += 1;
+        });
+        g.finish();
+        assert_eq!(calls, 3, "all samples still attempted");
+    }
+
+    #[test]
+    fn time_samples_returns_one_value_per_sample() {
+        let v = time_samples(3, || std::hint::black_box(3u64.pow(7)));
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|s| s.is_finite() && *s >= 0.0));
     }
 
     #[test]

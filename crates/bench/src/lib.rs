@@ -13,6 +13,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod profile;
 pub mod tablegen;
 
 pub use tablegen::{

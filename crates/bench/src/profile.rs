@@ -1,0 +1,423 @@
+//! The `profile` binary's engine: the paper's 4-application ×
+//! 5-machine sweep (the Figure 9 configurations) run under full
+//! observability.
+//!
+//! Each cell gets its own [`pvs_obs::Registry`], so the simulated
+//! counters for a cell are a pure function of `(app, machine, procs)`
+//! and identical at any thread count. The simulated sweep itself fans
+//! out across host cores through [`pvs_core::pool::ThreadPool`], whose
+//! own `pool.*` metrics land in a separate harness registry. Host
+//! wall-clock is measured afterwards, serially, one cell at a time,
+//! through [`crate::harness::time_samples`] — host timing never leaves
+//! `pvs-bench`.
+
+use crate::harness::time_samples;
+use crate::tablegen::{app_phases, machine_by_name};
+use pvs_core::engine::Engine;
+use pvs_core::pool::ThreadPool;
+use pvs_core::report::PerfReport;
+use pvs_obs::{Registry, Snapshot};
+use pvs_report::json::{array, number, perf_report, JsonObject};
+use std::sync::Arc;
+
+/// One cell of the profiling sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Application name (`LBMHD`, `PARATEC`, `CACTUS`, `GTC`).
+    pub app: &'static str,
+    /// Problem-size label as the tables spell it.
+    pub config: &'static str,
+    /// Machine name.
+    pub machine: &'static str,
+    /// Processor count.
+    pub procs: usize,
+}
+
+/// The full paper sweep: 4 applications × 5 machines at the Figure 9
+/// configurations — P=64 everywhere except Cactus on Power4 (P=16, the
+/// largest published run).
+pub fn paper_cells() -> Vec<SweepCell> {
+    let apps = [
+        ("LBMHD", "8192x8192"),
+        ("PARATEC", "432 atom"),
+        ("CACTUS", "250x64x64"),
+        ("GTC", "100 part/cell"),
+    ];
+    let machines = ["Power3", "Power4", "Altix", "ES", "X1"];
+    let mut cells = Vec::with_capacity(apps.len() * machines.len());
+    for (app, config) in apps {
+        for machine in machines {
+            let procs = if app == "CACTUS" && machine == "Power4" {
+                16
+            } else {
+                64
+            };
+            cells.push(SweepCell {
+                app,
+                config,
+                machine,
+                procs,
+            });
+        }
+    }
+    cells
+}
+
+/// A fast subset for CI smoke runs: one memory-bound and one
+/// particle-bound application on one superscalar and one vector machine.
+pub fn smoke_cells() -> Vec<SweepCell> {
+    paper_cells()
+        .into_iter()
+        .filter(|c| {
+            matches!(c.app, "LBMHD" | "GTC") && matches!(c.machine, "Power3" | "ES")
+        })
+        .collect()
+}
+
+/// Knobs for one profiling run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileOptions {
+    /// Attach a recorder to every cell (`false` = the `--no-obs`
+    /// baseline used to measure instrumentation overhead).
+    pub observe: bool,
+    /// Host wall-clock samples per cell.
+    pub host_samples: usize,
+    /// Worker threads for the simulated sweep (host timing is serial
+    /// regardless).
+    pub threads: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        Self {
+            observe: true,
+            host_samples: 3,
+            threads: pvs_core::pool::default_threads(),
+        }
+    }
+}
+
+/// Everything measured for one cell.
+#[derive(Debug, Clone)]
+pub struct CellProfile {
+    /// The cell identity.
+    pub cell: SweepCell,
+    /// The simulated performance report.
+    pub report: PerfReport,
+    /// Counter/gauge snapshot for this cell (empty when unobserved).
+    pub snapshot: Snapshot,
+    /// Span events recorded for this cell (0 when unobserved).
+    pub span_events: usize,
+    /// Host wall-clock seconds per [`Engine::run`] call, one entry per
+    /// sample, in sample order.
+    pub host_secs: Vec<f64>,
+}
+
+impl CellProfile {
+    /// Median of the host samples (0 when no samples were taken).
+    pub fn host_median_s(&self) -> f64 {
+        if self.host_secs.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.host_secs.clone();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+}
+
+/// A complete profiling run: per-cell profiles plus the harness's own
+/// `pool.*` metrics.
+#[derive(Debug, Clone)]
+pub struct ProfileOutput {
+    /// One profile per requested cell, in input order.
+    pub cells: Vec<CellProfile>,
+    /// Snapshot of the harness registry (thread-pool metrics).
+    pub harness: Snapshot,
+    /// The options the run used.
+    pub options: ProfileOptions,
+}
+
+impl ProfileOutput {
+    /// Sum of per-cell median host seconds — the scalar the overhead
+    /// comparison against `--no-obs` uses.
+    pub fn host_median_sum_s(&self) -> f64 {
+        self.cells.iter().map(|c| c.host_median_s()).sum()
+    }
+
+    /// Render the run as the `BENCH_sweep.json` document.
+    pub fn to_json(&self) -> String {
+        let cells = array(self.cells.iter().map(|c| {
+            let counters = array(c.snapshot.counters.iter().map(|(name, value)| {
+                JsonObject::new()
+                    .string("name", name)
+                    .number("value", *value as f64)
+                    .render()
+            }));
+            let gauges = array(c.snapshot.gauges.iter().map(|(name, value)| {
+                JsonObject::new()
+                    .string("name", name)
+                    .number("value", *value as f64)
+                    .render()
+            }));
+            let host = JsonObject::new()
+                .number("median_s", c.host_median_s())
+                .number("samples", c.host_secs.len() as f64)
+                .raw("all_s", array(c.host_secs.iter().map(|s| number(*s))))
+                .render();
+            JsonObject::new()
+                .string("app", c.cell.app)
+                .string("config", c.cell.config)
+                .string("machine", c.cell.machine)
+                .number("procs", c.cell.procs as f64)
+                .raw("model", perf_report(&c.report))
+                .raw("host_wall", host)
+                .number("span_events", c.span_events as f64)
+                .raw("counters", counters)
+                .raw("gauges", gauges)
+                .render()
+        }));
+        let harness = array(self.harness.counters.iter().chain(&self.harness.gauges).map(
+            |(name, value)| {
+                JsonObject::new()
+                    .string("name", name)
+                    .number("value", *value as f64)
+                    .render()
+            },
+        ));
+        JsonObject::new()
+            .string("schema", "pvs-bench/profile-v1")
+            .boolean("observed", self.options.observe)
+            .number("sweep_threads", self.options.threads as f64)
+            .number("host_samples_per_cell", self.options.host_samples as f64)
+            .number("host_median_sum_s", self.host_median_sum_s())
+            .raw("harness", harness)
+            .raw("cells", cells)
+            .render()
+    }
+}
+
+/// Build the engine for a cell, with a fresh registry attached when
+/// observing. Returns the engine and its registry.
+fn cell_engine(cell: &SweepCell, observe: bool) -> (Engine, Option<Arc<Registry>>) {
+    let engine = Engine::new(machine_by_name(cell.machine));
+    if observe {
+        let reg = Arc::new(Registry::new());
+        (engine.with_recorder(reg.clone()), Some(reg))
+    } else {
+        (engine, None)
+    }
+}
+
+/// Run the sweep: the simulated pass fans out across `options.threads`
+/// workers; the host-timing pass then walks the cells serially.
+pub fn run_profile(cells: Vec<SweepCell>, options: ProfileOptions) -> ProfileOutput {
+    // Pass 1 (parallel): the instrumented simulated runs. Each cell owns
+    // its registry, so per-cell counters are thread-count independent.
+    let pool = ThreadPool::new(options.threads);
+    let observe = options.observe;
+    let simulated: Vec<(SweepCell, PerfReport, Snapshot, usize)> =
+        pool.map(cells, move |cell| {
+            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+            let (engine, reg) = cell_engine(&cell, observe);
+            let report = engine.run(&phases, cell.procs);
+            let (snapshot, span_events) = match reg {
+                Some(reg) => (reg.snapshot(), reg.trace().events().len()),
+                None => (Snapshot::default(), 0),
+            };
+            (cell, report, snapshot, span_events)
+        });
+    let harness_reg = Registry::new();
+    pool.record_to(&harness_reg);
+
+    // Pass 2 (serial): host wall-clock per cell. The registry is
+    // attached once per cell, so each timed call pays exactly the
+    // steady-state counter/span cost.
+    let cells = simulated
+        .into_iter()
+        .map(|(cell, report, snapshot, span_events)| {
+            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+            let (engine, _reg) = cell_engine(&cell, observe);
+            let host_secs = time_samples(options.host_samples, || {
+                std::hint::black_box(engine.run(&phases, cell.procs))
+            });
+            CellProfile {
+                cell,
+                report,
+                snapshot,
+                span_events,
+                host_secs,
+            }
+        })
+        .collect();
+
+    ProfileOutput {
+        cells,
+        harness: harness_reg.snapshot(),
+        options,
+    }
+}
+
+/// Interleaved A/B measurement of instrumentation cost: each round times
+/// every cell back-to-back with and without a recorder attached, and each
+/// arm keeps its minimum total across rounds (the minimum is the
+/// strongest noise rejector for wall-clock timing). Returns
+/// `(observed_s, plain_s)` — the overhead ratio is
+/// `observed_s / plain_s - 1`.
+pub fn measure_overhead(cells: &[SweepCell], rounds: usize) -> (f64, f64) {
+    let mut best_observed = f64::INFINITY;
+    let mut best_plain = f64::INFINITY;
+    for round in 0..rounds.max(1) {
+        let mut observed = 0.0;
+        let mut plain = 0.0;
+        for cell in cells {
+            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+            // Build (and drop) the engine *inside* each timed iteration: a
+            // registry lives for exactly one run in real usage, so its
+            // construction and teardown belong to the observed arm's cost.
+            // Reusing one registry across a whole sample window would
+            // instead accumulate hundreds of runs' spans and measure heap
+            // growth, not instrumentation.
+            let time_plain = || {
+                time_samples(1, || {
+                    let (bare, _) = cell_engine(cell, false);
+                    std::hint::black_box(bare.run(&phases, cell.procs))
+                })[0]
+            };
+            let time_observed = || {
+                time_samples(1, || {
+                    let (instrumented, _reg) = cell_engine(cell, true);
+                    std::hint::black_box(instrumented.run(&phases, cell.procs))
+                })[0]
+            };
+            // Alternate arm order per round so load drift on the host
+            // cannot systematically favour one arm.
+            if round % 2 == 0 {
+                plain += time_plain();
+                observed += time_observed();
+            } else {
+                observed += time_observed();
+                plain += time_plain();
+            }
+        }
+        best_observed = best_observed.min(observed);
+        best_plain = best_plain.min(plain);
+    }
+    (best_observed, best_plain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> ProfileOptions {
+        ProfileOptions {
+            observe: true,
+            host_samples: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn paper_sweep_covers_every_app_machine_pair() {
+        let cells = paper_cells();
+        assert_eq!(cells.len(), 20);
+        let cactus_p4 = cells
+            .iter()
+            .find(|c| c.app == "CACTUS" && c.machine == "Power4")
+            .unwrap();
+        assert_eq!(cactus_p4.procs, 16, "largest published Cactus/Power4 run");
+        assert!(cells
+            .iter()
+            .filter(|c| !(c.app == "CACTUS" && c.machine == "Power4"))
+            .all(|c| c.procs == 64));
+    }
+
+    #[test]
+    fn smoke_subset_is_small_but_mixed() {
+        let cells = smoke_cells();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().any(|c| c.machine == "ES"));
+        assert!(cells.iter().any(|c| c.machine == "Power3"));
+    }
+
+    #[test]
+    fn observed_profile_exports_counters_and_spans() {
+        let out = run_profile(smoke_cells(), quick_options());
+        assert_eq!(out.cells.len(), 4);
+        for c in &out.cells {
+            assert!(!c.snapshot.counters.is_empty(), "{} has counters", c.cell.app);
+            assert!(c.span_events >= 2, "root span + phase spans");
+            assert_eq!(c.host_secs.len(), 1);
+            let phases = c
+                .snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == "engine.phases")
+                .map(|(_, v)| *v)
+                .unwrap();
+            assert_eq!(phases as usize + 1, c.span_events, "one span per phase + root");
+        }
+        // The harness pool ran one task per cell.
+        let tasks = out
+            .harness
+            .counters
+            .iter()
+            .find(|(n, _)| n == "pool.tasks_executed")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(tasks, 4);
+    }
+
+    #[test]
+    fn unobserved_profile_has_no_cell_counters() {
+        let out = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                observe: false,
+                ..quick_options()
+            },
+        );
+        assert!(out.cells.iter().all(|c| c.snapshot.counters.is_empty()));
+        assert!(out.cells.iter().all(|c| c.span_events == 0));
+    }
+
+    #[test]
+    fn cell_counters_are_thread_count_independent() {
+        let serial = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                threads: 1,
+                ..quick_options()
+            },
+        );
+        let parallel = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                threads: 8,
+                ..quick_options()
+            },
+        );
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.snapshot, b.snapshot, "{} {}", a.cell.app, a.cell.machine);
+            assert_eq!(a.span_events, b.span_events);
+        }
+    }
+
+    #[test]
+    fn json_document_is_balanced_and_complete() {
+        let out = run_profile(smoke_cells(), quick_options());
+        let json = out.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        assert!(json.contains("\"schema\":\"pvs-bench/profile-v1\""));
+        assert!(json.contains("\"app\":\"LBMHD\""));
+        assert!(json.contains("\"pool.tasks_executed\""));
+        assert!(json.contains("\"engine.phases\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

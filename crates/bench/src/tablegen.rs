@@ -86,7 +86,7 @@ impl TableOutput {
     }
 }
 
-fn machine_by_name(name: &str) -> Machine {
+pub(crate) fn machine_by_name(name: &str) -> Machine {
     match name {
         "Power3" => platforms::power3(),
         "Power4" => platforms::power4(),
@@ -613,7 +613,12 @@ fn table7_cells() -> Vec<(&'static str, &'static str, usize, [usize; 4])> {
 }
 
 /// Phase stream for one Table 7 / Fig. 9 application cell.
-fn app_phases(app: &str, config: &str, machine: &str, procs: usize) -> Vec<pvs_core::phase::Phase> {
+pub(crate) fn app_phases(
+    app: &str,
+    config: &str,
+    machine: &str,
+    procs: usize,
+) -> Vec<pvs_core::phase::Phase> {
     use pvs_cactus::perf::{CactusVariant, CactusWorkload};
     use pvs_gtc::perf::{GtcVariant, GtcWorkload};
     use pvs_lbmhd::perf::LbmhdWorkload;

@@ -16,11 +16,13 @@ use crate::report::{PerfReport, PhaseBreakdown};
 use pvs_memsim::banks::BankedMemory;
 use pvs_memsim::trace::scrambled_indices;
 use pvs_netsim::collectives::{
-    all_to_all_time_sampled, allreduce_time, halo_exchange_2d_time, halo_exchange_3d_time,
+    all_to_all_stats_sampled, allreduce_stats, halo_exchange_2d_stats, halo_exchange_3d_stats,
 };
 use pvs_netsim::topology::Network;
+use pvs_obs::{Recorder, SpanRecord};
 use pvs_vectorsim::exec::{MemoryEnv, VectorUnit};
 use pvs_vectorsim::metrics::VectorMetrics;
+use std::sync::Arc;
 
 /// Accesses sampled when simulating bank behaviour for a loop phase.
 const BANK_SAMPLE: usize = 4096;
@@ -32,16 +34,124 @@ const MAX_A2A_ROUNDS: usize = 24;
 /// globally addressable memory (X1 measured: 3.9 µs vs 7.3 µs).
 const ONE_SIDED_LATENCY_RATIO: f64 = 3.9 / 7.3;
 
-/// An engine bound to one machine.
-#[derive(Debug, Clone)]
+/// Convert modelled seconds to the engine's span tick unit: simulated
+/// picoseconds. Purely a function of the model output — no host clocks.
+fn ticks(seconds: f64) -> u64 {
+    (seconds * 1e12).round() as u64
+}
+
+/// What a single loop phase produced: modelled seconds, the vector
+/// counters (vector machines only), the strip-mine loop count, and the
+/// bank-replay totals from `pvs-memsim`.
+struct LoopOutcome {
+    seconds: f64,
+    metrics: Option<VectorMetrics>,
+    strips: u64,
+    bank_accesses: u64,
+    bank_stall_cycles: u64,
+}
+
+/// Per-run counter totals, accumulated locally during the phase walk and
+/// flushed to the [`Recorder`] once at the end. The registry only ever
+/// holds per-run aggregates, so batching the emission is invisible in the
+/// snapshot — it exists to keep instrumentation overhead low (one locked
+/// update per counter per run instead of one per phase).
+#[derive(Default)]
+struct RunTally {
+    loop_phases: u64,
+    comm_phases: u64,
+    loop_flops: f64,
+    loop_bytes: f64,
+    loop_seconds: f64,
+    comm_seconds: f64,
+    comm_repetitions: u64,
+    strips: u64,
+    bank_accesses: u64,
+    bank_stall_cycles: u64,
+    net_messages: u64,
+    net_payload_bytes: u64,
+    net_hops: u64,
+    net_links_used: u64,
+    net_peak_link_bytes: u64,
+}
+
+impl RunTally {
+    fn flush(&self, r: &dyn Recorder, metrics: &VectorMetrics, clock_mhz: f64) {
+        let mut entries: Vec<(&str, u64)> = Vec::with_capacity(16);
+        entries.push(("engine.phases", self.loop_phases + self.comm_phases));
+        if self.loop_phases > 0 {
+            entries.push(("engine.loop.phases", self.loop_phases));
+            entries.push(("engine.loop.flops", self.loop_flops.round() as u64));
+            entries.push(("engine.loop.bytes", self.loop_bytes.round() as u64));
+            entries.push((
+                "engine.loop.cycles",
+                (self.loop_seconds * clock_mhz * 1e6).round() as u64,
+            ));
+            entries.push(("vectorsim.strips", self.strips));
+        }
+        if self.comm_phases > 0 {
+            entries.push(("engine.comm.phases", self.comm_phases));
+            entries.push(("engine.comm.repetitions", self.comm_repetitions));
+            entries.push((
+                "engine.comm.cycles",
+                (self.comm_seconds * clock_mhz * 1e6).round() as u64,
+            ));
+            entries.push(("netsim.messages", self.net_messages));
+            entries.push(("netsim.payload_bytes", self.net_payload_bytes));
+            entries.push(("netsim.hops", self.net_hops));
+            entries.push(("netsim.links.used", self.net_links_used));
+        }
+        if self.bank_accesses > 0 {
+            // Same names `BankedMemory::record_to` uses, totalled over
+            // every bank replay in the run.
+            entries.push(("memsim.bank.accesses", self.bank_accesses));
+            entries.push(("memsim.bank.stall_cycles", self.bank_stall_cycles));
+        }
+        if metrics.vector_element_ops + metrics.vector_instructions + metrics.scalar_ops > 0 {
+            entries.push(("vectorsim.element_ops", metrics.vector_element_ops));
+            entries.push(("vectorsim.vector_instructions", metrics.vector_instructions));
+            entries.push(("vectorsim.scalar_ops", metrics.scalar_ops));
+        }
+        r.add_many(&entries);
+        if self.comm_phases > 0 {
+            r.gauge_max("netsim.link.peak_bytes", self.net_peak_link_bytes);
+        }
+    }
+}
+
+/// An engine bound to one machine, optionally reporting counters and
+/// phase spans into a [`Recorder`].
+#[derive(Clone)]
 pub struct Engine {
     machine: Machine,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("machine", &self.machine)
+            .field("observed", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Engine {
     /// Bind the engine to a machine.
     pub fn new(machine: Machine) -> Self {
-        Self { machine }
+        Self {
+            machine,
+            recorder: None,
+        }
+    }
+
+    /// Attach a recorder: every subsequent [`Engine::run`] opens a root
+    /// `run` span with one child span per phase (ticks are simulated
+    /// picoseconds) and emits `engine.*`, `vectorsim.*`, `memsim.bank.*`
+    /// and `netsim.*` counters.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The bound machine.
@@ -60,26 +170,57 @@ impl Engine {
         let mut metrics = VectorMetrics::default();
         let mut breakdown = Vec::with_capacity(phases.len());
 
+        let rec = self.recorder.as_deref();
+        let mut tally = RunTally::default();
+        // (name, begin_s, end_s) per phase; flushed as one span batch.
+        let mut phase_spans: Vec<(&str, f64, f64)> = Vec::new();
+
         for phase in phases {
+            let began_s = time_s;
             match phase {
                 Phase::Loop(l) => {
-                    let (secs, m) = self.run_loop(l);
-                    time_s += secs;
+                    let outcome = self.run_loop(l);
+                    time_s += outcome.seconds;
                     flops += phase.counted_flops();
-                    if let Some(m) = m {
+                    if let Some(m) = outcome.metrics {
                         metrics.merge(&m);
+                    }
+                    if rec.is_some() {
+                        phase_spans.push((&l.name, began_s, time_s));
+                        tally.loop_phases += 1;
+                        tally.loop_flops += phase.total_flops();
+                        tally.loop_bytes +=
+                            l.bytes_per_iter * l.trips as f64 * l.outer_iters as f64;
+                        tally.loop_seconds += outcome.seconds;
+                        tally.strips += outcome.strips;
+                        tally.bank_accesses += outcome.bank_accesses;
+                        tally.bank_stall_cycles += outcome.bank_stall_cycles;
                     }
                     breakdown.push(PhaseBreakdown {
                         name: l.name.to_string(),
-                        seconds: secs,
+                        seconds: outcome.seconds,
                         flops: phase.total_flops(),
                         is_comm: false,
                     });
                 }
                 Phase::Comm(c) => {
-                    let secs = self.run_comm(c, procs);
+                    let (secs, stats) = self.run_comm(c, procs);
                     time_s += secs;
                     comm_s += secs;
+                    if rec.is_some() {
+                        phase_spans.push((&c.name, began_s, time_s));
+                        tally.comm_phases += 1;
+                        tally.comm_repetitions += c.repetitions as u64;
+                        tally.comm_seconds += secs;
+                        // Traffic counters describe one repetition of the
+                        // pattern; `engine.comm.repetitions` scales them.
+                        tally.net_messages += stats.messages;
+                        tally.net_payload_bytes += stats.total_bytes;
+                        tally.net_hops += stats.hops;
+                        tally.net_links_used += stats.links_used();
+                        tally.net_peak_link_bytes =
+                            tally.net_peak_link_bytes.max(stats.peak_link_bytes());
+                    }
                     breakdown.push(PhaseBreakdown {
                         name: c.name.to_string(),
                         seconds: secs,
@@ -88,6 +229,26 @@ impl Engine {
                     });
                 }
             }
+        }
+
+        if let Some(r) = rec {
+            // Whole phase tree in one batch: entry 0 is the root "run"
+            // span; every phase is its child.
+            let mut batch = Vec::with_capacity(phase_spans.len() + 1);
+            batch.push(SpanRecord {
+                name: "run",
+                parent: None,
+                begin_ticks: 0,
+                end_ticks: ticks(time_s),
+            });
+            batch.extend(phase_spans.iter().map(|&(name, begin_s, end_s)| SpanRecord {
+                name,
+                parent: Some(0),
+                begin_ticks: ticks(begin_s),
+                end_ticks: ticks(end_s),
+            }));
+            r.span_many(&batch);
+            tally.flush(r, &metrics, self.machine.clock_mhz);
         }
 
         let gflops_per_p = if time_s > 0.0 {
@@ -143,7 +304,7 @@ impl Engine {
         )
     }
 
-    fn run_loop(&self, l: &LoopPhase) -> (f64, Option<VectorMetrics>) {
+    fn run_loop(&self, l: &LoopPhase) -> LoopOutcome {
         match &self.machine.cpu {
             CpuClass::Vector {
                 unit,
@@ -151,13 +312,23 @@ impl Engine {
                 mem_efficiency,
             } => {
                 let vloop = vector_loop_from_phase(l);
-                let efficiency = mem_efficiency * self.bank_efficiency(l, banks);
+                let replay = self.bank_replay(l, banks);
+                let (bank_eff, bank_accesses, bank_stall_cycles) = match &replay {
+                    Some(mem) => (mem.efficiency(), mem.accesses, mem.stall_cycles),
+                    None => (1.0, 0, 0),
+                };
                 let env = MemoryEnv {
                     bytes_per_cycle: self.machine.bytes_per_cycle(),
-                    access_efficiency: efficiency,
+                    access_efficiency: mem_efficiency * bank_eff,
                 };
                 let result = VectorUnit::new(*unit).execute(&vloop, &env);
-                (result.seconds, Some(result.metrics))
+                LoopOutcome {
+                    seconds: result.seconds,
+                    metrics: Some(result.metrics),
+                    strips: result.strips,
+                    bank_accesses,
+                    bank_stall_cycles,
+                }
             }
             CpuClass::Superscalar {
                 issue_efficiency, ..
@@ -176,15 +347,27 @@ impl Engine {
                 let memory_rate = intensity * bw_gbs * 1e9;
                 let rate = compute_rate.min(memory_rate);
                 let flops = l.flops_per_iter * l.trips as f64 * l.outer_iters as f64;
-                (flops / rate, None)
+                LoopOutcome {
+                    seconds: flops / rate,
+                    metrics: None,
+                    strips: 0,
+                    bank_accesses: 0,
+                    bank_stall_cycles: 0,
+                }
             }
         }
     }
 
-    /// Bank-conflict derating in `(0, 1]` for a loop on a vector machine,
-    /// obtained by replaying a sample of the loop's access pattern through
-    /// the banked-memory simulator.
-    fn bank_efficiency(&self, l: &LoopPhase, banks: &pvs_memsim::banks::BankConfig) -> f64 {
+    /// Replay a sample of the loop's access pattern through the
+    /// banked-memory simulator; `None` when the pattern cannot conflict
+    /// (unit stride, efficiency 1.0). The caller reads the derating from
+    /// [`BankedMemory::efficiency`] and the conflict counters off the
+    /// returned simulator.
+    fn bank_replay(
+        &self,
+        l: &LoopPhase,
+        banks: &pvs_memsim::banks::BankConfig,
+    ) -> Option<BankedMemory> {
         let mut mem = BankedMemory::new(*banks);
         if l.vector.duplicated {
             mem.duplicate(32);
@@ -192,30 +375,30 @@ impl Engine {
         if let Some(hot) = l.vector.gather_hot_words {
             let idx = scrambled_indices(BANK_SAMPLE, hot.max(1));
             mem.gather(0, &idx);
-            return mem.efficiency();
+            return Some(mem);
         }
         if let Some(stride) = l.vector.bank_stride_words {
             mem.strided_access(0, BANK_SAMPLE, stride);
-            return mem.efficiency();
+            return Some(mem);
         }
-        1.0
+        None
     }
 
-    fn run_comm(&self, c: &CommPhase, procs: usize) -> f64 {
+    fn run_comm(&self, c: &CommPhase, procs: usize) -> (f64, pvs_netsim::des::SimStats) {
         let mut config = self.machine.network(procs);
         if c.one_sided {
             config.latency_us *= ONE_SIDED_LATENCY_RATIO;
         }
         let net = Network::new(config);
-        let (wire, payload_per_rank) = match c.pattern {
+        let (stats, payload_per_rank) = match c.pattern {
             CommPattern::Halo2d {
                 px,
                 py,
                 bytes_edge,
                 bytes_corner,
             } => {
-                let t = halo_exchange_2d_time(&net, px, py, bytes_edge, bytes_corner);
-                (t, 4 * bytes_edge + 4 * bytes_corner)
+                let s = halo_exchange_2d_stats(&net, px, py, bytes_edge, bytes_corner);
+                (s, 4 * bytes_edge + 4 * bytes_corner)
             }
             CommPattern::Halo3d {
                 px,
@@ -223,15 +406,15 @@ impl Engine {
                 pz,
                 bytes_face,
             } => {
-                let t = halo_exchange_3d_time(&net, px, py, pz, bytes_face);
-                (t, 6 * bytes_face)
+                let s = halo_exchange_3d_stats(&net, px, py, pz, bytes_face);
+                (s, 6 * bytes_face)
             }
             CommPattern::AllToAll {
                 ranks,
                 bytes_per_pair,
             } => {
-                let t = all_to_all_time_sampled(&net, ranks, bytes_per_pair, MAX_A2A_ROUNDS);
-                (t, ranks.saturating_sub(1) as u64 * bytes_per_pair)
+                let s = all_to_all_stats_sampled(&net, ranks, bytes_per_pair, MAX_A2A_ROUNDS);
+                (s, ranks.saturating_sub(1) as u64 * bytes_per_pair)
             }
             CommPattern::AllReduce { ranks, bytes } => {
                 let rounds = if ranks > 1 {
@@ -239,9 +422,10 @@ impl Engine {
                 } else {
                     0
                 };
-                (allreduce_time(&net, ranks, bytes), rounds as u64 * bytes)
+                (allreduce_stats(&net, ranks, bytes), rounds as u64 * bytes)
             }
         };
+        let wire = stats.makespan_s;
         // MPI buffers payload twice through memory (user-level pack and
         // system-level copy); one-sided puts write directly. This is the
         // "CAF reduced memory traffic by 3x" effect of §3.2.
@@ -250,7 +434,7 @@ impl Engine {
         } else {
             2.0 * payload_per_rank as f64 / (self.machine.mem_bw_gbs * 1e9)
         };
-        (wire + copy) * c.repetitions as f64
+        ((wire + copy) * c.repetitions as f64, stats)
     }
 }
 
@@ -541,6 +725,103 @@ mod tests {
             .collect();
         let parallel: Vec<String> = run_sweep_threads(jobs, 4).iter().map(fingerprint).collect();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spans_reconstruct_the_phase_tree() {
+        let phases = [
+            lbmhd_like(),
+            Phase::comm(
+                "halo",
+                CommPattern::Halo2d {
+                    px: 4,
+                    py: 4,
+                    bytes_edge: 100_000,
+                    bytes_corner: 1_000,
+                },
+            ),
+            blas3_like(),
+        ];
+        let reg = std::sync::Arc::new(pvs_obs::Registry::new());
+        let report = Engine::new(platforms::earth_simulator())
+            .with_recorder(reg.clone())
+            .run(&phases, 16);
+
+        let trace = reg.trace();
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1, "exactly one root span");
+        let root = trace.get(roots[0]).unwrap().clone();
+        assert_eq!(root.name, "run");
+        assert_eq!(root.begin_ticks, 0);
+        assert_eq!(root.end_ticks, Some(ticks(report.time_s)));
+
+        let children: Vec<_> = trace
+            .children(root.id)
+            .into_iter()
+            .map(|id| trace.get(id).unwrap().clone())
+            .collect();
+        let names: Vec<&str> = children.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["collision", "halo", "dgemm"], "phase order preserved");
+        for pair in children.windows(2) {
+            assert_eq!(
+                pair[0].end_ticks.unwrap(),
+                pair[1].begin_ticks,
+                "phases tile the run with no gaps"
+            );
+        }
+        // Child durations tile the root span exactly.
+        let covered: u64 = children.iter().map(|e| e.duration_ticks().unwrap()).sum();
+        let drift = covered.abs_diff(root.duration_ticks().unwrap());
+        assert!(drift <= children.len() as u64, "rounding drift {drift}");
+        // No grandchildren: the engine's tree is exactly two levels.
+        for c in &children {
+            assert!(trace.children(c.id).is_empty());
+        }
+        assert_eq!(reg.counter("engine.phases"), 3);
+        assert_eq!(reg.counter("engine.loop.phases"), 2);
+        assert_eq!(reg.counter("engine.comm.phases"), 1);
+    }
+
+    #[test]
+    fn counters_cross_check_avl_and_flops() {
+        let phases = [lbmhd_like()];
+        let reg = std::sync::Arc::new(pvs_obs::Registry::new());
+        let report = Engine::new(platforms::earth_simulator())
+            .with_recorder(reg.clone())
+            .run(&phases, 16);
+
+        // AVL recomputed from raw counters matches the report.
+        let elems = reg.counter("vectorsim.element_ops") as f64;
+        let insts = reg.counter("vectorsim.vector_instructions") as f64;
+        assert!(insts > 0.0);
+        let avl = elems / insts;
+        assert!((avl - report.avl().unwrap()).abs() < 1e-9, "AVL {avl}");
+
+        // Strip-mine loop count is consistent with the loop shape: each
+        // strip covers at most the ES maximum vector length (256), and
+        // lbmhd_like runs 4096 trips × 2048 outer iterations.
+        let strips = reg.counter("vectorsim.strips");
+        assert!(strips > 0);
+        let elements_per_strip = (4096.0 * 2048.0) / strips as f64;
+        assert!(
+            elements_per_strip <= 256.0 + 1e-9,
+            "elements per strip {elements_per_strip}"
+        );
+
+        // Flop counter matches the analytic total.
+        let flops = reg.counter("engine.loop.flops") as f64;
+        assert!((flops - report.flops_per_p).abs() <= 1.0, "flops {flops}");
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let phases = [lbmhd_like(), blas3_like()];
+        let plain = Engine::new(platforms::x1()).run(&phases, 16);
+        let reg = std::sync::Arc::new(pvs_obs::Registry::new());
+        let observed = Engine::new(platforms::x1())
+            .with_recorder(reg)
+            .run(&phases, 16);
+        assert_eq!(fingerprint(&plain), fingerprint(&observed));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -28,12 +29,18 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Queue {
     jobs: VecDeque<Job>,
     shutdown: bool,
+    /// High-water mark of `jobs.len()`, maintained on push.
+    peak_depth: usize,
 }
 
 struct Shared {
     queue: Mutex<Queue>,
     /// Signalled when a job is pushed or shutdown begins.
     work_ready: Condvar,
+    /// Tasks claimed by each worker, indexed by worker id. Incremented at
+    /// pop time (before the job runs), so once a batch has drained the
+    /// sum equals the number of jobs submitted.
+    worker_tasks: Vec<AtomicU64>,
 }
 
 /// The pool. Dropping it drains outstanding jobs and joins the workers.
@@ -44,16 +51,39 @@ pub struct ThreadPool {
 
 /// Number of worker threads to use by default: the `PVS_THREADS`
 /// environment variable if set to a positive integer, otherwise the
-/// host's available parallelism (1 if that cannot be determined).
+/// host's available parallelism (1 if that cannot be determined). An
+/// invalid setting (`PVS_THREADS=abc`, `=0`) falls back to the host
+/// count with a one-line stderr warning (printed once per process).
 pub fn default_threads() -> usize {
-    match std::env::var("PVS_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (threads, warning) = threads_from_env(std::env::var("PVS_THREADS").ok().as_deref(), host);
+    if let Some(w) = warning {
+        // `default_threads` runs once per sweep cell in some callers;
+        // warn only on the first invalid read instead of spamming.
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| eprintln!("{w}"));
+    }
+    threads
+}
+
+/// Parse a raw `PVS_THREADS` value against a host fallback. Returns the
+/// thread count and, for an invalid setting, the warning to print.
+/// Separated from the environment so the parse paths are unit-testable.
+fn threads_from_env(raw: Option<&str>, host: usize) -> (usize, Option<String>) {
+    match raw {
+        None => (host, None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => (n, None),
+            _ => (
+                host,
+                Some(format!(
+                    "warning: PVS_THREADS={s:?} is not a positive integer; \
+                     falling back to host parallelism ({host} threads)"
+                )),
+            ),
+        },
     }
 }
 
@@ -65,15 +95,17 @@ impl ThreadPool {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
                 shutdown: false,
+                peak_depth: 0,
             }),
             work_ready: Condvar::new(),
+            worker_tasks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pvs-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -97,8 +129,33 @@ impl ThreadPool {
         let mut q = self.shared.queue.lock().expect("pool lock");
         assert!(!q.shutdown, "spawn on a shut-down pool");
         q.jobs.push_back(Box::new(job));
+        q.peak_depth = q.peak_depth.max(q.jobs.len());
         drop(q);
         self.shared.work_ready.notify_one();
+    }
+
+    /// Counters accumulated so far (tasks claimed per worker, peak queue
+    /// depth). Exact once outstanding batches have drained — e.g. right
+    /// after [`ThreadPool::map`] returns.
+    pub fn metrics(&self) -> PoolMetrics {
+        let peak_queue_depth = self.shared.queue.lock().expect("pool lock").peak_depth as u64;
+        let per_worker_tasks: Vec<u64> = self
+            .shared
+            .worker_tasks
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .collect();
+        PoolMetrics {
+            tasks_executed: per_worker_tasks.iter().sum(),
+            peak_queue_depth,
+            per_worker_tasks,
+        }
+    }
+
+    /// Report this pool's counters into a [`Recorder`] under the
+    /// `pool.*` names (see [`PoolMetrics`]).
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        self.metrics().record_to(self.threads(), r);
     }
 
     /// Apply `f` to every item, in parallel, returning results **in input
@@ -182,7 +239,7 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("pool lock");
@@ -196,9 +253,48 @@ fn worker_loop(shared: &Shared) {
                 q = shared.work_ready.wait(q).expect("pool wait");
             }
         };
+        shared.worker_tasks[worker].fetch_add(1, Ordering::SeqCst);
         // Contain panics so one bad task cannot take the worker down;
         // `map` re-raises them on the submitting thread.
         let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// Counters describing one pool's activity, from [`ThreadPool::metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Total tasks claimed by workers (sum of `per_worker_tasks`).
+    pub tasks_executed: u64,
+    /// Deepest the job queue ever got.
+    pub peak_queue_depth: u64,
+    /// Tasks claimed per worker, indexed by worker id.
+    pub per_worker_tasks: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// Each worker's share of the executed tasks, in `[0, 1]` — the
+    /// load-balance ("busy share") picture without any host clocks. All
+    /// zeros when nothing ran.
+    pub fn busy_shares(&self) -> Vec<f64> {
+        if self.tasks_executed == 0 {
+            return vec![0.0; self.per_worker_tasks.len()];
+        }
+        self.per_worker_tasks
+            .iter()
+            .map(|&t| t as f64 / self.tasks_executed as f64)
+            .collect()
+    }
+
+    /// Report into a [`Recorder`]: `pool.tasks_executed` and
+    /// `pool.worker.<i>.tasks` counters, `pool.queue.peak_depth` and
+    /// `pool.threads` gauges.
+    pub fn record_to(&self, threads: usize, r: &dyn pvs_obs::Recorder) {
+        r.add("pool.tasks_executed", self.tasks_executed);
+        r.gauge_max("pool.queue.peak_depth", self.peak_queue_depth);
+        r.gauge_set("pool.threads", threads as u64);
+        for (i, &t) in self.per_worker_tasks.iter().enumerate() {
+            r.add(&format!("pool.worker.{i}.tasks"), t);
+        }
     }
 }
 
@@ -313,5 +409,79 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_env_parse_paths() {
+        // Unset: host fallback, silent.
+        assert_eq!(threads_from_env(None, 6), (6, None));
+        // Valid: value wins, silent.
+        assert_eq!(threads_from_env(Some("3"), 6), (3, None));
+        assert_eq!(threads_from_env(Some("1"), 6), (1, None));
+        // Invalid: host fallback plus a warning naming the variable.
+        for bad in ["abc", "0", "-2", "", "4.5"] {
+            let (n, warning) = threads_from_env(Some(bad), 6);
+            assert_eq!(n, 6, "{bad:?} must fall back to host");
+            let w = warning.expect("invalid value must warn");
+            assert!(w.contains("PVS_THREADS"), "warning names the variable: {w}");
+            assert!(w.contains(bad) || bad.is_empty());
+            assert!(w.contains("6 threads"), "warning names the fallback: {w}");
+        }
+    }
+
+    #[test]
+    fn metrics_count_tasks_and_queue_depth() {
+        for threads in [1usize, 8] {
+            let pool = ThreadPool::new(threads);
+            let jobs = 48usize;
+            let out = pool.map((0..jobs).collect(), |i| i + 1);
+            assert_eq!(out.len(), jobs);
+            let m = pool.metrics();
+            assert_eq!(m.tasks_executed, jobs as u64, "threads={threads}");
+            assert_eq!(m.per_worker_tasks.len(), threads);
+            assert_eq!(
+                m.per_worker_tasks.iter().sum::<u64>(),
+                jobs as u64,
+                "per-worker counts must partition the batch"
+            );
+            assert!(m.peak_queue_depth >= 1);
+            assert!(m.peak_queue_depth <= jobs as u64);
+            let shares = m.busy_shares();
+            let total: f64 = shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "shares sum to 1: {total}");
+        }
+    }
+
+    #[test]
+    fn single_worker_executes_everything() {
+        let pool = ThreadPool::new(1);
+        pool.map((0..10u32).collect(), |x| x);
+        let m = pool.metrics();
+        assert_eq!(m.per_worker_tasks, vec![10]);
+        assert_eq!(m.busy_shares(), vec![1.0]);
+    }
+
+    #[test]
+    fn metrics_record_to_registry() {
+        let pool = ThreadPool::new(2);
+        pool.map((0..12u32).collect(), |x| x * 2);
+        let reg = pvs_obs::Registry::new();
+        pool.record_to(&reg);
+        assert_eq!(reg.counter("pool.tasks_executed"), 12);
+        assert_eq!(reg.gauge("pool.threads"), 2);
+        assert!(reg.gauge("pool.queue.peak_depth") >= 1);
+        assert_eq!(
+            reg.counter("pool.worker.0.tasks") + reg.counter("pool.worker.1.tasks"),
+            12
+        );
+    }
+
+    #[test]
+    fn idle_pool_metrics_are_zero() {
+        let pool = ThreadPool::new(3);
+        let m = pool.metrics();
+        assert_eq!(m.tasks_executed, 0);
+        assert_eq!(m.peak_queue_depth, 0);
+        assert_eq!(m.busy_shares(), vec![0.0; 3]);
     }
 }

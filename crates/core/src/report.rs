@@ -73,9 +73,16 @@ impl PerfReport {
             / self.time_s
     }
 
-    /// Render as a table cell: "Gflops/P  %peak".
+    /// Render as a table cell: "Gflops/P  %peak". Below 10% of peak the
+    /// percentage keeps one decimal — at whole-number precision the small
+    /// fractions the paper's superscalar columns live in (e.g. 1.3% vs
+    /// 0.6%) would collapse into each other.
     pub fn cell(&self) -> String {
-        format!("{:.3} {:>4.0}%", self.gflops_per_p, self.pct_peak)
+        if self.pct_peak < 10.0 {
+            format!("{:.3} {:>4.1}%", self.gflops_per_p, self.pct_peak)
+        } else {
+            format!("{:.3} {:>4.0}%", self.gflops_per_p, self.pct_peak)
+        }
     }
 }
 
@@ -135,5 +142,19 @@ mod tests {
     #[test]
     fn cell_renders() {
         assert!(report().cell().contains("4.000"));
+    }
+
+    #[test]
+    fn cell_keeps_a_decimal_below_ten_percent() {
+        let mut r = report();
+        r.pct_peak = 1.34;
+        assert!(r.cell().ends_with(" 1.3%"), "{}", r.cell());
+        r.pct_peak = 0.62;
+        assert!(r.cell().ends_with(" 0.6%"), "{}", r.cell());
+        r.pct_peak = 9.96;
+        assert!(r.cell().contains("10.0%"), "{}", r.cell());
+        // At or above 10% the whole-number rendering is unchanged.
+        r.pct_peak = 50.0;
+        assert!(r.cell().ends_with("  50%"), "{}", r.cell());
     }
 }

@@ -103,6 +103,39 @@ fn violation_fixtures_each_trip_their_own_code() {
     }
 }
 
+/// PVS003 must hold for `pvs-obs` specifically: the observability layer
+/// records opaque ticks and simulated quantities, so host clocks inside
+/// it are exactly the bug the lint exists to catch — while the same text
+/// inside `pvs-bench` (the one crate allowed to time the host) is legal.
+#[test]
+fn obs_crate_gets_no_wall_clock_exemption() {
+    let text = fs::read_to_string(fixture_dir().join("pvs003_obs_violations.rs"))
+        .expect("fixture readable");
+    let as_obs = check_source(
+        SourceContext {
+            crate_name: "obs",
+            path: "crates/obs/src/bad.rs",
+        },
+        &text,
+    );
+    let pvs003 = as_obs.iter().filter(|d| d.code.as_str() == "PVS003").count();
+    assert!(
+        pvs003 >= 2,
+        "expected >=2 PVS003 findings in crate obs, got {pvs003}: {as_obs:?}"
+    );
+    let as_bench = check_source(
+        SourceContext {
+            crate_name: "bench",
+            path: "crates/bench/src/ok.rs",
+        },
+        &text,
+    );
+    assert!(
+        as_bench.iter().all(|d| d.code.as_str() != "PVS003"),
+        "bench is the host-timing crate; PVS003 must not fire there: {as_bench:?}"
+    );
+}
+
 #[test]
 fn clean_fixtures_produce_no_findings() {
     for fixture in CLEAN_FIXTURES {

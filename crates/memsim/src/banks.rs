@@ -138,6 +138,15 @@ impl BankedMemory {
         }
     }
 
+    /// Report this memory's counters into a [`Recorder`] under the
+    /// `memsim.bank.*` names (bank-conflict stalls are the `stall_cycles`
+    /// counter; `efficiency` can be recomputed as
+    /// `accesses / (accesses + stall_cycles)`).
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        r.add("memsim.bank.accesses", self.accesses);
+        r.add("memsim.bank.stall_cycles", self.stall_cycles);
+    }
+
     /// Reset banks and statistics (keeps the duplication setting).
     pub fn reset(&mut self) {
         self.busy_until.iter_mut().for_each(|b| *b = 0);
@@ -180,6 +189,17 @@ mod tests {
             bank_cycle: 8,
             word_bytes: 8,
         })
+    }
+
+    #[test]
+    fn record_to_exports_access_and_stall_counters() {
+        let mut m = mem();
+        m.strided_access(0, 256, 64); // bank-count stride: heavy conflicts
+        let reg = pvs_obs::Registry::new();
+        m.record_to(&reg);
+        assert_eq!(reg.counter("memsim.bank.accesses"), m.accesses);
+        assert_eq!(reg.counter("memsim.bank.stall_cycles"), m.stall_cycles);
+        assert!(reg.counter("memsim.bank.stall_cycles") > 0);
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Report these statistics into a [`Recorder`] under the
+    /// `memsim.cache.*` names. The invariant `hits + misses == accesses`
+    /// holds for the recorded counters by construction.
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        r.add("memsim.cache.accesses", self.accesses);
+        r.add("memsim.cache.hits", self.hits);
+        r.add("memsim.cache.misses", self.misses());
+        r.add("memsim.cache.evictions", self.evictions);
+    }
+
     /// Misses observed (`accesses - hits`).
     pub fn misses(&self) -> u64 {
         self.accesses - self.hits
@@ -191,6 +201,27 @@ mod tests {
     fn small() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512 B.
         Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn recorded_hits_plus_misses_equal_issued_accesses() {
+        let mut c = small();
+        let mut issued = 0u64;
+        for i in 0..257u64 {
+            c.access(i * 64);
+            issued += 1;
+        }
+        for i in 0..97u64 {
+            c.access(i * 128);
+            issued += 1;
+        }
+        let reg = pvs_obs::Registry::new();
+        c.stats().record_to(&reg);
+        assert_eq!(reg.counter("memsim.cache.accesses"), issued);
+        assert_eq!(
+            reg.counter("memsim.cache.hits") + reg.counter("memsim.cache.misses"),
+            issued
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! so contention effects (torus bisection, slim-tree uplinks) emerge from
 //! the topology rather than being assumed.
 
-use crate::des::{Message, NetSim};
+use crate::des::{Message, NetSim, SimStats};
 use crate::topology::Network;
 
 /// Time (seconds) for a 2D periodic halo exchange: every rank exchanges
@@ -26,6 +26,18 @@ pub fn halo_exchange_2d_time(
     bytes_per_edge: u64,
     bytes_per_corner: u64,
 ) -> f64 {
+    halo_exchange_2d_stats(net, px, py, bytes_per_edge, bytes_per_corner).makespan_s
+}
+
+/// [`halo_exchange_2d_time`] returning the full traffic statistics
+/// (message counts, per-link bytes) for observability consumers.
+pub fn halo_exchange_2d_stats(
+    net: &Network,
+    px: usize,
+    py: usize,
+    bytes_per_edge: u64,
+    bytes_per_corner: u64,
+) -> SimStats {
     assert!(
         px * py <= net.config().endpoints,
         "process grid exceeds network"
@@ -69,7 +81,7 @@ pub fn halo_exchange_2d_time(
             }
         }
     }
-    NetSim::new(net).run(&msgs).makespan_s
+    NetSim::new(net).run(&msgs)
 }
 
 /// Time (seconds) for an all-to-all personalized exchange of
@@ -104,6 +116,17 @@ pub fn halo_exchange_3d_time(
     pz: usize,
     bytes_per_face: u64,
 ) -> f64 {
+    halo_exchange_3d_stats(net, px, py, pz, bytes_per_face).makespan_s
+}
+
+/// [`halo_exchange_3d_time`] returning the full traffic statistics.
+pub fn halo_exchange_3d_stats(
+    net: &Network,
+    px: usize,
+    py: usize,
+    pz: usize,
+    bytes_per_face: u64,
+) -> SimStats {
     assert!(
         px * py * pz <= net.config().endpoints,
         "process grid exceeds network"
@@ -135,7 +158,7 @@ pub fn halo_exchange_3d_time(
             }
         }
     }
-    NetSim::new(net).run(&msgs).makespan_s
+    NetSim::new(net).run(&msgs)
 }
 
 /// Like [`all_to_all_time`], but simulating at most `max_rounds` of the
@@ -148,9 +171,23 @@ pub fn all_to_all_time_sampled(
     bytes_per_pair: u64,
     max_rounds: usize,
 ) -> f64 {
+    all_to_all_stats_sampled(net, p, bytes_per_pair, max_rounds).makespan_s
+}
+
+/// [`all_to_all_time_sampled`] returning traffic statistics. `makespan_s`
+/// is the extrapolated full-collective time; the traffic counters
+/// (messages, bytes, hops, per-link loads) describe only the rounds
+/// actually simulated — consumers extrapolating totals should scale by
+/// `(p - 1) / min(p - 1, max_rounds)`.
+pub fn all_to_all_stats_sampled(
+    net: &Network,
+    p: usize,
+    bytes_per_pair: u64,
+    max_rounds: usize,
+) -> SimStats {
     assert!(p <= net.config().endpoints && max_rounds >= 1);
     if p < 2 {
-        return 0.0;
+        return NetSim::new(net).run(&[]);
     }
     let total_rounds = p - 1;
     let simulate = total_rounds.min(max_rounds);
@@ -168,21 +205,28 @@ pub fn all_to_all_time_sampled(
             });
         }
     }
-    let t = NetSim::new(net).run(&msgs).makespan_s;
-    t * total_rounds as f64 / simulate as f64
+    let mut stats = NetSim::new(net).run(&msgs);
+    stats.makespan_s *= total_rounds as f64 / simulate as f64;
+    stats
 }
 
 /// Time (seconds) for a recursive-doubling allreduce of `bytes` across the
 /// first `p` endpoints (p rounded down to a power of two for the exchange
 /// schedule; stragglers pair up in an extra round).
 pub fn allreduce_time(net: &Network, p: usize, bytes: u64) -> f64 {
+    allreduce_stats(net, p, bytes).makespan_s
+}
+
+/// [`allreduce_time`] returning traffic statistics accumulated over all
+/// exchange rounds (rounds execute back to back, so makespans add).
+pub fn allreduce_stats(net: &Network, p: usize, bytes: u64) -> SimStats {
     assert!(p >= 1 && p <= net.config().endpoints);
+    let mut sim = NetSim::new(net);
     if p == 1 {
-        return 0.0;
+        return sim.run(&[]);
     }
     let rounds = (usize::BITS - (p - 1).leading_zeros()) as usize;
-    let mut total = 0.0;
-    let mut sim = NetSim::new(net);
+    let mut total: Option<SimStats> = None;
     for r in 0..rounds {
         let dist = 1usize << r;
         let mut msgs = Vec::new();
@@ -198,9 +242,13 @@ pub fn allreduce_time(net: &Network, p: usize, bytes: u64) -> f64 {
             }
         }
         sim.reset();
-        total += sim.run(&msgs).makespan_s;
+        let round_stats = sim.run(&msgs);
+        match &mut total {
+            None => total = Some(round_stats),
+            Some(t) => t.absorb_sequential(&round_stats),
+        }
     }
-    total
+    total.expect("at least one round")
 }
 
 /// Measure the effective bisection bandwidth (GB/s) of a network by
@@ -240,6 +288,56 @@ mod tests {
             link_bw_gbs: 1.0,
             latency_us: 5.0,
         })
+    }
+
+    #[test]
+    fn halo_stats_count_every_message() {
+        let net = mk(TopologyKind::Crossbar, 16);
+        let stats = halo_exchange_2d_stats(&net, 4, 4, 10_000, 100);
+        // 16 ranks x (4 edge + 4 corner) neighbours, all distinct on 4x4.
+        assert_eq!(stats.messages, 16 * 8);
+        assert_eq!(stats.total_bytes, 16 * (4 * 10_000 + 4 * 100));
+        assert!(stats.hops >= stats.messages, "every message routes >= 1 hop");
+        // Byte-hop conservation: per-link loads sum to bytes x hops traversed.
+        let link_sum: u64 = stats.link_bytes.iter().sum();
+        assert!(link_sum >= stats.total_bytes);
+        assert_eq!(stats.makespan_s, halo_exchange_2d_time(&net, 4, 4, 10_000, 100));
+    }
+
+    #[test]
+    fn stats_record_to_registry() {
+        let net = mk(TopologyKind::Torus2D, 16);
+        let stats = halo_exchange_3d_stats(&net, 2, 2, 2, 5_000);
+        let reg = pvs_obs::Registry::new();
+        stats.record_to(&reg);
+        assert_eq!(reg.counter("netsim.messages"), stats.messages);
+        assert_eq!(reg.counter("netsim.payload_bytes"), stats.total_bytes);
+        assert_eq!(reg.counter("netsim.hops"), stats.hops);
+        assert_eq!(reg.counter("netsim.links.used"), stats.links_used());
+        assert_eq!(reg.gauge("netsim.link.peak_bytes"), stats.peak_link_bytes());
+        assert!(stats.links_used() > 0);
+    }
+
+    #[test]
+    fn allreduce_stats_accumulate_rounds() {
+        let net = mk(TopologyKind::Crossbar, 16);
+        let stats = allreduce_stats(&net, 16, 8_000);
+        // 4 recursive-doubling rounds x 16 ranks exchanging pairwise.
+        assert_eq!(stats.messages, 4 * 16);
+        assert!((stats.makespan_s - allreduce_time(&net, 16, 8_000)).abs() < 1e-15);
+        let single = allreduce_stats(&net, 1, 8_000);
+        assert_eq!(single.messages, 0);
+        assert_eq!(single.makespan_s, 0.0);
+    }
+
+    #[test]
+    fn sampled_all_to_all_stats_describe_simulated_rounds() {
+        let net = mk(TopologyKind::Crossbar, 16);
+        let stats = all_to_all_stats_sampled(&net, 16, 10_000, 5);
+        assert_eq!(stats.messages, 5 * 16, "5 simulated rounds of p messages");
+        assert!(
+            (stats.makespan_s - all_to_all_time_sampled(&net, 16, 10_000, 5)).abs() < 1e-15
+        );
     }
 
     #[test]

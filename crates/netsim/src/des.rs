@@ -36,6 +36,12 @@ pub struct SimStats {
     pub makespan_s: f64,
     /// Total payload bytes moved.
     pub total_bytes: u64,
+    /// Messages simulated.
+    pub messages: u64,
+    /// Route hops traversed across all messages (a local copy has none).
+    pub hops: u64,
+    /// Payload bytes carried per link, indexed by link id.
+    pub link_bytes: Vec<u64>,
 }
 
 impl SimStats {
@@ -45,6 +51,45 @@ impl SimStats {
             return 0.0;
         }
         self.total_bytes as f64 / 1e9 / self.makespan_s
+    }
+
+    /// Number of links that carried any payload.
+    pub fn links_used(&self) -> u64 {
+        self.link_bytes.iter().filter(|&&b| b > 0).count() as u64
+    }
+
+    /// Heaviest per-link payload (the hotspot a collective serializes on).
+    pub fn peak_link_bytes(&self) -> u64 {
+        self.link_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fold a later, sequentially-executed round into this one: makespans
+    /// add, traffic counters sum, per-message finish times are appended
+    /// as-is (round-relative). Used by multi-round collectives.
+    pub fn absorb_sequential(&mut self, other: &SimStats) {
+        self.makespan_s += other.makespan_s;
+        self.total_bytes += other.total_bytes;
+        self.messages += other.messages;
+        self.hops += other.hops;
+        if self.link_bytes.len() < other.link_bytes.len() {
+            self.link_bytes.resize(other.link_bytes.len(), 0);
+        }
+        for (a, b) in self.link_bytes.iter_mut().zip(&other.link_bytes) {
+            *a += *b;
+        }
+        self.finish_s.extend_from_slice(&other.finish_s);
+    }
+
+    /// Report aggregate traffic counters into a [`Recorder`] under the
+    /// `netsim.*` names (message count, payload/hop totals, link usage;
+    /// the full per-link byte vector stays on the struct for programmatic
+    /// consumers).
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        r.add("netsim.messages", self.messages);
+        r.add("netsim.payload_bytes", self.total_bytes);
+        r.add("netsim.hops", self.hops);
+        r.add("netsim.links.used", self.links_used());
+        r.gauge_max("netsim.link.peak_bytes", self.peak_link_bytes());
     }
 }
 
@@ -97,10 +142,16 @@ impl<'a> NetSim<'a> {
 
         let mut finish = vec![0.0f64; messages.len()];
         let mut total_bytes = 0u64;
+        let mut hops = 0u64;
+        let mut link_bytes = vec![0u64; self.net.num_links()];
         for &i in &order {
             let m = &messages[i];
             total_bytes += m.bytes;
             let route = self.net.route(m.src, m.dst);
+            hops += route.len() as u64;
+            for &l in route.iter() {
+                link_bytes[l] += m.bytes;
+            }
             if route.is_empty() {
                 // Local copy: charge only a memcpy-ish cost via injection bw.
                 finish[i] = m.submit_s + m.bytes as f64 / (self.net.config().link_bw_gbs * 1e9);
@@ -130,6 +181,9 @@ impl<'a> NetSim<'a> {
             finish_s: finish,
             makespan_s,
             total_bytes,
+            messages: messages.len() as u64,
+            hops,
+            link_bytes,
         }
     }
 

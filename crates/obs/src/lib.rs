@@ -1,0 +1,30 @@
+//! # pvs-obs — observability for the simulation stack
+//!
+//! A zero-external-dep layer the simulators report into: named monotonic
+//! counters and gauges, plus lightweight span tracing with parent linkage,
+//! all behind the [`Recorder`] trait. The engine, thread pool, and
+//! memory/network/vector simulators call `Recorder` methods; a [`Registry`]
+//! collects everything for one run and renders it as sorted counter lists
+//! or a JSONL trace.
+//!
+//! Two design rules keep the repo's invariants intact:
+//!
+//! * **No host clocks.** This crate records only *simulated* quantities
+//!   and opaque caller-supplied tick values (the engine uses simulated
+//!   picoseconds). Host wall-clock timing lives exclusively in
+//!   `pvs-bench`, where lint PVS003 permits it.
+//! * **Deterministic iteration.** Counter and gauge storage is a
+//!   `BTreeMap`, so every dump is sorted by name and byte-identical
+//!   across runs and thread counts (lint PVS005 bans unordered
+//!   iteration for exactly this reason).
+//!
+//! Counter names follow a `layer.component.metric` scheme, e.g.
+//! `engine.loop.flops`, `pool.queue.peak_depth`, `memsim.bank.stall_cycles`.
+
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use recorder::{NullRecorder, Recorder};
+pub use registry::{Registry, Snapshot};
+pub use span::{SpanEvent, SpanId, SpanRecord, TraceBuffer};

@@ -1,0 +1,236 @@
+//! The [`Registry`]: a thread-safe store of one run's counters, gauges,
+//! and trace.
+//!
+//! One registry per observed run keeps parallel sweeps isolated: each
+//! sweep cell builds its own registry inside the pool closure, so cells
+//! never contend and per-cell counters stay exact. Storage is `BTreeMap`
+//! under a single `Mutex` — iteration order is the sorted name order, so
+//! every dump is deterministic (PVS005).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::recorder::Recorder;
+use crate::span::{SpanId, TraceBuffer};
+
+/// Point-in-time copy of a registry's counters and gauges, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    trace: TraceBuffer,
+}
+
+/// Thread-safe recorder that stores everything it is handed.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("obs registry poisoned")
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (0 if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.lock().gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sorted copy of all counters and gauges.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+
+    /// Copy of the span trace recorded so far.
+    pub fn trace(&self) -> TraceBuffer {
+        self.lock().trace.clone()
+    }
+
+    /// JSONL rendering of the span trace (see [`TraceBuffer::to_jsonl`]).
+    pub fn trace_jsonl(&self) -> String {
+        self.lock().trace.to_jsonl()
+    }
+}
+
+impl Recorder for Registry {
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: u64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    fn gauge_max(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn span_begin(&self, name: &str, parent: Option<SpanId>, begin_ticks: u64) -> SpanId {
+        self.lock().trace.begin(name, parent, begin_ticks)
+    }
+
+    fn span_end(&self, id: SpanId, end_ticks: u64) {
+        self.lock().trace.end(id, end_ticks);
+    }
+
+    fn add_many(&self, entries: &[(&str, u64)]) {
+        let mut inner = self.lock();
+        for (name, delta) in entries {
+            match inner.counters.get_mut(*name) {
+                Some(v) => *v = v.saturating_add(*delta),
+                None => {
+                    inner.counters.insert((*name).to_string(), *delta);
+                }
+            }
+        }
+    }
+
+    fn span(&self, name: &str, parent: Option<SpanId>, begin_ticks: u64, end_ticks: u64) -> SpanId {
+        let mut inner = self.lock();
+        let id = inner.trace.begin(name, parent, begin_ticks);
+        inner.trace.end(id, end_ticks);
+        id
+    }
+
+    fn span_many(&self, spans: &[crate::span::SpanRecord<'_>]) {
+        let mut inner = self.lock();
+        let mut ids: Vec<SpanId> = Vec::with_capacity(spans.len());
+        for (i, s) in spans.iter().enumerate() {
+            let parent = s.parent.filter(|&p| p < i).map(|p| ids[p]);
+            let id = inner.trace.begin(s.name, parent, s.begin_ticks);
+            inner.trace.end(id, s.end_ticks);
+            ids.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.add("a.b.c", 3);
+        r.add("a.b.c", 4);
+        assert_eq!(r.counter("a.b.c"), 7);
+        assert_eq!(r.counter("untouched"), 0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let r = Registry::new();
+        r.add("big", u64::MAX - 1);
+        r.add("big", 10);
+        assert_eq!(r.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let r = Registry::new();
+        r.gauge_set("depth", 5);
+        r.gauge_max("depth", 3); // lower: ignored
+        assert_eq!(r.gauge("depth"), 5);
+        r.gauge_max("depth", 9);
+        assert_eq!(r.gauge("depth"), 9);
+        r.gauge_set("depth", 1); // set always wins
+        assert_eq!(r.gauge("depth"), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = Registry::new();
+        r.add("z.last", 1);
+        r.add("a.first", 2);
+        r.add("m.middle", 3);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn spans_flow_into_trace() {
+        let r = Registry::new();
+        let run = r.span_begin("run", None, 0);
+        let ph = r.span_begin("phase", Some(run), 2);
+        r.span_end(ph, 8);
+        r.span_end(run, 10);
+        let t = r.trace();
+        assert_eq!(t.roots(), vec![run]);
+        assert_eq!(t.children(run), vec![ph]);
+        assert!(r.trace_jsonl().contains("\"name\":\"phase\""));
+    }
+
+    #[test]
+    fn batched_paths_match_the_one_call_paths() {
+        let a = Registry::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        a.add("x", 3);
+        let b = Registry::new();
+        b.add_many(&[("x", 1), ("y", 2), ("x", 3)]);
+        assert_eq!(a.snapshot(), b.snapshot());
+
+        let root = b.span_begin("run", None, 0);
+        let ph = b.span("phase", Some(root), 2, 8);
+        b.span_end(root, 10);
+        let t = b.trace();
+        assert_eq!(t.children(root), vec![ph]);
+        assert_eq!(t.get(ph).unwrap().duration_ticks(), Some(6));
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let r = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.add("shared", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("shared"), 8000);
+    }
+}

@@ -102,6 +102,10 @@ pub struct ExecResult {
     pub metrics: VectorMetrics,
     /// Floating-point operations performed.
     pub flops: f64,
+    /// Strip-mine loop bodies executed (strips per stream × outer
+    /// iterations × streams); 0 for a scalar loop. Cross-checks AVL:
+    /// `element_ops / instructions` must equal the average strip length.
+    pub strips: u64,
 }
 
 impl ExecResult {
@@ -156,6 +160,7 @@ impl VectorUnit {
             seconds,
             metrics,
             flops,
+            strips: 0,
         }
     }
 
@@ -221,6 +226,9 @@ impl VectorUnit {
             seconds,
             metrics,
             flops,
+            strips: num_strips(trips_per_stream, cfg.max_vl) as u64
+                * l.outer_iters as u64
+                * streams as u64,
         }
     }
 }
@@ -391,6 +399,34 @@ mod tests {
         };
         let r = unit.execute(&l, &es_mem());
         assert_eq!(r.metrics.vor(), 0.0);
+    }
+
+    #[test]
+    fn strip_counts_cross_check_avl() {
+        let unit = VectorUnit::new(es_processor());
+        let r = unit.execute(&compute_heavy(4096), &es_mem());
+        // 4096 trips / 256 max VL = 16 strips per outer iteration.
+        assert_eq!(r.strips, 16 * 100);
+        // AVL is elements per vector instruction; independently, total
+        // trips / strips gives the average strip length. The two must
+        // agree — that is the strip-mine/AVL cross-check.
+        let avg_strip = (4096.0 * 100.0) / r.strips as f64;
+        assert!(
+            (avg_strip - r.metrics.avl()).abs() < 1.0,
+            "avg strip {avg_strip} vs AVL {}",
+            r.metrics.avl()
+        );
+        assert!((r.metrics.avl() - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn scalar_loops_have_no_strips() {
+        let unit = VectorUnit::new(es_processor());
+        let sl = VectorLoop {
+            class: LoopClass::Scalar,
+            ..compute_heavy(4096)
+        };
+        assert_eq!(unit.execute(&sl, &es_mem()).strips, 0);
     }
 
     #[test]

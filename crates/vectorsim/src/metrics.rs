@@ -58,6 +58,14 @@ impl VectorMetrics {
     pub fn record_scalar(&mut self, ops: u64) {
         self.scalar_ops += ops;
     }
+
+    /// Report these counters into a [`Recorder`] under the `vectorsim.*`
+    /// names; AVL/VOR are recomputable downstream from the raw counts.
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        r.add("vectorsim.element_ops", self.vector_element_ops);
+        r.add("vectorsim.vector_instructions", self.vector_instructions);
+        r.add("vectorsim.scalar_ops", self.scalar_ops);
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +108,18 @@ mod tests {
         assert_eq!(a.vector_instructions, 20);
         assert!((a.avl() - 35.2).abs() < 1e-12);
         assert!(a.vor() < 1.0);
+    }
+
+    #[test]
+    fn record_to_exports_raw_counts() {
+        let mut m = VectorMetrics::default();
+        m.record_vector(2560, 10);
+        m.record_scalar(7);
+        let reg = pvs_obs::Registry::new();
+        m.record_to(&reg);
+        assert_eq!(reg.counter("vectorsim.element_ops"), 2560);
+        assert_eq!(reg.counter("vectorsim.vector_instructions"), 10);
+        assert_eq!(reg.counter("vectorsim.scalar_ops"), 7);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub use pvs_lint as lint;
 pub use pvs_memsim as memsim;
 pub use pvs_mpisim as mpisim;
 pub use pvs_netsim as netsim;
+pub use pvs_obs as obs;
 pub use pvs_paratec as paratec;
 pub use pvs_report as report;
 pub use pvs_vectorsim as vectorsim;
