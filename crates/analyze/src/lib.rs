@@ -1,0 +1,27 @@
+//! pvs-analyze: bottleneck attribution for the parallel-vector study.
+//!
+//! The observability layer (`pvs-obs`) records what a simulated run
+//! *did* — counters, gauges, span trees. This crate turns those records
+//! plus the machine models into *why it was slow*:
+//!
+//! * [`amdahl`] — vectorized/scalar time split and the closed-form
+//!   serialization bound (8:1 ES, 32:1 X1 MSP);
+//! * [`bottleneck`] — per-cell classification into compute-, memory-
+//!   bandwidth-, bisection-, or scalar-serialization-bound;
+//! * [`findings`] — the rendered findings table over a whole sweep;
+//! * [`chrome`] — Chrome trace-event export and self-time rollups;
+//! * [`sentinel`] — the deterministic perf-regression comparison behind
+//!   `pvs-bench compare`;
+//! * [`profiledoc`] / [`json`] — the `BENCH_sweep.json` reader
+//!   (schema v1 and v2) and the minimal JSON parser under it.
+//!
+//! Everything is std-only and deterministic: same inputs, byte-identical
+//! reports, no host clocks.
+
+pub mod amdahl;
+pub mod bottleneck;
+pub mod chrome;
+pub mod findings;
+pub mod json;
+pub mod profiledoc;
+pub mod sentinel;

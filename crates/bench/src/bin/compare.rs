@@ -1,0 +1,82 @@
+//! The perf-regression sentinel CLI.
+//!
+//! ```text
+//! cargo run -p pvs-bench --bin compare -- BENCH_sweep.json target/BENCH_new.json
+//! cargo run -p pvs-bench --bin compare -- old.json new.json --host-tol 25
+//! ```
+//!
+//! Joins the two profile documents on cell identity and exits nonzero on
+//! regression: any modelled-time growth or modelled-Gflop/s drop (the
+//! model is deterministic, so these compare exactly), or a baseline cell
+//! missing from the new document. Host wall-clock drift is reported but
+//! only enforced when `--host-tol <pct>` is given — host times are
+//! machine-specific noise and the committed baseline usually comes from
+//! another machine.
+
+use pvs_analyze::profiledoc;
+use pvs_analyze::sentinel::compare_docs;
+
+fn load_or_exit(path: &str) -> profiledoc::ProfileDoc {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match profiledoc::load(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut host_tol = None;
+    let mut paths = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--host-tol" => {
+                host_tol = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+                if host_tol.is_none() {
+                    eprintln!("error: --host-tol needs a numeric percentage");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unrecognized flag {other:?}");
+                std::process::exit(2);
+            }
+            _ => {
+                paths.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: compare <old.json> <new.json> [--host-tol <pct>]");
+        std::process::exit(2);
+    };
+
+    let old = load_or_exit(old_path);
+    let new = load_or_exit(new_path);
+    let cmp = compare_docs(&old, &new, host_tol);
+    print!("{}", cmp.table().render());
+    println!(
+        "{} matched cells, {} drifts ({} vs {})",
+        cmp.matched_cells,
+        cmp.drifts.len(),
+        old_path,
+        new_path
+    );
+    if cmp.regressed() {
+        eprintln!("REGRESSION: model metrics moved the wrong way (see table)");
+        std::process::exit(1);
+    }
+    println!("ok: no regression");
+}

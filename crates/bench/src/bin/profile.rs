@@ -5,16 +5,23 @@
 //! cargo run --release -p pvs-bench --bin profile               # BENCH_sweep.json
 //! cargo run --release -p pvs-bench --bin profile -- --smoke    # CI subset
 //! cargo run --release -p pvs-bench --bin profile -- --no-obs   # overhead baseline
+//! cargo run --release -p pvs-bench --bin profile -- --smoke --analyze
+//! cargo run --release -p pvs-bench --bin profile -- --smoke --trace target/traces
 //! ```
 //!
-//! Flags: `--smoke` (4-cell subset, written under `target/`),
+//! Flags: `--smoke` (6-cell subset, written under `target/`),
 //! `--no-obs` (no recorder attached — the baseline the ≤5% overhead
 //! claim is measured against), `--samples N` (host wall-clock samples
-//! per cell, default 3), `--out PATH` (override the output path).
+//! per cell, default 3), `--out PATH` (override the output path),
+//! `--analyze` (print the bottleneck-attribution findings table and
+//! per-cell self-time rollups), `--trace DIR` (export one Chrome
+//! trace-event JSON per cell — timestamps are simulated picoseconds).
 
+use pvs_analyze::{chrome, findings, profiledoc};
 use pvs_bench::profile::{
     measure_overhead, paper_cells, run_profile, smoke_cells, ProfileOptions,
 };
+use pvs_core::report::fmt_pct_signed;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,8 +32,17 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
+    let known = [
+        "--smoke",
+        "--no-obs",
+        "--samples",
+        "--out",
+        "--overhead",
+        "--analyze",
+        "--trace",
+    ];
     for a in &args {
-        if !["--smoke", "--no-obs", "--samples", "--out", "--overhead"].contains(&a.as_str())
+        if !known.contains(&a.as_str())
             && !a.chars().next().map(char::is_alphanumeric).unwrap_or(false)
         {
             eprintln!("warning: unrecognized flag {a:?}");
@@ -43,9 +59,9 @@ fn main() {
         let (observed, plain) = measure_overhead(&cells, rounds);
         println!(
             "instrumented {observed:.3e}s vs bare {plain:.3e}s over {} cells \
-             ({rounds} interleaved rounds, min per arm): overhead {:+.1}%",
+             ({rounds} interleaved rounds, min per arm): overhead {}",
             cells.len(),
-            100.0 * (observed / plain - 1.0)
+            fmt_pct_signed(100.0 * (observed / plain - 1.0))
         );
         return;
     }
@@ -98,7 +114,72 @@ fn main() {
         }
     );
 
+    if let Some(dir) = value_of("--trace") {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+        for c in &out.cells {
+            let name = format!(
+                "{}_{}_P{}.trace.json",
+                c.cell.app.to_lowercase(),
+                c.cell.machine.to_lowercase().replace('-', "_"),
+                c.cell.procs
+            );
+            let label = format!("{}/{}/P{}", c.cell.app, c.cell.machine, c.cell.procs);
+            let path = std::path::Path::new(&dir).join(&name);
+            let doc = chrome::to_chrome_trace(&c.trace, &label);
+            if let Err(e) = std::fs::write(&path, doc + "\n") {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {} ({} spans)", path.display(), c.trace.events().len());
+        }
+    }
+
     let json = out.to_json();
+
+    if flag("--analyze") {
+        // Round-trip the document through the same reader `compare` and
+        // offline analysis use — what gets analyzed is exactly what the
+        // file says.
+        match profiledoc::load(&json) {
+            Ok(doc) => {
+                let diagnoses = findings::analyze_doc(&doc);
+                print!("{}", findings::findings_table(&diagnoses).render());
+                for c in &out.cells {
+                    let rollup = chrome::self_time_rollup(&c.trace);
+                    let total: u64 = rollup.iter().map(|r| r.self_ticks).sum();
+                    if total == 0 {
+                        continue;
+                    }
+                    let top: Vec<String> = rollup
+                        .iter()
+                        .take(3)
+                        .map(|r| {
+                            format!(
+                                "{} {:.0}%",
+                                r.name,
+                                100.0 * r.self_ticks as f64 / total as f64
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "self-time {:<8} {:<8} P={:<4} {}",
+                        c.cell.app,
+                        c.cell.machine,
+                        c.cell.procs,
+                        top.join(", ")
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: --analyze cannot read the sweep document: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {

@@ -16,6 +16,7 @@ use crate::tablegen::{app_phases, machine_by_name};
 use pvs_core::engine::Engine;
 use pvs_core::pool::ThreadPool;
 use pvs_core::report::PerfReport;
+use pvs_obs::span::TraceBuffer;
 use pvs_obs::{Registry, Snapshot};
 use pvs_report::json::{array, number, perf_report, JsonObject};
 use std::sync::Arc;
@@ -63,13 +64,16 @@ pub fn paper_cells() -> Vec<SweepCell> {
     cells
 }
 
-/// A fast subset for CI smoke runs: one memory-bound and one
-/// particle-bound application on one superscalar and one vector machine.
+/// A fast subset for CI smoke runs that still exercises every bottleneck
+/// class the analysis layer distinguishes: LBMHD and GTC on one
+/// superscalar and one vector machine, plus PARATEC and Cactus on the X1
+/// (the bisection-bound and scalar-serialization-bound corners).
 pub fn smoke_cells() -> Vec<SweepCell> {
     paper_cells()
         .into_iter()
         .filter(|c| {
-            matches!(c.app, "LBMHD" | "GTC") && matches!(c.machine, "Power3" | "ES")
+            (matches!(c.app, "LBMHD" | "GTC") && matches!(c.machine, "Power3" | "ES"))
+                || (matches!(c.app, "PARATEC" | "CACTUS") && c.machine == "X1")
         })
         .collect()
 }
@@ -106,6 +110,9 @@ pub struct CellProfile {
     pub report: PerfReport,
     /// Counter/gauge snapshot for this cell (empty when unobserved).
     pub snapshot: Snapshot,
+    /// The cell's span trace (empty when unobserved). Feeds `--trace`
+    /// (Chrome trace export) and `--analyze` (self-time rollups).
+    pub trace: TraceBuffer,
     /// Span events recorded for this cell (0 when unobserved).
     pub span_events: usize,
     /// Host wall-clock seconds per [`Engine::run`] call, one entry per
@@ -144,8 +151,15 @@ impl ProfileOutput {
         self.cells.iter().map(|c| c.host_median_s()).sum()
     }
 
-    /// Render the run as the `BENCH_sweep.json` document.
+    /// Render the run as the `BENCH_sweep.json` document: schema
+    /// `pvs-bench/profile-v2` — stable key order, pretty-printed so the
+    /// committed baseline diffs line-by-line. (`pvs-analyze` still reads
+    /// the compact v1 documents older baselines carry.)
     pub fn to_json(&self) -> String {
+        pvs_report::json::pretty(&self.to_json_compact())
+    }
+
+    fn to_json_compact(&self) -> String {
         let cells = array(self.cells.iter().map(|c| {
             let counters = array(c.snapshot.counters.iter().map(|(name, value)| {
                 JsonObject::new()
@@ -185,7 +199,7 @@ impl ProfileOutput {
             },
         ));
         JsonObject::new()
-            .string("schema", "pvs-bench/profile-v1")
+            .string("schema", "pvs-bench/profile-v2")
             .boolean("observed", self.options.observe)
             .number("sweep_threads", self.options.threads as f64)
             .number("host_samples_per_cell", self.options.host_samples as f64)
@@ -215,16 +229,16 @@ pub fn run_profile(cells: Vec<SweepCell>, options: ProfileOptions) -> ProfileOut
     // its registry, so per-cell counters are thread-count independent.
     let pool = ThreadPool::new(options.threads);
     let observe = options.observe;
-    let simulated: Vec<(SweepCell, PerfReport, Snapshot, usize)> =
+    let simulated: Vec<(SweepCell, PerfReport, Snapshot, TraceBuffer)> =
         pool.map(cells, move |cell| {
             let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
             let (engine, reg) = cell_engine(&cell, observe);
             let report = engine.run(&phases, cell.procs);
-            let (snapshot, span_events) = match reg {
-                Some(reg) => (reg.snapshot(), reg.trace().events().len()),
-                None => (Snapshot::default(), 0),
+            let (snapshot, trace) = match reg {
+                Some(reg) => (reg.snapshot(), reg.trace()),
+                None => (Snapshot::default(), TraceBuffer::new()),
             };
-            (cell, report, snapshot, span_events)
+            (cell, report, snapshot, trace)
         });
     let harness_reg = Registry::new();
     pool.record_to(&harness_reg);
@@ -234,16 +248,18 @@ pub fn run_profile(cells: Vec<SweepCell>, options: ProfileOptions) -> ProfileOut
     // steady-state counter/span cost.
     let cells = simulated
         .into_iter()
-        .map(|(cell, report, snapshot, span_events)| {
+        .map(|(cell, report, snapshot, trace)| {
             let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
             let (engine, _reg) = cell_engine(&cell, observe);
             let host_secs = time_samples(options.host_samples, || {
                 std::hint::black_box(engine.run(&phases, cell.procs))
             });
+            let span_events = trace.events().len();
             CellProfile {
                 cell,
                 report,
                 snapshot,
+                trace,
                 span_events,
                 host_secs,
             }
@@ -335,18 +351,23 @@ mod tests {
     #[test]
     fn smoke_subset_is_small_but_mixed() {
         let cells = smoke_cells();
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 6);
         assert!(cells.iter().any(|c| c.machine == "ES"));
         assert!(cells.iter().any(|c| c.machine == "Power3"));
+        // The bisection-bound and scalar-serialization corners ride along
+        // so `--smoke --analyze` sees every bottleneck class.
+        assert!(cells.iter().any(|c| c.app == "PARATEC" && c.machine == "X1"));
+        assert!(cells.iter().any(|c| c.app == "CACTUS" && c.machine == "X1"));
     }
 
     #[test]
     fn observed_profile_exports_counters_and_spans() {
         let out = run_profile(smoke_cells(), quick_options());
-        assert_eq!(out.cells.len(), 4);
+        assert_eq!(out.cells.len(), 6);
         for c in &out.cells {
             assert!(!c.snapshot.counters.is_empty(), "{} has counters", c.cell.app);
             assert!(c.span_events >= 2, "root span + phase spans");
+            assert_eq!(c.trace.events().len(), c.span_events);
             assert_eq!(c.host_secs.len(), 1);
             let phases = c
                 .snapshot
@@ -365,7 +386,7 @@ mod tests {
             .find(|(n, _)| n == "pool.tasks_executed")
             .map(|(_, v)| *v)
             .unwrap();
-        assert_eq!(tasks, 4);
+        assert_eq!(tasks, 6);
     }
 
     #[test]
@@ -414,10 +435,13 @@ mod tests {
         };
         assert!(balance('{', '}'));
         assert!(balance('[', ']'));
-        assert!(json.contains("\"schema\":\"pvs-bench/profile-v1\""));
-        assert!(json.contains("\"app\":\"LBMHD\""));
+        assert!(json.contains("\"schema\": \"pvs-bench/profile-v2\""));
+        assert!(json.contains("\"app\": \"LBMHD\""));
         assert!(json.contains("\"pool.tasks_executed\""));
         assert!(json.contains("\"engine.phases\""));
         assert!(!json.contains("NaN") && !json.contains("inf"));
+        // Pretty-printed: one member per line, two-space indented.
+        assert!(json.contains("\n  \"schema\""));
+        assert!(json.lines().count() > 100);
     }
 }

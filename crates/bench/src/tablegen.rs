@@ -87,15 +87,7 @@ impl TableOutput {
 }
 
 pub(crate) fn machine_by_name(name: &str) -> Machine {
-    match name {
-        "Power3" => platforms::power3(),
-        "Power4" => platforms::power4(),
-        "Altix" => platforms::altix(),
-        "ES" => platforms::earth_simulator(),
-        "X1" => platforms::x1(),
-        "X1-CAF" => platforms::x1_caf(),
-        other => panic!("unknown machine {other}"),
-    }
+    platforms::by_name(name).unwrap_or_else(|| panic!("unknown machine {name}"))
 }
 
 /// Table 1: the architectural-highlights table (static data).

@@ -71,6 +71,7 @@ struct RunTally {
     net_messages: u64,
     net_payload_bytes: u64,
     net_hops: u64,
+    net_bisection_bytes: u64,
     net_links_used: u64,
     net_peak_link_bytes: u64,
 }
@@ -99,6 +100,7 @@ impl RunTally {
             entries.push(("netsim.messages", self.net_messages));
             entries.push(("netsim.payload_bytes", self.net_payload_bytes));
             entries.push(("netsim.hops", self.net_hops));
+            entries.push(("netsim.bisection_bytes", self.net_bisection_bytes));
             entries.push(("netsim.links.used", self.net_links_used));
         }
         if self.bank_accesses > 0 {
@@ -217,6 +219,7 @@ impl Engine {
                         tally.net_messages += stats.messages;
                         tally.net_payload_bytes += stats.total_bytes;
                         tally.net_hops += stats.hops;
+                        tally.net_bisection_bytes += c.pattern.bisection_bytes();
                         tally.net_links_used += stats.links_used();
                         tally.net_peak_link_bytes =
                             tally.net_peak_link_bytes.max(stats.peak_link_bytes());

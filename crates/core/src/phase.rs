@@ -123,6 +123,67 @@ pub enum CommPattern {
     },
 }
 
+impl CommPattern {
+    /// Bytes that cross a machine bisection during **one repetition** of
+    /// the pattern, with ranks laid out in order and cut into two
+    /// contiguous halves. This is the analytic load the paper's
+    /// bytes/flop bisection column (Table 1) is weighed against: halo
+    /// exchanges only send the straddling-pair traffic across the cut,
+    /// while an all-to-all pushes a quarter of its total volume through
+    /// it — which is why the FFT transposes, not the ghost-zone
+    /// exchanges, expose a thin bisection.
+    pub fn bisection_bytes(&self) -> u64 {
+        match *self {
+            CommPattern::Halo2d {
+                px,
+                py,
+                bytes_edge,
+                bytes_corner,
+            } => {
+                if px.max(py) < 2 {
+                    return 0;
+                }
+                // Cut perpendicular to the longer grid axis: one line of
+                // process pairs straddles it, each exchanging both ways.
+                let cross = px.min(py) as u64;
+                2 * cross * bytes_edge + 4 * cross.saturating_sub(1) * bytes_corner
+            }
+            CommPattern::Halo3d {
+                px,
+                py,
+                pz,
+                bytes_face,
+            } => {
+                if px.max(py).max(pz) < 2 {
+                    return 0;
+                }
+                // Cut perpendicular to the longest axis: the straddling
+                // face pairs tile the other two extents.
+                let longest = px.max(py).max(pz) as u64;
+                let cross = (px * py * pz) as u64 / longest;
+                2 * cross * bytes_face
+            }
+            CommPattern::AllToAll {
+                ranks,
+                bytes_per_pair,
+            } => {
+                let h1 = (ranks / 2) as u64;
+                let h2 = (ranks - ranks / 2) as u64;
+                // Every ordered pair with endpoints in opposite halves.
+                2 * h1 * h2 * bytes_per_pair
+            }
+            CommPattern::AllReduce { ranks, bytes } => {
+                if ranks < 2 {
+                    return 0;
+                }
+                // The recursive-doubling round at stride ranks/2 pairs
+                // every rank with a partner in the opposite half.
+                ranks as u64 * bytes
+            }
+        }
+    }
+}
+
 /// One phase of an application run.
 #[derive(Debug, Clone)]
 pub enum Phase {

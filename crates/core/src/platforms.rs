@@ -250,6 +250,23 @@ pub fn all() -> Vec<Machine> {
     vec![power3(), power4(), altix(), earth_simulator(), x1()]
 }
 
+/// Look a platform up by the name its `Machine::name` carries (the
+/// spelling used in sweep documents and report headers). `None` for
+/// names outside the study set.
+pub fn by_name(name: &str) -> Option<Machine> {
+    match name {
+        "Power3" => Some(power3()),
+        "Power4" => Some(power4()),
+        "Altix" => Some(altix()),
+        "ES" => Some(earth_simulator()),
+        "X1" => Some(x1()),
+        "X1-CAF" => Some(x1_caf()),
+        "X1-SSP" => Some(x1_ssp_mode()),
+        "Power5*" => Some(power5_preview()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +338,17 @@ mod tests {
         } else {
             panic!("SSP mode is still a vector machine");
         }
+    }
+
+    #[test]
+    fn by_name_covers_every_platform_constructor() {
+        for m in all() {
+            assert_eq!(by_name(m.name).unwrap().name, m.name);
+        }
+        for m in [x1_caf(), x1_ssp_mode(), power5_preview()] {
+            assert_eq!(by_name(m.name).unwrap().name, m.name);
+        }
+        assert!(by_name("NEC SX-8").is_none());
     }
 
     #[test]

@@ -2,6 +2,30 @@
 
 use pvs_vectorsim::metrics::VectorMetrics;
 
+/// Format a percentage with adaptive precision: one decimal below 10%
+/// (at whole-number precision the small fractions the paper's
+/// superscalar columns live in — 1.3% vs 0.6% — would collapse into
+/// each other), whole numbers at or above. Every percentage cell in the
+/// report and bench layers goes through here so precision rules cannot
+/// drift apart.
+pub fn fmt_pct(pct: f64) -> String {
+    if pct.abs() < 10.0 {
+        format!("{pct:.1}%")
+    } else {
+        format!("{pct:.0}%")
+    }
+}
+
+/// Signed variant of [`fmt_pct`] for deltas (instrumentation overhead,
+/// drift tables): always carries an explicit sign.
+pub fn fmt_pct_signed(pct: f64) -> String {
+    if pct.abs() < 10.0 {
+        format!("{pct:+.1}%")
+    } else {
+        format!("{pct:+.0}%")
+    }
+}
+
 /// Timing contribution of one phase.
 #[derive(Debug, Clone)]
 pub struct PhaseBreakdown {
@@ -73,16 +97,10 @@ impl PerfReport {
             / self.time_s
     }
 
-    /// Render as a table cell: "Gflops/P  %peak". Below 10% of peak the
-    /// percentage keeps one decimal — at whole-number precision the small
-    /// fractions the paper's superscalar columns live in (e.g. 1.3% vs
-    /// 0.6%) would collapse into each other.
+    /// Render as a table cell: "Gflops/P  %peak", with the percentage
+    /// precision rules of [`fmt_pct`].
     pub fn cell(&self) -> String {
-        if self.pct_peak < 10.0 {
-            format!("{:.3} {:>4.1}%", self.gflops_per_p, self.pct_peak)
-        } else {
-            format!("{:.3} {:>4.0}%", self.gflops_per_p, self.pct_peak)
-        }
+        format!("{:.3} {:>5}", self.gflops_per_p, fmt_pct(self.pct_peak))
     }
 }
 
@@ -156,5 +174,23 @@ mod tests {
         // At or above 10% the whole-number rendering is unchanged.
         r.pct_peak = 50.0;
         assert!(r.cell().ends_with("  50%"), "{}", r.cell());
+    }
+
+    #[test]
+    fn fmt_pct_adaptive_precision() {
+        assert_eq!(fmt_pct(1.34), "1.3%");
+        assert_eq!(fmt_pct(0.62), "0.6%");
+        assert_eq!(fmt_pct(9.96), "10.0%");
+        assert_eq!(fmt_pct(50.0), "50%");
+        assert_eq!(fmt_pct(-3.21), "-3.2%");
+    }
+
+    #[test]
+    fn fmt_pct_signed_always_carries_a_sign() {
+        assert_eq!(fmt_pct_signed(1.34), "+1.3%");
+        assert_eq!(fmt_pct_signed(-0.62), "-0.6%");
+        assert_eq!(fmt_pct_signed(0.0), "+0.0%");
+        assert_eq!(fmt_pct_signed(25.0), "+25%");
+        assert_eq!(fmt_pct_signed(-25.0), "-25%");
     }
 }

@@ -1,0 +1,15 @@
+// PVS011 clean fixture: well-formed dotted counter names, plus the
+// dynamic-name forms the lint deliberately leaves alone.
+
+fn flush(r: &dyn Recorder, i: usize, name: &str) {
+    r.add("engine.loop.flops", 1);
+    r.gauge_set("pool.queue.depth", 3);
+    r.gauge_max("netsim.link.peak_bytes", 4);
+    let mut entries: Vec<(&str, u64)> = Vec::new();
+    entries.push(("engine.loop.cycles", 5));
+    r.add_many(&[("vectorsim.strips", 1), ("memsim.bank.stall_cycles", 2)]);
+    r.add(&format!("pool.worker.{i}.tasks"), 1);
+    r.add(name, 1);
+    // A plain tuple push is not a recorder write and carries no rules:
+    labels.push(("Label", 1));
+}

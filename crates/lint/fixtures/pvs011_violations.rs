@@ -1,0 +1,13 @@
+// PVS011 fixture: malformed counter-name literals at recorder write
+// sites. Each line below forks the counter namespace in a different way.
+
+fn flush(r: &dyn Recorder) {
+    r.add("flops", 1);
+    r.add("Engine.Phases", 2);
+    r.gauge_set("queueDepth", 3);
+    r.gauge_max("netsim.link.Peak", 4);
+    let mut entries: Vec<(&str, u64)> = Vec::new();
+    entries.push(("engine..cycles", 5));
+    r.add_many(&[("ok.name", 1), ("bad name", 2)]);
+    r.add_many(&entries);
+}

@@ -56,11 +56,14 @@ pub enum LintCode {
     /// Kernel descriptor: predicted AVL below half the hardware vector
     /// length (short-vector advisory).
     Pvs010,
+    /// Recorder counter/gauge name literal is not lowercase
+    /// `snake.dotted`.
+    Pvs011,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub fn all() -> [LintCode; 10] {
+    pub fn all() -> [LintCode; 11] {
         [
             LintCode::Pvs001,
             LintCode::Pvs002,
@@ -72,6 +75,7 @@ impl LintCode {
             LintCode::Pvs008,
             LintCode::Pvs009,
             LintCode::Pvs010,
+            LintCode::Pvs011,
         ]
     }
 
@@ -88,6 +92,7 @@ impl LintCode {
             LintCode::Pvs008 => "PVS008",
             LintCode::Pvs009 => "PVS009",
             LintCode::Pvs010 => "PVS010",
+            LintCode::Pvs011 => "PVS011",
         }
     }
 
@@ -118,6 +123,7 @@ impl LintCode {
             LintCode::Pvs008 => "kernel static AVL prediction diverges from the dynamic model",
             LintCode::Pvs009 => "kernel static VOR prediction diverges from the dynamic model",
             LintCode::Pvs010 => "kernel predicted AVL below half the hardware vector length",
+            LintCode::Pvs011 => "recorder counter name literal is not lowercase `snake.dotted`",
         }
     }
 
@@ -226,6 +232,20 @@ impl LintCode {
                  marks registered kernels whose predicted AVL is under max_vl/2 so\n\
                  the workload shape (or the descriptor) gets a second look. It\n\
                  never fails the build."
+            }
+            LintCode::Pvs011 => {
+                "PVS011: recorder counter name literal is not lowercase `snake.dotted`.\n\
+                 \n\
+                 Every counter and gauge name handed to the observability\n\
+                 Recorder (`add`, `gauge_set`, `gauge_max`, `add_many`, the\n\
+                 engine's `entries.push((..))` batch idiom) forms one shared\n\
+                 namespace that analysis code (`pvs-analyze`), baselines\n\
+                 (BENCH_sweep.json), and the regression sentinel all join on.\n\
+                 A stray `QueueDepth` or single-word `flops` silently forks\n\
+                 that namespace. Literal names must be lowercase dotted paths\n\
+                 (`engine.loop.cycles`, `netsim.bisection_bytes`): at least\n\
+                 two segments of `[a-z0-9_]+` separated by dots. Dynamically\n\
+                 built names (`format!`) are not checked."
             }
         }
     }

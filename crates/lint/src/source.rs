@@ -1,4 +1,4 @@
-//! Invariant lints over scanned source files (PVS003–PVS007).
+//! Invariant lints over scanned source files (PVS003–PVS007, PVS011).
 //!
 //! Each pass is a heuristic over the comment/string-stripped code channel
 //! of [`crate::scan`], tuned to this workspace's idiom and pinned by the
@@ -30,6 +30,8 @@ pub fn check_source(ctx: SourceContext<'_>, text: &str) -> Vec<Diagnostic> {
     pass_hash_iteration(&ctx, &lines, &hash_vars, &mut out);
     pass_unordered_accumulation(&ctx, &lines, &hash_vars, &mut out);
     pass_allow_escape_hatches(&ctx, &lines, &mut out);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    pass_counter_names(&ctx, &raw_lines, &lines, &mut out);
     out
 }
 
@@ -320,6 +322,94 @@ fn pass_allow_escape_hatches(
     }
 }
 
+/// Is `name` a lowercase dotted counter path: at least two
+/// `[a-z0-9_]+` segments separated by single dots?
+fn is_dotted_counter_name(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// The single-name Recorder write calls PVS011 checks when their first
+/// argument is a string literal.
+const RECORDER_WRITE_MARKERS: [&str; 3] = [".add(", ".gauge_set(", ".gauge_max("];
+
+/// PVS011: counter/gauge name literals handed to the Recorder must be
+/// lowercase `snake.dotted` paths — the names are joined across the
+/// engine, the committed baseline, and the analysis layer, so a
+/// malformed literal forks the namespace silently. The scanner blanks
+/// string contents in the code channel but preserves column positions,
+/// so the pass locates the opening quote in the code channel and reads
+/// the literal text back out of the raw line. Non-literal names
+/// (`format!`, variables) are not checked.
+fn pass_counter_names(
+    ctx: &SourceContext<'_>,
+    raw_lines: &[&str],
+    lines: &[ScannedLine],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(raw) = raw_lines.get(idx) else {
+            continue;
+        };
+        let mut quote_cols: Vec<usize> = Vec::new();
+        for marker in RECORDER_WRITE_MARKERS {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find(marker) {
+                let after_paren = start + pos + marker.len();
+                let skipped = code[after_paren..]
+                    .len()
+                    .saturating_sub(code[after_paren..].trim_start().len());
+                let quote_at = after_paren + skipped;
+                if code[quote_at..].starts_with('"') {
+                    quote_cols.push(quote_at);
+                }
+                start = after_paren;
+            }
+        }
+        // Batch idioms: every `("`-opened tuple on the line names a
+        // counter (`entries.push(("x", n))`, `add_many(&[("x", n), ..])`).
+        if code.contains("add_many(&[(") || code.contains("entries.push((") {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find("(\"") {
+                quote_cols.push(start + pos + 1);
+                start = start + pos + 2;
+            }
+        }
+        quote_cols.sort_unstable();
+        quote_cols.dedup();
+        for qc in quote_cols {
+            let Some(rest) = raw.get(qc + 1..) else {
+                continue;
+            };
+            let Some(end) = rest.find('"') else { continue };
+            let name = &rest[..end];
+            if !is_dotted_counter_name(name) {
+                out.push(Diagnostic::new(
+                    LintCode::Pvs011,
+                    ctx.path,
+                    idx + 1,
+                    format!(
+                        "counter name literal {name:?} is not lowercase \
+                         `snake.dotted` — recorder names must be two or more \
+                         `[a-z0-9_]+` segments joined by dots"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +508,54 @@ mod tests {
     #[test]
     fn method_expect_is_not_an_attribute() {
         let src = "let v = map.get(&k).expect(\"present\");\n";
+        assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn dotted_counter_name_grammar() {
+        for ok in ["a.b", "engine.loop.cycles", "pool.worker.0.tasks", "net_sim.x9"] {
+            assert!(is_dotted_counter_name(ok), "{ok}");
+        }
+        for bad in ["flops", "Engine.phases", "a..b", ".a", "a.", "a b.c", "net-sim.x", ""] {
+            assert!(!is_dotted_counter_name(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn malformed_recorder_names_flagged() {
+        let src = "r.add(\"flops\", 1);\n\
+                   r.gauge_set(\"queueDepth\", 2);\n\
+                   r.gauge_max( \"Engine.Phases\", 3);\n\
+                   entries.push((\"engine..cycles\", 4));\n\
+                   r.add_many(&[(\"ok.name\", 1), (\"bad name\", 2)]);\n";
+        assert_eq!(
+            codes(&check("core", src)),
+            vec![
+                ("PVS011", 1),
+                ("PVS011", 2),
+                ("PVS011", 3),
+                ("PVS011", 4),
+                ("PVS011", 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_and_dynamic_recorder_names_are_fine() {
+        let src = "r.add(\"engine.loop.flops\", 1);\n\
+                   r.gauge_max(\"netsim.link.peak_bytes\", 2);\n\
+                   entries.push((\"memsim.bank.stall_cycles\", 3));\n\
+                   r.add_many(&[(\"vectorsim.strips\", 1), (\"pool.queue.depth\", 2)]);\n\
+                   r.add(&format!(\"pool.worker.{i}.tasks\"), 1);\n\
+                   r.add(name, 1);\n";
+        assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn counter_names_in_comments_and_plain_pushes_ignored() {
+        let src = "// r.add(\"BAD\", 1) would be wrong\n\
+                   stack.push((\"Label\", 1));\n\
+                   let v = other.add(2);\n";
         assert!(check("core", src).is_empty());
     }
 }

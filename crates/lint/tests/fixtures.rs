@@ -60,7 +60,7 @@ fn assert_matches_golden(fixture: &str) {
     );
 }
 
-const VIOLATION_FIXTURES: [&str; 7] = [
+const VIOLATION_FIXTURES: [&str; 8] = [
     "pvs001_violations.toml",
     "pvs002_violations.lock",
     "pvs003_violations.rs",
@@ -68,9 +68,10 @@ const VIOLATION_FIXTURES: [&str; 7] = [
     "pvs005_violations.rs",
     "pvs006_violations.rs",
     "pvs007_violations.rs",
+    "pvs011_violations.rs",
 ];
 
-const CLEAN_FIXTURES: [&str; 7] = [
+const CLEAN_FIXTURES: [&str; 8] = [
     "pvs001_clean.toml",
     "pvs002_clean.lock",
     "pvs003_clean.rs",
@@ -78,6 +79,7 @@ const CLEAN_FIXTURES: [&str; 7] = [
     "pvs005_clean.rs",
     "pvs006_clean.rs",
     "pvs007_clean.rs",
+    "pvs011_clean.rs",
 ];
 
 #[test]

@@ -86,9 +86,9 @@ mod tests {
     #[test]
     fn null_recorder_is_inert() {
         let r = NullRecorder;
-        r.add("x", 5);
-        r.gauge_set("g", 1);
-        r.gauge_max("g", 2);
+        r.add("test.x", 5);
+        r.gauge_set("test.g", 1);
+        r.gauge_max("test.g", 2);
         let s = r.span_begin("s", None, 0);
         assert!(s.is_null());
         r.span_end(s, 10);

@@ -150,27 +150,27 @@ mod tests {
         r.add("a.b.c", 3);
         r.add("a.b.c", 4);
         assert_eq!(r.counter("a.b.c"), 7);
-        assert_eq!(r.counter("untouched"), 0);
+        assert_eq!(r.counter("test.untouched"), 0);
     }
 
     #[test]
     fn counter_saturates_instead_of_overflowing() {
         let r = Registry::new();
-        r.add("big", u64::MAX - 1);
-        r.add("big", 10);
-        assert_eq!(r.counter("big"), u64::MAX);
+        r.add("test.big", u64::MAX - 1);
+        r.add("test.big", 10);
+        assert_eq!(r.counter("test.big"), u64::MAX);
     }
 
     #[test]
     fn gauges_set_and_max() {
         let r = Registry::new();
-        r.gauge_set("depth", 5);
-        r.gauge_max("depth", 3); // lower: ignored
-        assert_eq!(r.gauge("depth"), 5);
-        r.gauge_max("depth", 9);
-        assert_eq!(r.gauge("depth"), 9);
-        r.gauge_set("depth", 1); // set always wins
-        assert_eq!(r.gauge("depth"), 1);
+        r.gauge_set("queue.depth", 5);
+        r.gauge_max("queue.depth", 3); // lower: ignored
+        assert_eq!(r.gauge("queue.depth"), 5);
+        r.gauge_max("queue.depth", 9);
+        assert_eq!(r.gauge("queue.depth"), 9);
+        r.gauge_set("queue.depth", 1); // set always wins
+        assert_eq!(r.gauge("queue.depth"), 1);
     }
 
     #[test]
@@ -200,11 +200,11 @@ mod tests {
     #[test]
     fn batched_paths_match_the_one_call_paths() {
         let a = Registry::new();
-        a.add("x", 1);
-        a.add("y", 2);
-        a.add("x", 3);
+        a.add("test.x", 1);
+        a.add("test.y", 2);
+        a.add("test.x", 3);
         let b = Registry::new();
-        b.add_many(&[("x", 1), ("y", 2), ("x", 3)]);
+        b.add_many(&[("test.x", 1), ("test.y", 2), ("test.x", 3)]);
         assert_eq!(a.snapshot(), b.snapshot());
 
         let root = b.span_begin("run", None, 0);
@@ -223,7 +223,7 @@ mod tests {
                 let r = Arc::clone(&r);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        r.add("shared", 1);
+                        r.add("test.shared", 1);
                     }
                 })
             })
@@ -231,6 +231,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(r.counter("shared"), 8000);
+        assert_eq!(r.counter("test.shared"), 8000);
     }
 }

@@ -1,0 +1,67 @@
+//! Golden-fixture test pinning the serialized form of a span trace.
+//!
+//! The JSONL dump is a wire format: pvs-analyze parses it, profile runs
+//! commit it inside BENCH_sweep.json, and external tooling greps it. Any
+//! byte-level change is therefore an interface break and must show up in
+//! review as a fixture diff, not as silent drift. Regenerate after an
+//! intentional change with
+//! `PVS_OBS_BLESS=1 cargo test -p pvs-obs --test golden`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pvs_obs::span::TraceBuffer;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("PVS_OBS_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("fixture dir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, golden,
+        "{name} diverged from golden (PVS_OBS_BLESS=1 to regenerate)"
+    );
+}
+
+/// The reference trace: a run with two phases, one nested span, a name
+/// that needs escaping, and one span left open — every serialization
+/// case the buffer supports.
+fn reference_trace() -> TraceBuffer {
+    let mut t = TraceBuffer::new();
+    let run = t.begin("run", None, 0);
+    let coll = t.begin("collision", Some(run), 0);
+    let inner = t.begin("strip \"tail\"", Some(coll), 412_000_000);
+    t.end(inner, 500_000_000);
+    t.end(coll, 812_000_000);
+    let stream = t.begin("stream", Some(run), 812_000_000);
+    t.end(stream, 1_300_000_000);
+    t.begin("abandoned", Some(run), 1_350_000_000);
+    t.end(run, 1_400_000_000);
+    t
+}
+
+#[test]
+fn jsonl_serialization_matches_golden() {
+    assert_matches_golden("trace.jsonl", &reference_trace().to_jsonl());
+}
+
+#[test]
+fn jsonl_golden_spot_checks() {
+    // Independent of the golden file: the invariants the format promises.
+    let dump = reference_trace().to_jsonl();
+    assert_eq!(dump.lines().count(), 5, "one line per begun span");
+    assert!(dump.ends_with('\n'));
+    // Ids are 1-based in begin order; the open span ends as null.
+    assert!(dump.starts_with("{\"id\":1,\"name\":\"run\",\"parent\":null,"));
+    assert!(dump.contains("{\"id\":5,\"name\":\"abandoned\",\"parent\":1,\"begin\":1350000000,\"end\":null}"));
+    // Quotes in names are escaped, not truncated.
+    assert!(dump.contains("strip \\\"tail\\\""));
+}

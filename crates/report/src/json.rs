@@ -87,6 +87,74 @@ pub fn array(values: impl IntoIterator<Item = String>) -> String {
     format!("[{}]", values.into_iter().collect::<Vec<_>>().join(","))
 }
 
+/// Re-render compact JSON with two-space indentation, one member per
+/// line, preserving member order byte-for-byte inside strings. The
+/// emitters in this module write compact documents; pretty-printing the
+/// final document (rather than threading an indent level through every
+/// builder) keeps committed baselines like `BENCH_sweep.json` reviewable
+/// line-by-line. Empty objects/arrays stay `{}`/`[]`.
+pub fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth: usize = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = json.chars().peekable();
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    out.push(c);
+                    depth += 1;
+                    indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            // The compact emitters write no insignificant whitespace;
+            // drop any that sneaks in so output is canonical.
+            ' ' | '\t' | '\n' | '\r' => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serialize a [`PerfReport`].
 pub fn perf_report(r: &PerfReport) -> String {
     let phases = array(r.phases.iter().map(|p| {
@@ -175,5 +243,49 @@ mod tests {
     fn array_rendering() {
         assert_eq!(array(vec!["1".to_string(), "2".to_string()]), "[1,2]");
         assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_content() {
+        let compact = "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"x,y:{z}\"},\"e\":[]}";
+        let p = pretty(compact);
+        assert_eq!(
+            p,
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ],\n  \
+             \"c\": {\n    \"d\": \"x,y:{z}\"\n  },\n  \"e\": []\n}"
+        );
+        // Stripping the added whitespace recovers the compact form, so
+        // pretty() provably changes layout only.
+        let mut in_string = false;
+        let mut escaped = false;
+        let stripped: String = p
+            .chars()
+            .filter(|&c| {
+                if in_string {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        in_string = false;
+                    }
+                    true
+                } else {
+                    if c == '"' {
+                        in_string = true;
+                    }
+                    !matches!(c, ' ' | '\n')
+                }
+            })
+            .collect();
+        assert_eq!(stripped, compact);
+    }
+
+    #[test]
+    fn pretty_keeps_string_contents_verbatim() {
+        let compact = "{\"msg\":\"brace } bracket ] comma , colon : \\\" esc\"}";
+        let p = pretty(compact);
+        assert!(p.contains("brace } bracket ] comma , colon : \\\" esc"));
+        assert_eq!(p.lines().count(), 3);
     }
 }

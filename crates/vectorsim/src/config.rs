@@ -39,7 +39,34 @@ impl VectorUnitConfig {
     pub fn serialization_penalty(&self) -> f64 {
         self.vector_peak_gflops() / self.scalar_peak_gflops
     }
+
+    /// Fraction of nominal scalar peak a serialized loop actually achieves
+    /// in the execution model (scalar units are modest in-order cores that
+    /// cannot keep their nominal issue rate on real code).
+    pub fn scalar_efficiency(&self) -> f64 {
+        SCALAR_EFFICIENCY
+    }
+
+    /// Issue efficiency of a full-length arithmetic vector instruction:
+    /// execution slots over execution-plus-startup cycles. This is the
+    /// ceiling AVL buys — shorter strips amortize the startup worse.
+    pub fn full_vl_issue_efficiency(&self) -> f64 {
+        let exec = self.max_vl as f64 / self.pipes as f64;
+        exec / (self.startup_cycles + exec)
+    }
+
+    /// The serialization penalty the execution model actually produces for
+    /// a compute-bound, full-VL loop: the nominal peak ratio corrected by
+    /// the two efficiency factors above. The analysis layer checks engine
+    /// slowdowns against the closed form using this value.
+    pub fn effective_serialization_penalty(&self) -> f64 {
+        self.serialization_penalty() * self.full_vl_issue_efficiency() / self.scalar_efficiency()
+    }
 }
+
+/// Scalar units reach only a fraction of their nominal peak on real code
+/// (the ES scalar unit is a modest 4-way in-order-ish core).
+pub(crate) const SCALAR_EFFICIENCY: f64 = 0.5;
 
 /// The Earth Simulator processor: 500 MHz, 8 vector pipes, VL=256,
 /// 72 vector registers, 8 Gflop/s vector peak, 1 Gflop/s scalar unit.
@@ -102,5 +129,21 @@ mod tests {
     fn serialization_asymmetry_8_vs_32() {
         assert!((es_processor().serialization_penalty() - 8.0).abs() < 1e-9);
         assert!((x1_msp().serialization_penalty() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_penalty_layers_both_efficiencies() {
+        // ES: 32 execution cycles per full-VL instruction, 10 startup.
+        let es = es_processor();
+        assert!((es.full_vl_issue_efficiency() - 32.0 / 42.0).abs() < 1e-12);
+        assert!(
+            (es.effective_serialization_penalty() - 8.0 * (32.0 / 42.0) / 0.5).abs() < 1e-9
+        );
+        // The effective penalty always exceeds the nominal one: the scalar
+        // unit loses more of its peak than the vector unit loses to startup.
+        for cfg in [es_processor(), x1_ssp(), x1_msp()] {
+            assert!(cfg.effective_serialization_penalty() > cfg.serialization_penalty());
+            assert!(cfg.full_vl_issue_efficiency() > cfg.scalar_efficiency());
+        }
     }
 }

@@ -148,10 +148,8 @@ impl VectorUnit {
 
     fn execute_scalar(&self, l: &VectorLoop) -> ExecResult {
         let flops = l.total_flops();
-        // Scalar units reach only a fraction of their nominal peak on real
-        // code (the ES scalar unit is a modest 4-way in-order-ish core).
-        const SCALAR_EFFICIENCY: f64 = 0.5;
-        let seconds = flops / (self.config.scalar_peak_gflops * 1e9 * SCALAR_EFFICIENCY);
+        let seconds =
+            flops / (self.config.scalar_peak_gflops * 1e9 * self.config.scalar_efficiency());
         let mut metrics = VectorMetrics::default();
         // Operations, not flops: normalize by the 2-flop MADD convention so
         // scalar and vector operation counts are commensurable in VOR.

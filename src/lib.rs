@@ -10,6 +10,7 @@
 //! system inventory and experiment index.
 
 pub use pvs_amr as amr;
+pub use pvs_analyze as analyze;
 pub use pvs_cactus as cactus;
 pub use pvs_core as core;
 pub use pvs_fft as fft;
