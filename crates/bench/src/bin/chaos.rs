@@ -1,0 +1,142 @@
+//! Run the paper sweep under injected faults and write `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin chaos                 # full grid
+//! cargo run --release -p pvs-bench --bin chaos -- --smoke      # CI subset
+//! cargo run --release -p pvs-bench --bin chaos -- --checkpoint-check
+//! ```
+//!
+//! Flags: `--smoke` (the 6-cell grid, written under `target/`),
+//! `--threads N` (sweep worker threads, default honours `PVS_THREADS`),
+//! `--out PATH` (override the output path), `--checkpoint-check` (kill a
+//! degraded sweep mid-flight, resume it from the serialized checkpoint,
+//! and require bit-identical results — then exit).
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
+//! 1 a resilience invariant failed, 2 malformed usage, 6 the output
+//! cannot be written. The output path is probed before the sweep runs
+//! and written atomically — no partial documents.
+
+use pvs_bench::chaos::{
+    checkpoint_roundtrip_check, covered_kinds, full_scenarios, run_chaos, smoke_scenarios,
+};
+use pvs_bench::cli::{self, exit};
+use pvs_bench::profile::{paper_cells, smoke_cells};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let known = ["--smoke", "--threads", "--out", "--checkpoint-check"];
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--threads" | "--out" => skip_value = true,
+            other if known.contains(&other) => {}
+            other => {
+                eprintln!("error: unrecognized argument {other:?}");
+                eprintln!("usage: chaos [--smoke] [--threads N] [--out PATH] [--checkpoint-check]");
+                std::process::exit(exit::USAGE);
+            }
+        }
+    }
+
+    let threads = match value_of("--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got {v:?}");
+                std::process::exit(exit::USAGE);
+            }
+        },
+        None => pvs_core::pool::default_threads(),
+    };
+
+    if flag("--checkpoint-check") {
+        match checkpoint_roundtrip_check(threads) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("CHECKPOINT FAILURE: {e}");
+                std::process::exit(exit::FAILURE);
+            }
+        }
+        return;
+    }
+
+    let smoke = flag("--smoke");
+    let (cells, scenarios) = if smoke {
+        (smoke_cells(), smoke_scenarios())
+    } else {
+        (paper_cells(), full_scenarios())
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_chaos_smoke.json".to_string()
+        } else {
+            "BENCH_chaos.json".to_string()
+        }
+    });
+
+    // Fail fast on an unwritable destination — before the whole sweep.
+    if let Err(e) = cli::probe_writable(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(exit::WRITE);
+    }
+
+    let kinds = covered_kinds(&scenarios);
+    println!(
+        "{} scenarios over {} cells ({} threads); fault kinds: {}",
+        scenarios.len(),
+        cells.len(),
+        threads,
+        kinds.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+
+    let out = match run_chaos(&cells, &scenarios, threads) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("CHAOS FAILURE: {e}");
+            std::process::exit(exit::FAILURE);
+        }
+    };
+
+    for s in &out.scenarios {
+        let mut notes = Vec::new();
+        if s.engine_faulted {
+            notes.push("engine damage".to_string());
+        }
+        if s.mpisim.drops > 0 || s.mpisim.delays > 0 {
+            notes.push(format!(
+                "mpisim {} delivered / {} drops / {} retries / {} delays",
+                s.mpisim.delivered, s.mpisim.drops, s.mpisim.retries, s.mpisim.delays
+            ));
+        }
+        if s.retired_workers > 0 {
+            notes.push(format!("{} workers retired", s.retired_workers));
+        }
+        println!(
+            "{:<16} {} cells  ok  {}",
+            s.name,
+            s.cells,
+            notes.join("; ")
+        );
+    }
+
+    match cli::write_atomic(&out_path, &(out.to_json() + "\n")) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    }
+    println!("ok: all resilience invariants hold");
+}

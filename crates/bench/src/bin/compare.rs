@@ -12,23 +12,21 @@
 //! only enforced when `--host-tol <pct>` is given — host times are
 //! machine-specific noise and the committed baseline usually comes from
 //! another machine.
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 clean,
+//! 1 regression, 2 malformed usage, 3 unreadable input, 4 input is not
+//! valid JSON, 5 input is JSON but not a known profile schema.
 
 use pvs_analyze::profiledoc;
 use pvs_analyze::sentinel::compare_docs;
+use pvs_bench::cli::{self, exit};
 
 fn load_or_exit(path: &str) -> profiledoc::ProfileDoc {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            std::process::exit(2);
-        }
-    };
-    match profiledoc::load(&text) {
+    match cli::load_profile_doc(path) {
         Ok(doc) => doc,
-        Err(e) => {
-            eprintln!("error: {path}: {e}");
-            std::process::exit(2);
+        Err((code, msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(code);
         }
     }
 }
@@ -44,13 +42,13 @@ fn main() {
                 host_tol = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
                 if host_tol.is_none() {
                     eprintln!("error: --host-tol needs a numeric percentage");
-                    std::process::exit(2);
+                    std::process::exit(exit::USAGE);
                 }
                 i += 2;
             }
             other if other.starts_with("--") => {
                 eprintln!("error: unrecognized flag {other:?}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             _ => {
                 paths.push(args[i].clone());
@@ -60,7 +58,7 @@ fn main() {
     }
     let [old_path, new_path] = paths.as_slice() else {
         eprintln!("usage: compare <old.json> <new.json> [--host-tol <pct>]");
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     };
 
     let old = load_or_exit(old_path);
@@ -76,7 +74,7 @@ fn main() {
     );
     if cmp.regressed() {
         eprintln!("REGRESSION: model metrics moved the wrong way (see table)");
-        std::process::exit(1);
+        std::process::exit(exit::FAILURE);
     }
     println!("ok: no regression");
 }

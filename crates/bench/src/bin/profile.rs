@@ -16,12 +16,22 @@
 //! `--analyze` (print the bottleneck-attribution findings table and
 //! per-cell self-time rollups), `--trace DIR` (export one Chrome
 //! trace-event JSON per cell — timestamps are simulated picoseconds).
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
+//! 1 internal failure, 2 malformed usage, 6 the output file or `--trace`
+//! directory cannot be written. Output paths are probed *before* the
+//! sweep runs and written atomically, so a failed run never leaves a
+//! partial document behind.
 
 use pvs_analyze::{chrome, findings, profiledoc};
+use pvs_bench::cli::{self, exit};
 use pvs_bench::profile::{
     measure_overhead, paper_cells, run_profile, smoke_cells, ProfileOptions,
 };
 use pvs_core::report::fmt_pct_signed;
+
+const USAGE: &str = "usage: profile [--smoke] [--no-obs] [--samples N] [--out PATH] \
+                     [--analyze] [--trace DIR] [--overhead [N]]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,21 +42,35 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let known = [
-        "--smoke",
-        "--no-obs",
-        "--samples",
-        "--out",
-        "--overhead",
-        "--analyze",
-        "--trace",
-    ];
-    for a in &args {
-        if !known.contains(&a.as_str())
-            && !a.chars().next().map(char::is_alphanumeric).unwrap_or(false)
-        {
-            eprintln!("warning: unrecognized flag {a:?}");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" | "--no-obs" | "--analyze" => {}
+            "--samples" | "--out" | "--trace" => {
+                if args.get(i + 1).is_none() {
+                    eprintln!("error: {} needs a value", args[i]);
+                    eprintln!("{USAGE}");
+                    std::process::exit(exit::USAGE);
+                }
+                i += 1;
+            }
+            // `--overhead` takes an *optional* round count.
+            "--overhead" => {
+                if args
+                    .get(i + 1)
+                    .map(|v| v.parse::<usize>().is_ok())
+                    .unwrap_or(false)
+                {
+                    i += 1;
+                }
+            }
+            other => {
+                eprintln!("error: unrecognized argument {other:?}");
+                eprintln!("{USAGE}");
+                std::process::exit(exit::USAGE);
+            }
         }
+        i += 1;
     }
 
     let smoke = flag("--smoke");
@@ -72,10 +96,10 @@ fn main() {
     if let Some(n) = value_of("--samples") {
         match n.parse::<usize>() {
             Ok(n) if n >= 1 => options.host_samples = n,
-            _ => eprintln!(
-                "warning: --samples {n:?} is not a positive integer; using {}",
-                options.host_samples
-            ),
+            _ => {
+                eprintln!("error: --samples needs a positive integer, got {n:?}");
+                std::process::exit(exit::USAGE);
+            }
         }
     }
 
@@ -87,6 +111,19 @@ fn main() {
             "BENCH_sweep.json".to_string()
         }
     });
+
+    // Fail fast on unwritable destinations — before minutes of sweep.
+    if let Err(e) = cli::probe_writable(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(exit::WRITE);
+    }
+    let trace_dir = value_of("--trace");
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create --trace directory {dir}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    }
 
     let out = run_profile(cells, options);
     for c in &out.cells {
@@ -114,11 +151,7 @@ fn main() {
         }
     );
 
-    if let Some(dir) = value_of("--trace") {
-        if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("error: cannot create {dir}: {e}");
-            std::process::exit(1);
-        }
+    if let Some(dir) = trace_dir {
         for c in &out.cells {
             let name = format!(
                 "{}_{}_P{}.trace.json",
@@ -129,9 +162,10 @@ fn main() {
             let label = format!("{}/{}/P{}", c.cell.app, c.cell.machine, c.cell.procs);
             let path = std::path::Path::new(&dir).join(&name);
             let doc = chrome::to_chrome_trace(&c.trace, &label);
-            if let Err(e) = std::fs::write(&path, doc + "\n") {
-                eprintln!("error: cannot write {}: {e}", path.display());
-                std::process::exit(1);
+            let display = path.display().to_string();
+            if let Err(e) = cli::write_atomic(&display, &(doc + "\n")) {
+                eprintln!("error: cannot write {display}: {e}");
+                std::process::exit(exit::WRITE);
             }
             println!("wrote {} ({} spans)", path.display(), c.trace.events().len());
         }
@@ -175,24 +209,16 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: --analyze cannot read the sweep document: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::FAILURE);
             }
         }
     }
 
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: cannot create {}: {e}", dir.display());
-                std::process::exit(1);
-            }
-        }
-    }
-    match std::fs::write(&out_path, json + "\n") {
+    match cli::write_atomic(&out_path, &(json + "\n")) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {
             eprintln!("error: cannot write {out_path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::WRITE);
         }
     }
 }

@@ -1,0 +1,665 @@
+//! The chaos harness: the paper sweep re-run under injected faults.
+//!
+//! Each [`ChaosScenario`] is a deterministic [`FaultPlan`] plus the set
+//! of machines it makes sense on (hard link failures only reroute on the
+//! X1 torus, port loss only on the ES crossbar, and so on). The harness
+//! runs every applicable cell of the grid healthy and degraded, checks
+//! the resilience invariants the fault model promises, and renders the
+//! whole thing as a `pvs-bench/profile-v2` document (`BENCH_chaos.json`)
+//! with the scenario name folded into each cell's `config` field — so
+//! the `compare` sentinel diffs chaos baselines with no new schema.
+//!
+//! Invariants checked on every run:
+//!
+//! * **Determinism** — the degraded sweep, re-run through a thread pool
+//!   (with worker retirements injected, when the scenario calls for
+//!   them), is bit-identical to the serial pass at any thread count.
+//! * **No free lunch** — degraded modelled time is never below healthy
+//!   (equivalently, degraded Gflop/s ≤ healthy); scenarios that damage
+//!   the engine's machine model must slow at least one cell strictly.
+//! * **Diagnosable damage** — cutting the X1 bisection pushes PARATEC
+//!   *deeper* into the `bisection-bound` class: same classification,
+//!   strictly higher communication fraction.
+//! * **Runtime resilience** — under message loss/delay and rank failure
+//!   the `pvs-mpisim` collectives still complete over the survivors,
+//!   twice, with identical results and retry counters.
+
+use crate::profile::{CellProfile, ProfileOptions, ProfileOutput, SweepCell};
+use crate::tablegen::{app_phases, machine_by_name};
+use pvs_analyze::bottleneck::Bottleneck;
+use pvs_analyze::{findings, profiledoc};
+use pvs_core::checkpoint::SweepCheckpoint;
+use pvs_core::engine::Engine;
+use pvs_core::pool::ThreadPool;
+use pvs_core::report::PerfReport;
+use pvs_fault::{FaultKind, FaultPlan};
+use pvs_mpisim::fault::{run_faulty, total_fault_stats, FaultSpec, FaultStats};
+use pvs_netsim::Network;
+use pvs_obs::{Recorder, Registry};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One named fault scenario: what breaks, and which machines it applies
+/// to.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Scenario name, folded into each degraded cell's `config` field.
+    pub name: &'static str,
+    /// Machines the scenario applies to.
+    pub machines: &'static [&'static str],
+    /// The fault schedule.
+    pub plan: FaultPlan,
+}
+
+/// Stable label for a fault kind (used to prove smoke coverage).
+pub fn kind_label(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::LinkFailure { .. } => "link-failure",
+        FaultKind::LinkDegrade { .. } => "link-degrade",
+        FaultKind::PortLoss { .. } => "port-loss",
+        FaultKind::BankFault { .. } => "bank-fault",
+        FaultKind::RankFailure { .. } => "rank-failure",
+        FaultKind::MessageLoss { .. } => "message-loss",
+        FaultKind::MessageDelay { .. } => "message-delay",
+        FaultKind::WorkerLoss { .. } => "worker-loss",
+    }
+}
+
+/// Every fault kind injected by a scenario set.
+pub fn covered_kinds(scenarios: &[ChaosScenario]) -> BTreeSet<&'static str> {
+    scenarios
+        .iter()
+        .flat_map(|s| s.plan.events().iter().map(|e| kind_label(&e.kind)))
+        .collect()
+}
+
+/// Cut the X1 bisection: both +x crossings die in half the torus rows
+/// (forcing their traffic onto the surviving −x links — rerouting around
+/// a *single* dead link would ride otherwise-idle reverse links for
+/// free), and the interior +x crossing is derated to half bandwidth in
+/// the rest.
+fn x1_link_down() -> ChaosScenario {
+    let net = Network::new(machine_by_name("X1").network(64));
+    let cut = net.bisection_cut_links().expect("the X1 is a torus");
+    let rows = cut.len() / 4;
+    let mut plan = FaultPlan::new(0x11A0);
+    let mut t = 1_000_000; // onset 1 µs, one row per µs after
+    for row in cut.chunks(4).take(rows / 2) {
+        plan = plan
+            .inject(t, FaultKind::LinkFailure { link: row[0] })
+            .inject(t, FaultKind::LinkFailure { link: row[2] });
+        t += 1_000_000;
+    }
+    for row in cut.chunks(4).skip(rows / 2) {
+        plan = plan.inject(
+            t,
+            FaultKind::LinkDegrade {
+                link: row[0],
+                factor: 0.5,
+            },
+        );
+    }
+    ChaosScenario {
+        name: "x1-link-down",
+        machines: &["X1"],
+        plan,
+    }
+}
+
+/// ES crossbar endpoints lose half their port lanes.
+fn es_port_loss() -> ChaosScenario {
+    let mut plan = FaultPlan::new(0xE5F0);
+    for port in 0..4 {
+        plan = plan.inject(2_000_000, FaultKind::PortLoss { port });
+    }
+    ChaosScenario {
+        name: "es-port-loss",
+        machines: &["ES"],
+        plan,
+    }
+}
+
+/// Memory banks mapped out of the interleave on the vector machines.
+fn bank_fault() -> ChaosScenario {
+    let plan = FaultPlan::new(0xBA4F)
+        .inject(500_000, FaultKind::BankFault { bank: 0 })
+        .inject(700_000, FaultKind::BankFault { bank: 3 });
+    ChaosScenario {
+        name: "bank-fault",
+        machines: &["ES", "X1"],
+        plan,
+    }
+}
+
+/// Lossy, laggy message-passing: the engine model is untouched, but the
+/// runtime must retry its way to the same collective results.
+fn msg_drop_delay() -> ChaosScenario {
+    let plan = FaultPlan::new(0xD07D)
+        .inject(1_000, FaultKind::MessageLoss { drop_per_mille: 150 })
+        .inject(
+            2_000,
+            FaultKind::MessageDelay {
+                delay_per_mille: 300,
+                delay_ps: 2_000_000,
+            },
+        );
+    ChaosScenario {
+        name: "msg-drop-delay",
+        machines: &["Power3"],
+        plan,
+    }
+}
+
+/// One rank dies and messages drop on top: collectives complete over the
+/// survivors.
+fn rank_fail_retry() -> ChaosScenario {
+    let plan = FaultPlan::new(0x4A4F)
+        .inject(1_000, FaultKind::RankFailure { rank: 4 })
+        .inject(2_000, FaultKind::MessageLoss { drop_per_mille: 100 });
+    ChaosScenario {
+        name: "rank-fail-retry",
+        machines: &["ES"],
+        plan,
+    }
+}
+
+/// Host-pool workers retire mid-sweep; queued cells redistribute with no
+/// effect on the results.
+fn worker_loss() -> ChaosScenario {
+    let plan = FaultPlan::new(0x1057)
+        .inject(3_000, FaultKind::WorkerLoss { worker: 1, after_tasks: 1 })
+        .inject(3_000, FaultKind::WorkerLoss { worker: 2, after_tasks: 1 });
+    ChaosScenario {
+        name: "worker-loss",
+        machines: &["Power3"],
+        plan,
+    }
+}
+
+/// The six-scenario CI set: every fault kind the planner knows is
+/// injected by at least one scenario.
+pub fn smoke_scenarios() -> Vec<ChaosScenario> {
+    vec![
+        x1_link_down(),
+        es_port_loss(),
+        bank_fault(),
+        msg_drop_delay(),
+        rank_fail_retry(),
+        worker_loss(),
+    ]
+}
+
+/// The full set (currently the same scenarios; the grid they run over is
+/// what grows in full mode).
+pub fn full_scenarios() -> Vec<ChaosScenario> {
+    smoke_scenarios()
+}
+
+/// What one scenario did, for the human-readable summary. Worker
+/// retirement counts are host-scheduling dependent (a quota only fires
+/// if that worker wins a task), so they are reported here and *not* in
+/// the JSON document.
+#[derive(Debug, Clone)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Cells of the grid the scenario ran on.
+    pub cells: usize,
+    /// Whether the scenario damages the engine's machine model.
+    pub engine_faulted: bool,
+    /// Aggregated message-runtime fault counters (zero when the scenario
+    /// injects no comm faults).
+    pub mpisim: FaultStats,
+    /// Pool workers that actually retired during the pooled pass.
+    pub retired_workers: u64,
+}
+
+/// A complete chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosOutput {
+    /// Healthy + degraded rows as a profile-v2 sweep document.
+    pub profile: ProfileOutput,
+    /// Per-scenario accounting.
+    pub scenarios: Vec<ScenarioSummary>,
+}
+
+impl ChaosOutput {
+    /// Render as the `BENCH_chaos.json` document (profile-v2 schema).
+    pub fn to_json(&self) -> String {
+        self.profile.to_json()
+    }
+}
+
+/// Scenario-qualified config label. Leaked once per distinct label —
+/// the label set is a small static cross product, so the leak is
+/// bounded and the `&'static str` plugs into [`SweepCell`] unchanged.
+fn scenario_config(config: &str, scenario: &str) -> &'static str {
+    Box::leak(format!("{config}@{scenario}").into_boxed_str())
+}
+
+fn cell_key(c: &SweepCell) -> String {
+    format!("{}/{}/P{}", c.app, c.machine, c.procs)
+}
+
+/// Bit-exact fingerprint of a report list, via the checkpoint format
+/// (f64s serialize as raw bits, so equal fingerprints mean equal runs).
+fn fingerprint(reports: &[PerfReport]) -> String {
+    let mut cp = SweepCheckpoint::new(reports.len());
+    for (i, r) in reports.iter().enumerate() {
+        cp.record(i, r.clone());
+    }
+    cp.serialize()
+}
+
+/// Run one cell serially under full observability.
+fn observed_run(cell: &SweepCell, adversity: &pvs_core::Adversity) -> CellProfile {
+    let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+    let reg = Arc::new(Registry::new());
+    let engine = Engine::new(machine_by_name(cell.machine))
+        .with_recorder(reg.clone())
+        .with_adversity(adversity.clone());
+    let report = engine.run(&phases, cell.procs);
+    let trace = reg.trace();
+    let span_events = trace.events().len();
+    CellProfile {
+        cell: cell.clone(),
+        report,
+        snapshot: reg.snapshot(),
+        trace,
+        span_events,
+        host_secs: Vec::new(),
+    }
+}
+
+/// The message-runtime workload each comm-fault scenario must survive: a
+/// barrier plus a survivor allreduce on six ranks. Returns the per-rank
+/// sums (survivor slots only) and the aggregated fault counters.
+fn comm_workload(spec: &FaultSpec) -> (Vec<f64>, FaultStats) {
+    let outcomes = run_faulty(6, spec.clone(), |c| {
+        c.barrier().expect("barrier completes under injected faults");
+        c.allreduce_sum_scalar((c.rank() + 1) as f64)
+            .expect("allreduce completes under injected faults")
+    });
+    let values = outcomes.iter().filter_map(|o| o.value().copied()).collect();
+    (values, total_fault_stats(&outcomes))
+}
+
+/// Run the chaos harness over `base` cells. Returns the rendered output
+/// or a description of the first violated invariant.
+pub fn run_chaos(
+    base: &[SweepCell],
+    scenarios: &[ChaosScenario],
+    threads: usize,
+) -> Result<ChaosOutput, String> {
+    let harness_reg = Registry::new();
+    let mut rows: Vec<CellProfile> = Vec::new();
+    let mut healthy_times: BTreeMap<String, f64> = BTreeMap::new();
+
+    // Healthy baseline rows, labelled `@healthy` so they diff natively.
+    let healthy = pvs_core::Adversity::healthy();
+    for cell in base {
+        let mut profile = observed_run(cell, &healthy);
+        healthy_times.insert(cell_key(cell), profile.report.time_s);
+        profile.cell.config = scenario_config(cell.config, "healthy");
+        rows.push(profile);
+    }
+
+    let mut summaries = Vec::new();
+    for scenario in scenarios {
+        let cells: Vec<SweepCell> = base
+            .iter()
+            .filter(|c| scenario.machines.contains(&c.machine))
+            .cloned()
+            .collect();
+        if cells.is_empty() {
+            return Err(format!(
+                "scenario {} matched no cells of the grid",
+                scenario.name
+            ));
+        }
+        let compiled = scenario.plan.compile_all();
+
+        // Serial observed pass.
+        let mut serial_reports = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            let mut profile = observed_run(cell, &compiled.adversity);
+            serial_reports.push(profile.report.clone());
+            profile.cell.config = scenario_config(cell.config, scenario.name);
+            rows.push(profile);
+        }
+
+        // Pooled pass: same degraded cells through a thread pool, with
+        // the scenario's worker retirements injected (worker 0 stays
+        // immortal; quotas beyond the pool width cannot apply).
+        let retirements: Vec<(usize, u64)> = compiled
+            .retirements
+            .iter()
+            .filter(|(w, _)| *w != 0 && *w < threads)
+            .copied()
+            .collect();
+        let pool = ThreadPool::with_retirements(threads, &retirements);
+        let adversity = compiled.adversity.clone();
+        let pooled_reports: Vec<PerfReport> = pool.map(cells.clone(), move |cell| {
+            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+            Engine::new(machine_by_name(cell.machine))
+                .with_adversity(adversity.clone())
+                .run(&phases, cell.procs)
+        });
+        let pool_reg = Registry::new();
+        pool.record_to(&pool_reg);
+        let retired = pool_reg.counter("pool.workers.retired");
+
+        // Invariant: degraded results are thread-schedule independent.
+        if fingerprint(&serial_reports) != fingerprint(&pooled_reports) {
+            return Err(format!(
+                "scenario {}: pooled degraded sweep diverged from the serial pass \
+                 ({} threads, {} retirements)",
+                scenario.name,
+                threads,
+                retirements.len()
+            ));
+        }
+
+        // Invariant: damage never speeds the model up; engine-level
+        // damage must slow something down.
+        let engine_faulted = !compiled.adversity.is_healthy();
+        let mut strictly_slower = false;
+        for (cell, report) in cells.iter().zip(&serial_reports) {
+            let key = cell_key(cell);
+            let healthy_t = *healthy_times
+                .get(&key)
+                .ok_or_else(|| format!("scenario {}: no healthy baseline for {key}", scenario.name))?;
+            if report.time_s < healthy_t {
+                return Err(format!(
+                    "scenario {}: {key} got FASTER under faults ({:.6e}s < {:.6e}s)",
+                    scenario.name, report.time_s, healthy_t
+                ));
+            }
+            if report.time_s > healthy_t {
+                strictly_slower = true;
+            }
+        }
+        if engine_faulted && !strictly_slower {
+            return Err(format!(
+                "scenario {}: engine-level faults slowed nothing down",
+                scenario.name
+            ));
+        }
+
+        // Invariant: the message runtime retries through comm faults to
+        // the same survivor results, twice.
+        let mut mpisim = FaultStats::default();
+        if !compiled.comm.is_healthy() {
+            let (values, stats) = comm_workload(&compiled.comm);
+            let (again, stats_again) = comm_workload(&compiled.comm);
+            if values != again || stats != stats_again {
+                return Err(format!(
+                    "scenario {}: message-runtime workload is not deterministic",
+                    scenario.name
+                ));
+            }
+            let survivors: Vec<usize> = (0..6)
+                .filter(|r| !compiled.comm.failed_ranks.contains(r))
+                .collect();
+            let expected: f64 = survivors.iter().map(|r| (r + 1) as f64).sum();
+            if values.len() != survivors.len() || values.iter().any(|&v| v != expected) {
+                return Err(format!(
+                    "scenario {}: survivor allreduce produced {values:?}, expected {expected} \
+                     over ranks {survivors:?}",
+                    scenario.name
+                ));
+            }
+            if stats.timeouts > 0 {
+                return Err(format!(
+                    "scenario {}: collectives timed out under the planned loss rate",
+                    scenario.name
+                ));
+            }
+            mpisim = stats;
+            for (name, value) in [
+                ("delivered", stats.delivered),
+                ("drops", stats.drops),
+                ("retries", stats.retries),
+                ("delays", stats.delays),
+                ("backoff_ps", stats.backoff_ps),
+                ("delay_ps", stats.delay_ps),
+            ] {
+                if value > 0 {
+                    harness_reg.add(&format!("chaos.{}.mpisim.{name}", scenario.name), value);
+                }
+            }
+        }
+
+        harness_reg.add(&format!("chaos.{}.cells", scenario.name), cells.len() as u64);
+        summaries.push(ScenarioSummary {
+            name: scenario.name,
+            cells: cells.len(),
+            engine_faulted,
+            mpisim,
+            retired_workers: retired,
+        });
+    }
+    harness_reg.add("chaos.scenarios", scenarios.len() as u64);
+
+    let output = ChaosOutput {
+        profile: ProfileOutput {
+            cells: rows,
+            harness: harness_reg.snapshot(),
+            options: ProfileOptions {
+                observe: true,
+                host_samples: 0,
+                threads,
+            },
+        },
+        scenarios: summaries,
+    };
+
+    check_bisection_shift(&output, scenarios)?;
+    Ok(output)
+}
+
+/// The diagnosable-damage invariant: when `x1-link-down` runs over a
+/// grid containing PARATEC/X1, the degraded cell must stay
+/// `bisection-bound` with a strictly higher communication fraction than
+/// healthy — cutting bisection links pushes the all-to-all app *deeper*
+/// into its bottleneck class, never sideways into a different one.
+fn check_bisection_shift(
+    output: &ChaosOutput,
+    scenarios: &[ChaosScenario],
+) -> Result<(), String> {
+    if !scenarios.iter().any(|s| s.name == "x1-link-down") {
+        return Ok(());
+    }
+    let json = output.to_json();
+    let doc = profiledoc::load(&json)
+        .map_err(|e| format!("chaos document does not round-trip through the reader: {e}"))?;
+    let diagnoses = findings::analyze_doc(&doc);
+    let find = |suffix: &str| {
+        diagnoses.iter().find(|d| {
+            d.key.starts_with("PARATEC/") && d.key.contains("/X1/") && d.key.contains(suffix)
+        })
+    };
+    let (Some(healthy), Some(degraded)) = (find("@healthy"), find("@x1-link-down")) else {
+        // PARATEC/X1 not in this grid (custom cell list) — nothing to check.
+        return Ok(());
+    };
+    if healthy.bottleneck != Bottleneck::BisectionBound {
+        return Err(format!(
+            "PARATEC/X1 healthy classified as {} (expected bisection-bound)",
+            healthy.bottleneck.name()
+        ));
+    }
+    if degraded.bottleneck != Bottleneck::BisectionBound {
+        return Err(format!(
+            "PARATEC/X1 under x1-link-down classified as {} (expected bisection-bound)",
+            degraded.bottleneck.name()
+        ));
+    }
+    if degraded.comm_fraction <= healthy.comm_fraction {
+        return Err(format!(
+            "x1-link-down did not push PARATEC/X1 deeper into bisection: comm fraction \
+             {:.4} (degraded) vs {:.4} (healthy)",
+            degraded.comm_fraction, healthy.comm_fraction
+        ));
+    }
+    Ok(())
+}
+
+/// Mid-sweep kill + restart under faults: run the degraded bank-fault
+/// cells to completion as a reference, then re-run with a kill after the
+/// first half — serializing the sweep checkpoint to text and parsing it
+/// back, as a fresh process would — and require the resumed sweep to be
+/// bit-identical to the uninterrupted one. Returns a human-readable
+/// summary on success.
+pub fn checkpoint_roundtrip_check(threads: usize) -> Result<String, String> {
+    let scenario = smoke_scenarios()
+        .into_iter()
+        .find(|s| s.name == "bank-fault")
+        .ok_or("no bank-fault scenario")?;
+    let adversity = scenario.plan.compile_all().adversity;
+    let cells: Vec<SweepCell> = crate::profile::smoke_cells()
+        .into_iter()
+        .filter(|c| scenario.machines.contains(&c.machine))
+        .collect();
+    if cells.len() < 2 {
+        return Err("checkpoint check needs at least two cells".into());
+    }
+    let run_cell = |cell: &SweepCell| {
+        let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+        Engine::new(machine_by_name(cell.machine))
+            .with_adversity(adversity.clone())
+            .run(&phases, cell.procs)
+    };
+
+    // Uninterrupted reference, through the pool.
+    let adversity_for_pool = adversity.clone();
+    let reference: Vec<PerfReport> =
+        ThreadPool::new(threads).map(cells.clone(), move |cell| {
+            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+            Engine::new(machine_by_name(cell.machine))
+                .with_adversity(adversity_for_pool.clone())
+                .run(&phases, cell.procs)
+        });
+
+    // Interrupted run: complete the first half, "kill" the process by
+    // serializing the checkpoint, parse it back, finish the rest.
+    let half = cells.len() / 2;
+    let mut first = SweepCheckpoint::new(cells.len());
+    for (i, cell) in cells.iter().take(half).enumerate() {
+        first.record(i, run_cell(cell));
+    }
+    let wire = first.serialize();
+    let mut resumed = SweepCheckpoint::parse(&wire)
+        .map_err(|e| format!("checkpoint did not survive the wire: {e}"))?;
+    for (i, cell) in cells.iter().enumerate().skip(half) {
+        resumed.record(i, run_cell(cell));
+    }
+    let finished = resumed
+        .reports_in_order()
+        .ok_or("resumed checkpoint is incomplete")?;
+
+    if fingerprint(&reference) != fingerprint(&finished) {
+        return Err("resumed sweep diverged from the uninterrupted run".into());
+    }
+    Ok(format!(
+        "checkpoint/restart identity holds: {} degraded cells, killed after {half}, \
+         resumed bit-identically ({threads}-thread reference)",
+        cells.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::smoke_cells;
+
+    #[test]
+    fn smoke_scenarios_cover_every_fault_kind() {
+        let covered = covered_kinds(&smoke_scenarios());
+        for kind in [
+            "link-failure",
+            "link-degrade",
+            "port-loss",
+            "bank-fault",
+            "rank-failure",
+            "message-loss",
+            "message-delay",
+            "worker-loss",
+        ] {
+            assert!(covered.contains(kind), "no smoke scenario injects {kind}");
+        }
+        assert!(smoke_scenarios().len() <= 6, "smoke stays CI-sized");
+    }
+
+    #[test]
+    fn smoke_chaos_passes_its_invariants() {
+        let out = run_chaos(&smoke_cells(), &smoke_scenarios(), 2).expect("invariants hold");
+        assert_eq!(out.scenarios.len(), 6);
+        // Every scenario matched at least one cell of the smoke grid.
+        assert!(out.scenarios.iter().all(|s| s.cells >= 1));
+        // The comm-fault scenarios really injected and retried.
+        let msg = out
+            .scenarios
+            .iter()
+            .find(|s| s.name == "msg-drop-delay")
+            .unwrap();
+        assert!(msg.mpisim.drops > 0 && msg.mpisim.retries > 0);
+        assert!(msg.mpisim.delays > 0);
+        let rank = out
+            .scenarios
+            .iter()
+            .find(|s| s.name == "rank-fail-retry")
+            .unwrap();
+        assert!(rank.mpisim.delivered > 0);
+        // Engine damage scenarios are flagged as such.
+        for name in ["x1-link-down", "es-port-loss", "bank-fault"] {
+            assert!(
+                out.scenarios.iter().find(|s| s.name == name).unwrap().engine_faulted,
+                "{name} must damage the machine model"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_document_reuses_the_profile_schema() {
+        let out = run_chaos(&smoke_cells(), &smoke_scenarios(), 2).expect("invariants hold");
+        let json = out.to_json();
+        assert!(json.contains("\"schema\": \"pvs-bench/profile-v2\""));
+        assert!(json.contains("@healthy"));
+        assert!(json.contains("@x1-link-down"));
+        // It round-trips through the same reader `compare` uses, and the
+        // degraded rows are distinct cells.
+        let doc = profiledoc::load(&json).expect("readable");
+        assert!(doc.cells.len() > smoke_cells().len());
+        assert!(json.contains("chaos.scenarios"));
+    }
+
+    #[test]
+    fn degraded_checkpoint_roundtrip_holds() {
+        let summary = checkpoint_roundtrip_check(2).expect("identity holds");
+        assert!(summary.contains("bit-identically"));
+    }
+
+    #[test]
+    fn chaos_reruns_are_bit_identical() {
+        // Everything but the recorded thread-count knob must be identical
+        // at any PVS_THREADS.
+        let strip = |json: String| {
+            json.lines()
+                .filter(|l| !l.contains("sweep_threads"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = strip(
+            run_chaos(&smoke_cells(), &smoke_scenarios(), 1)
+                .expect("invariants hold")
+                .to_json(),
+        );
+        let b = strip(
+            run_chaos(&smoke_cells(), &smoke_scenarios(), 4)
+                .expect("invariants hold")
+                .to_json(),
+        );
+        assert_eq!(a, b, "chaos output is thread-count independent");
+    }
+}

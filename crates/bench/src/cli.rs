@@ -1,0 +1,158 @@
+//! Shared CLI plumbing for the pvs-bench binaries: one exit-code
+//! convention, hardened document loading, and atomic output writes.
+//!
+//! Every binary in `src/bin/` that reads or writes files follows the
+//! same contract so scripts can tell failure modes apart:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | a regression / resilience invariant failed (the run itself worked) |
+//! | 2    | malformed usage: unknown flag, missing or non-numeric value |
+//! | 3    | an input file could not be read (missing, permission, I/O) |
+//! | 4    | an input file is not valid JSON (truncated, garbage) |
+//! | 5    | an input file is valid JSON but not a known profile schema |
+//! | 6    | an output file or directory could not be written |
+//!
+//! Outputs are written atomically — content goes to a sibling `*.tmp.<pid>`
+//! file first and is renamed into place, so a failed run never leaves a
+//! truncated document where a good one was expected.
+
+use pvs_analyze::profiledoc::{self, LoadError, ProfileDoc};
+use std::path::{Path, PathBuf};
+
+/// Process exit codes shared by the pvs-bench binaries.
+pub mod exit {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// A regression or resilience invariant failed; inputs were fine.
+    pub const FAILURE: i32 = 1;
+    /// Malformed usage (unknown flag, bad value).
+    pub const USAGE: i32 = 2;
+    /// An input file could not be read at all.
+    pub const UNREADABLE: i32 = 3;
+    /// An input file is not valid JSON.
+    pub const MALFORMED: i32 = 4;
+    /// An input file parses as JSON but is not a known profile schema.
+    pub const SCHEMA: i32 = 5;
+    /// An output file or directory could not be written.
+    pub const WRITE: i32 = 6;
+}
+
+/// Load a profile document, classifying every failure mode into the
+/// shared exit-code convention. Returns `(exit_code, one_line_message)`
+/// on failure; callers print the message to stderr and exit.
+pub fn load_profile_doc(path: &str) -> Result<ProfileDoc, (i32, String)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| (exit::UNREADABLE, format!("cannot read {path}: {e}")))?;
+    profiledoc::load(&text).map_err(|e| {
+        let code = match &e {
+            LoadError::Parse(_) => exit::MALFORMED,
+            LoadError::Schema(_) => exit::SCHEMA,
+        };
+        (code, format!("{path}: {e}"))
+    })
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Write `contents` to `path` atomically: parents are created, content
+/// lands in a sibling temp file, and a rename moves it into place. On
+/// any failure the temp file is removed — a pre-existing `path` is
+/// either fully replaced or left untouched, never truncated.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let path = Path::new(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Probe that `path` will be writable *before* doing expensive work, so
+/// a long run cannot end in a write failure. Creates parent directories,
+/// opens (and removes) the same temp sibling `write_atomic` would use.
+pub fn probe_writable(path: &str) -> std::io::Result<()> {
+    let path = Path::new(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, b"")?;
+    std::fs::remove_file(&tmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pvs_cli_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn missing_file_is_unreadable() {
+        let err = load_profile_doc("/nonexistent/never/doc.json").unwrap_err();
+        assert_eq!(err.0, exit::UNREADABLE);
+        assert!(err.1.contains("cannot read"), "{}", err.1);
+    }
+
+    #[test]
+    fn truncated_json_is_malformed() {
+        let p = scratch("trunc.json");
+        std::fs::write(&p, "{\"schema\": \"pvs-bench/profi").unwrap();
+        let err = load_profile_doc(p.to_str().unwrap()).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(err.0, exit::MALFORMED);
+    }
+
+    #[test]
+    fn unknown_schema_is_distinct_from_parse_errors() {
+        let p = scratch("schema.json");
+        std::fs::write(&p, "{\"schema\": \"pvs-bench/profile-v99\", \"cells\": []}").unwrap();
+        let err = load_profile_doc(p.to_str().unwrap()).unwrap_err();
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(err.0, exit::SCHEMA);
+        assert!(err.1.contains("profile-v99"), "{}", err.1);
+    }
+
+    #[test]
+    fn atomic_write_replaces_or_preserves_never_truncates() {
+        let p = scratch("atomic.json");
+        let path = p.to_str().unwrap();
+        write_atomic(path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "first");
+        write_atomic(path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "second");
+        // Failure path: the target's parent is a *file*, so the rename
+        // cannot land — the original content must survive untouched.
+        let under = format!("{path}/child.json");
+        assert!(write_atomic(&under, "x").is_err());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "second");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn probe_detects_unwritable_targets_up_front() {
+        let p = scratch("probe.json");
+        let path = p.to_str().unwrap();
+        assert!(probe_writable(path).is_ok());
+        assert!(!p.exists(), "probe must clean up after itself");
+        std::fs::write(&p, "occupied").unwrap();
+        let under = format!("{path}/child.json");
+        assert!(probe_writable(&under).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

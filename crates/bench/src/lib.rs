@@ -11,6 +11,8 @@
 //! cargo bench -p pvs-bench                # kernel + ablation benches
 //! ```
 
+pub mod chaos;
+pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod profile;

@@ -1,0 +1,185 @@
+//! Malformed-input hardening for the pvs-bench binaries, driven through
+//! the real executables (`CARGO_BIN_EXE_*`). Every failure mode must
+//! produce a one-line diagnostic and its documented exit code — never a
+//! panic, never a partial output file. The code convention lives in
+//! `pvs_bench::cli`: 0 ok, 1 regression/invariant, 2 usage, 3 unreadable
+//! input, 4 input not JSON, 5 unknown schema, 6 unwritable output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pvs_cli_hard_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("binary spawns")
+}
+
+fn assert_exit(out: &Output, want: i32, ctx: &str) {
+    assert_eq!(out.status.code(), Some(want), "{ctx}\nstderr: {}", stderr(out));
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_no_panic(out: &Output, ctx: &str) {
+    let err = stderr(out);
+    assert!(!err.contains("panicked"), "{ctx} panicked:\n{err}");
+    assert!(
+        err.lines().filter(|l| l.starts_with("error:")).count() <= 1,
+        "{ctx} should emit at most one error line:\n{err}"
+    );
+}
+
+const COMPARE: &str = env!("CARGO_BIN_EXE_compare");
+const PROFILE: &str = env!("CARGO_BIN_EXE_profile");
+const CHAOS: &str = env!("CARGO_BIN_EXE_chaos");
+const EXPERIMENTS: &str = env!("CARGO_BIN_EXE_experiments");
+
+/// The smallest valid profile document: known schema, zero cells.
+const EMPTY_DOC: &str = "{\"schema\": \"pvs-bench/profile-v2\", \"cells\": []}";
+
+#[test]
+fn compare_usage_errors_exit_2() {
+    let out = run(COMPARE, &["only-one-path.json"]);
+    assert_exit(&out, 2, "single path is a usage error");
+    let out = run(COMPARE, &["--bogus-flag"]);
+    assert_exit(&out, 2, "unknown flag is a usage error");
+    let out = run(COMPARE, &["a.json", "b.json", "--host-tol", "abc"]);
+    assert_exit(&out, 2, "non-numeric --host-tol is a usage error");
+}
+
+#[test]
+fn compare_unreadable_input_exits_3() {
+    let out = run(COMPARE, &["/nonexistent/never/old.json", "/nonexistent/new.json"]);
+    assert_exit(&out, 3, "missing input file");
+    assert_no_panic(&out, "compare on missing file");
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn compare_truncated_json_exits_4() {
+    let dir = scratch_dir("cmp_trunc");
+    let good = dir.join("good.json");
+    let trunc = dir.join("trunc.json");
+    std::fs::write(&good, EMPTY_DOC).unwrap();
+    std::fs::write(&trunc, &EMPTY_DOC[..EMPTY_DOC.len() / 2]).unwrap();
+    let out = run(COMPARE, &[good.to_str().unwrap(), trunc.to_str().unwrap()]);
+    assert_exit(&out, 4, "truncated JSON is malformed input");
+    assert_no_panic(&out, "compare on truncated JSON");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compare_unknown_schema_exits_5() {
+    let dir = scratch_dir("cmp_schema");
+    let good = dir.join("good.json");
+    let future = dir.join("future.json");
+    std::fs::write(&good, EMPTY_DOC).unwrap();
+    std::fs::write(&future, "{\"schema\": \"pvs-bench/profile-v99\", \"cells\": []}").unwrap();
+    let out = run(COMPARE, &[good.to_str().unwrap(), future.to_str().unwrap()]);
+    assert_exit(&out, 5, "unknown schema version is its own failure mode");
+    assert_no_panic(&out, "compare on unknown schema");
+    assert!(stderr(&out).contains("profile-v99"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compare_identity_of_valid_doc_exits_0() {
+    let dir = scratch_dir("cmp_ok");
+    let doc = dir.join("doc.json");
+    std::fs::write(&doc, EMPTY_DOC).unwrap();
+    let p = doc.to_str().unwrap();
+    let out = run(COMPARE, &[p, p]);
+    assert_exit(&out, 0, "a valid document compared to itself is clean");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn profile_usage_errors_exit_2_before_any_sweep() {
+    let out = run(PROFILE, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    let out = run(PROFILE, &["--smoke", "--samples", "zero"]);
+    assert_exit(&out, 2, "non-numeric --samples");
+    let out = run(PROFILE, &["--smoke", "--out"]);
+    assert_exit(&out, 2, "--out without a value");
+}
+
+#[test]
+fn profile_unwritable_trace_dir_exits_6_fast_and_writes_nothing() {
+    let dir = scratch_dir("prof_trace");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let out_json = dir.join("o.json");
+    let trace = occupied.join("traces");
+    let out = run(
+        PROFILE,
+        &[
+            "--smoke",
+            "--out",
+            out_json.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert_exit(&out, 6, "a file where the --trace dir should go");
+    assert_no_panic(&out, "profile on unwritable --trace");
+    assert!(!out_json.exists(), "failed run must not leave a partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn profile_unwritable_out_exits_6_fast() {
+    let dir = scratch_dir("prof_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("o.json");
+    let out = run(PROFILE, &["--smoke", "--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file");
+    assert_no_panic(&out, "profile on unwritable --out");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_usage_errors_exit_2() {
+    let out = run(CHAOS, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    let out = run(CHAOS, &["--threads", "none"]);
+    assert_exit(&out, 2, "non-numeric --threads");
+}
+
+#[test]
+fn chaos_unwritable_out_exits_6_fast_and_writes_nothing() {
+    let dir = scratch_dir("chaos_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("chaos.json");
+    let out = run(CHAOS, &["--smoke", "--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file");
+    assert_no_panic(&out, "chaos on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn experiments_usage_and_unwritable_out() {
+    let out = run(EXPERIMENTS, &["--bogus"]);
+    assert_exit(&out, 2, "unknown argument");
+    let out = run(EXPERIMENTS, &["--out"]);
+    assert_exit(&out, 2, "--out without a value");
+
+    let dir = scratch_dir("exp_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("EXPERIMENTS.md");
+    let out = run(EXPERIMENTS, &["--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file fails before any work");
+    assert_no_panic(&out, "experiments on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

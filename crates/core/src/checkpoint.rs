@@ -1,0 +1,576 @@
+//! Versioned checkpoint/restart for engine runs and sweeps.
+//!
+//! Two granularities:
+//!
+//! * [`RunCheckpoint`] — the engine's phase-boundary state mid-run,
+//!   produced by [`crate::engine::Engine::run_until`] and consumed by
+//!   [`crate::engine::Engine::resume`]. Because the engine only flushes
+//!   counters and spans to its recorder when a run *completes*, a
+//!   suspended-and-resumed run produces bit-identical reports **and**
+//!   bit-identical observability output.
+//! * [`SweepCheckpoint`] — completed cells of a sweep, so a killed grid
+//!   run restarts without recomputing finished cells.
+//!
+//! The format is line-oriented text with a leading version string.
+//! Floating-point state is stored as raw IEEE-754 bit patterns
+//! (16 hex digits), so a serialize → parse round trip is exact and the
+//! resumed run cannot drift by even one ULP. Unknown versions are
+//! rejected with an error naming both versions — never misparsed.
+
+use crate::engine::{RunState, RunTally};
+use crate::report::{PerfReport, PhaseBreakdown};
+use pvs_vectorsim::metrics::VectorMetrics;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version tag on the first line of a serialized [`RunCheckpoint`].
+pub const RUN_CHECKPOINT_VERSION: &str = "pvs-core/checkpoint-v1";
+
+/// Version tag on the first line of a serialized [`SweepCheckpoint`].
+pub const SWEEP_CHECKPOINT_VERSION: &str = "pvs-core/sweep-checkpoint-v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bit pattern {s:?}: {e}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse()
+        .map_err(|e| format!("bad {what} {s:?}: {e}"))
+}
+
+/// Line cursor with positions for error messages.
+struct Lines<'a> {
+    it: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            it: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.line_no += 1;
+        self.it.next()
+    }
+
+    fn expect_field(&mut self, key: &str) -> Result<&'a str, String> {
+        let line = self
+            .next()
+            .ok_or_else(|| format!("truncated checkpoint: missing {key:?}"))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' ').or(Some(rest).filter(|r| r.is_empty())))
+            .ok_or_else(|| format!("line {}: expected {key:?}, got {line:?}", self.line_no))
+    }
+}
+
+/// Check the version line of a checkpoint document and return a cursor
+/// past it.
+fn open_versioned<'a>(text: &'a str, version: &str) -> Result<Lines<'a>, String> {
+    let mut lines = Lines::new(text);
+    match lines.next() {
+        Some(v) if v == version => Ok(lines),
+        Some(v) => Err(format!(
+            "unknown checkpoint version {v:?} (this build reads {version:?})"
+        )),
+        None => Err("empty checkpoint document".to_string()),
+    }
+}
+
+/// A run suspended at a phase boundary. Opaque except for identity
+/// accessors; resume it with [`crate::engine::Engine::resume`] on an
+/// engine bound to the same machine.
+#[derive(Debug, Clone)]
+pub struct RunCheckpoint {
+    pub(crate) machine: String,
+    pub(crate) procs: usize,
+    pub(crate) phases_total: usize,
+    pub(crate) state: RunState,
+}
+
+impl RunCheckpoint {
+    /// Machine the suspended run was bound to.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// Processor count of the suspended run.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Index of the first phase that has *not* run yet.
+    pub fn next_phase(&self) -> usize {
+        self.state.next_phase
+    }
+
+    /// Total phases in the stream this checkpoint was cut from.
+    pub fn phases_total(&self) -> usize {
+        self.phases_total
+    }
+
+    /// Render to the versioned text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let s = &self.state;
+        let t = &s.tally;
+        out.push_str(RUN_CHECKPOINT_VERSION);
+        out.push('\n');
+        let _ = writeln!(out, "machine {}", self.machine);
+        let _ = writeln!(out, "procs {}", self.procs);
+        let _ = writeln!(out, "phases_total {}", self.phases_total);
+        let _ = writeln!(out, "next_phase {}", s.next_phase);
+        let _ = writeln!(out, "time {}", f64_hex(s.time_s));
+        let _ = writeln!(out, "comm {}", f64_hex(s.comm_s));
+        let _ = writeln!(out, "flops {}", f64_hex(s.flops));
+        let _ = writeln!(
+            out,
+            "metrics {} {} {}",
+            s.metrics.vector_element_ops, s.metrics.vector_instructions, s.metrics.scalar_ops
+        );
+        let _ = writeln!(
+            out,
+            "tally {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            t.loop_phases,
+            t.comm_phases,
+            t.comm_repetitions,
+            t.strips,
+            t.bank_accesses,
+            t.bank_stall_cycles,
+            t.net_messages,
+            t.net_payload_bytes,
+            t.net_hops,
+            t.net_bisection_bytes,
+            t.net_links_used,
+            t.net_peak_link_bytes,
+            f64_hex(t.loop_flops),
+            f64_hex(t.loop_bytes),
+            f64_hex(t.loop_seconds),
+            f64_hex(t.comm_seconds),
+        );
+        for (name, begin, end) in &s.phase_spans {
+            let _ = writeln!(out, "span {} {} {name}", f64_hex(*begin), f64_hex(*end));
+        }
+        for b in &s.breakdown {
+            let _ = writeln!(
+                out,
+                "bd {} {} {} {}",
+                f64_hex(b.seconds),
+                f64_hex(b.flops),
+                u8::from(b.is_comm),
+                b.name
+            );
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the versioned text format. Rejects unknown versions and
+    /// truncated or malformed documents with a one-line description.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = open_versioned(text, RUN_CHECKPOINT_VERSION)?;
+        let machine = lines.expect_field("machine")?.to_string();
+        let procs = parse_num(lines.expect_field("procs")?, "procs")?;
+        let phases_total = parse_num(lines.expect_field("phases_total")?, "phases_total")?;
+        let next_phase = parse_num(lines.expect_field("next_phase")?, "next_phase")?;
+        let time_s = f64_from_hex(lines.expect_field("time")?)?;
+        let comm_s = f64_from_hex(lines.expect_field("comm")?)?;
+        let flops = f64_from_hex(lines.expect_field("flops")?)?;
+
+        let mline = lines.expect_field("metrics")?;
+        let m: Vec<&str> = mline.split_whitespace().collect();
+        if m.len() != 3 {
+            return Err(format!("metrics line needs 3 fields, got {}", m.len()));
+        }
+        let metrics = VectorMetrics {
+            vector_element_ops: parse_num(m[0], "vector_element_ops")?,
+            vector_instructions: parse_num(m[1], "vector_instructions")?,
+            scalar_ops: parse_num(m[2], "scalar_ops")?,
+        };
+
+        let tline = lines.expect_field("tally")?;
+        let tt: Vec<&str> = tline.split_whitespace().collect();
+        if tt.len() != 16 {
+            return Err(format!("tally line needs 16 fields, got {}", tt.len()));
+        }
+        let tally = RunTally {
+            loop_phases: parse_num(tt[0], "loop_phases")?,
+            comm_phases: parse_num(tt[1], "comm_phases")?,
+            comm_repetitions: parse_num(tt[2], "comm_repetitions")?,
+            strips: parse_num(tt[3], "strips")?,
+            bank_accesses: parse_num(tt[4], "bank_accesses")?,
+            bank_stall_cycles: parse_num(tt[5], "bank_stall_cycles")?,
+            net_messages: parse_num(tt[6], "net_messages")?,
+            net_payload_bytes: parse_num(tt[7], "net_payload_bytes")?,
+            net_hops: parse_num(tt[8], "net_hops")?,
+            net_bisection_bytes: parse_num(tt[9], "net_bisection_bytes")?,
+            net_links_used: parse_num(tt[10], "net_links_used")?,
+            net_peak_link_bytes: parse_num(tt[11], "net_peak_link_bytes")?,
+            loop_flops: f64_from_hex(tt[12])?,
+            loop_bytes: f64_from_hex(tt[13])?,
+            loop_seconds: f64_from_hex(tt[14])?,
+            comm_seconds: f64_from_hex(tt[15])?,
+        };
+
+        let mut phase_spans = Vec::new();
+        let mut breakdown = Vec::new();
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| "truncated checkpoint: missing \"end\"".to_string())?;
+            if line == "end" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("span ") {
+                let mut f = rest.splitn(3, ' ');
+                let begin = f64_from_hex(f.next().ok_or("span line: missing begin")?)?;
+                let end = f64_from_hex(f.next().ok_or("span line: missing end")?)?;
+                let name = f.next().ok_or("span line: missing name")?.to_string();
+                phase_spans.push((name, begin, end));
+            } else if let Some(rest) = line.strip_prefix("bd ") {
+                let mut f = rest.splitn(4, ' ');
+                let seconds = f64_from_hex(f.next().ok_or("bd line: missing seconds")?)?;
+                let flops = f64_from_hex(f.next().ok_or("bd line: missing flops")?)?;
+                let is_comm = match f.next().ok_or("bd line: missing is_comm")? {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bd line: bad is_comm {other:?}")),
+                };
+                let name = f.next().ok_or("bd line: missing name")?.to_string();
+                breakdown.push(PhaseBreakdown {
+                    name,
+                    seconds,
+                    flops,
+                    is_comm,
+                });
+            } else {
+                return Err(format!(
+                    "line {}: unexpected record {line:?}",
+                    lines.line_no
+                ));
+            }
+        }
+
+        if next_phase > phases_total {
+            return Err(format!(
+                "next_phase {next_phase} exceeds phases_total {phases_total}"
+            ));
+        }
+        Ok(Self {
+            machine,
+            procs,
+            phases_total,
+            state: RunState {
+                next_phase,
+                time_s,
+                comm_s,
+                flops,
+                metrics,
+                breakdown,
+                tally,
+                phase_spans,
+            },
+        })
+    }
+}
+
+fn write_report(out: &mut String, index: usize, r: &PerfReport) {
+    let _ = writeln!(out, "cell {index}");
+    let _ = writeln!(out, "machine {}", r.machine);
+    let _ = writeln!(out, "procs {}", r.procs);
+    let _ = writeln!(
+        out,
+        "scalars {} {} {} {} {}",
+        f64_hex(r.time_s),
+        f64_hex(r.comm_s),
+        f64_hex(r.flops_per_p),
+        f64_hex(r.gflops_per_p),
+        f64_hex(r.pct_peak),
+    );
+    if let Some(m) = r.vector_metrics {
+        let _ = writeln!(
+            out,
+            "vm {} {} {}",
+            m.vector_element_ops, m.vector_instructions, m.scalar_ops
+        );
+    }
+    for b in &r.phases {
+        let _ = writeln!(
+            out,
+            "bd {} {} {} {}",
+            f64_hex(b.seconds),
+            f64_hex(b.flops),
+            u8::from(b.is_comm),
+            b.name
+        );
+    }
+    out.push_str("endcell\n");
+}
+
+fn parse_report(lines: &mut Lines<'_>) -> Result<PerfReport, String> {
+    let machine = lines.expect_field("machine")?.to_string();
+    let procs = parse_num(lines.expect_field("procs")?, "procs")?;
+    let sline = lines.expect_field("scalars")?;
+    let sc: Vec<&str> = sline.split_whitespace().collect();
+    if sc.len() != 5 {
+        return Err(format!("scalars line needs 5 fields, got {}", sc.len()));
+    }
+    let mut report = PerfReport {
+        machine,
+        procs,
+        time_s: f64_from_hex(sc[0])?,
+        comm_s: f64_from_hex(sc[1])?,
+        flops_per_p: f64_from_hex(sc[2])?,
+        gflops_per_p: f64_from_hex(sc[3])?,
+        pct_peak: f64_from_hex(sc[4])?,
+        vector_metrics: None,
+        phases: Vec::new(),
+    };
+    loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| "truncated checkpoint: missing \"endcell\"".to_string())?;
+        if line == "endcell" {
+            return Ok(report);
+        }
+        if let Some(rest) = line.strip_prefix("vm ") {
+            let m: Vec<&str> = rest.split_whitespace().collect();
+            if m.len() != 3 {
+                return Err(format!("vm line needs 3 fields, got {}", m.len()));
+            }
+            report.vector_metrics = Some(VectorMetrics {
+                vector_element_ops: parse_num(m[0], "vector_element_ops")?,
+                vector_instructions: parse_num(m[1], "vector_instructions")?,
+                scalar_ops: parse_num(m[2], "scalar_ops")?,
+            });
+        } else if let Some(rest) = line.strip_prefix("bd ") {
+            let mut f = rest.splitn(4, ' ');
+            let seconds = f64_from_hex(f.next().ok_or("bd line: missing seconds")?)?;
+            let flops = f64_from_hex(f.next().ok_or("bd line: missing flops")?)?;
+            let is_comm = match f.next().ok_or("bd line: missing is_comm")? {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bd line: bad is_comm {other:?}")),
+            };
+            let name = f.next().ok_or("bd line: missing name")?.to_string();
+            report.phases.push(PhaseBreakdown {
+                name,
+                seconds,
+                flops,
+                is_comm,
+            });
+        } else {
+            return Err(format!(
+                "line {}: unexpected record {line:?}",
+                lines.line_no
+            ));
+        }
+    }
+}
+
+/// Completed cells of a sweep, keyed by job index. Feed it to
+/// [`crate::engine::run_sweep_resumed`] to finish an interrupted sweep
+/// without recomputing finished cells.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCheckpoint {
+    total: usize,
+    completed: BTreeMap<usize, PerfReport>,
+}
+
+impl SweepCheckpoint {
+    /// Empty checkpoint for a sweep of `total` jobs.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            completed: BTreeMap::new(),
+        }
+    }
+
+    /// Number of jobs in the sweep this checkpoint tracks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of cells recorded so far.
+    pub fn completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether cell `index` has a recorded result.
+    pub fn contains(&self, index: usize) -> bool {
+        self.completed.contains_key(&index)
+    }
+
+    /// Record the result of cell `index`.
+    pub fn record(&mut self, index: usize, report: PerfReport) {
+        assert!(index < self.total, "cell {index} outside sweep of {}", self.total);
+        self.completed.insert(index, report);
+    }
+
+    /// Whether every cell has a result.
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.total
+    }
+
+    /// All results in job order; `None` until [`SweepCheckpoint::is_complete`].
+    pub fn reports_in_order(&self) -> Option<Vec<PerfReport>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(self.completed.values().cloned().collect())
+    }
+
+    /// Render to the versioned text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SWEEP_CHECKPOINT_VERSION);
+        out.push('\n');
+        let _ = writeln!(out, "total {}", self.total);
+        for (&i, r) in &self.completed {
+            write_report(&mut out, i, r);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the versioned text format; rejects unknown versions and
+    /// malformed documents with a one-line description.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = open_versioned(text, SWEEP_CHECKPOINT_VERSION)?;
+        let total = parse_num(lines.expect_field("total")?, "total")?;
+        let mut ck = SweepCheckpoint::new(total);
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| "truncated checkpoint: missing \"end\"".to_string())?;
+            if line == "end" {
+                return Ok(ck);
+            }
+            let Some(ix) = line.strip_prefix("cell ") else {
+                return Err(format!(
+                    "line {}: unexpected record {line:?}",
+                    lines.line_no
+                ));
+            };
+            let index: usize = parse_num(ix, "cell index")?;
+            if index >= total {
+                return Err(format!("cell {index} outside sweep of {total}"));
+            }
+            let report = parse_report(&mut lines)?;
+            ck.completed.insert(index, report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for v in [0.0, -0.0, 1.0 / 3.0, 6.02214076e23, f64::MIN_POSITIVE, -7.25] {
+            let back = f64_from_hex(&f64_hex(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_not_misparsed() {
+        let doc = "pvs-core/checkpoint-v99\nmachine ES\n";
+        let err = RunCheckpoint::parse(doc).unwrap_err();
+        assert!(err.contains("unknown checkpoint version"), "{err}");
+        assert!(err.contains("v99"), "{err}");
+        let err = SweepCheckpoint::parse(doc).unwrap_err();
+        assert!(err.contains("unknown checkpoint version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_document_is_rejected() {
+        let err = RunCheckpoint::parse("pvs-core/checkpoint-v1\nmachine ES\n").unwrap_err();
+        assert!(err.contains("truncated") || err.contains("missing"), "{err}");
+        let err = SweepCheckpoint::parse("pvs-core/sweep-checkpoint-v1\ntotal 4\n").unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn empty_document_is_rejected() {
+        assert!(RunCheckpoint::parse("").is_err());
+        assert!(SweepCheckpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn sweep_checkpoint_round_trips_reports_bitwise() {
+        let report = PerfReport {
+            machine: "Earth Simulator".into(),
+            procs: 64,
+            time_s: 1.0 / 3.0,
+            comm_s: 0.1 + 0.2,
+            flops_per_p: 4.2e13,
+            gflops_per_p: 12.600000000000001,
+            pct_peak: 15.75,
+            vector_metrics: Some(VectorMetrics {
+                vector_element_ops: 123456789,
+                vector_instructions: 482253,
+                scalar_ops: 17,
+            }),
+            phases: vec![
+                PhaseBreakdown {
+                    name: "stream collide".into(),
+                    seconds: 0.25,
+                    flops: 1e9,
+                    is_comm: false,
+                },
+                PhaseBreakdown {
+                    name: "halo".into(),
+                    seconds: 0.125,
+                    flops: 0.0,
+                    is_comm: true,
+                },
+            ],
+        };
+        let mut ck = SweepCheckpoint::new(2);
+        ck.record(1, report.clone());
+        let back = SweepCheckpoint::parse(&ck.serialize()).unwrap();
+        assert_eq!(back.total(), 2);
+        assert!(!back.is_complete());
+        assert!(back.contains(1) && !back.contains(0));
+        let r = &back.completed[&1];
+        assert_eq!(r.machine, report.machine);
+        assert_eq!(r.time_s.to_bits(), report.time_s.to_bits());
+        assert_eq!(r.comm_s.to_bits(), report.comm_s.to_bits());
+        assert_eq!(r.gflops_per_p.to_bits(), report.gflops_per_p.to_bits());
+        assert_eq!(r.vector_metrics, report.vector_metrics);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "stream collide");
+        assert_eq!(r.phases[0].seconds.to_bits(), 0.25f64.to_bits());
+        assert!(r.phases[1].is_comm);
+    }
+
+    #[test]
+    fn cell_index_outside_sweep_is_rejected() {
+        let mut doc = String::from("pvs-core/sweep-checkpoint-v1\ntotal 1\n");
+        doc.push_str("cell 5\nmachine ES\nprocs 4\n");
+        doc.push_str(&format!(
+            "scalars {} {} {} {} {}\nendcell\nend\n",
+            f64_hex(1.0),
+            f64_hex(0.0),
+            f64_hex(0.0),
+            f64_hex(0.0),
+            f64_hex(0.0)
+        ));
+        let err = SweepCheckpoint::parse(&doc).unwrap_err();
+        assert!(err.contains("outside sweep"), "{err}");
+    }
+}

@@ -8,6 +8,8 @@
 //! by the discrete-event network simulator in `pvs-netsim`, with one-sided
 //! (CAF) semantics skipping the MPI intermediate-copy traffic.
 
+use crate::adversity::Adversity;
+use crate::checkpoint::{RunCheckpoint, SweepCheckpoint};
 use crate::kernel::vector_loop_from_phase;
 use crate::machine::{CpuClass, Machine};
 use crate::phase::{CommPattern, CommPhase, LoopPhase, Phase};
@@ -16,7 +18,8 @@ use crate::report::{PerfReport, PhaseBreakdown};
 use pvs_memsim::banks::BankedMemory;
 use pvs_memsim::trace::scrambled_indices;
 use pvs_netsim::collectives::{
-    all_to_all_stats_sampled, allreduce_stats, halo_exchange_2d_stats, halo_exchange_3d_stats,
+    all_to_all_stats_sampled_faulted, allreduce_stats_faulted, halo_exchange_2d_stats_faulted,
+    halo_exchange_3d_stats_faulted,
 };
 use pvs_netsim::topology::Network;
 use pvs_obs::{Recorder, SpanRecord};
@@ -56,24 +59,24 @@ struct LoopOutcome {
 /// holds per-run aggregates, so batching the emission is invisible in the
 /// snapshot — it exists to keep instrumentation overhead low (one locked
 /// update per counter per run instead of one per phase).
-#[derive(Default)]
-struct RunTally {
-    loop_phases: u64,
-    comm_phases: u64,
-    loop_flops: f64,
-    loop_bytes: f64,
-    loop_seconds: f64,
-    comm_seconds: f64,
-    comm_repetitions: u64,
-    strips: u64,
-    bank_accesses: u64,
-    bank_stall_cycles: u64,
-    net_messages: u64,
-    net_payload_bytes: u64,
-    net_hops: u64,
-    net_bisection_bytes: u64,
-    net_links_used: u64,
-    net_peak_link_bytes: u64,
+#[derive(Default, Clone, Debug)]
+pub(crate) struct RunTally {
+    pub(crate) loop_phases: u64,
+    pub(crate) comm_phases: u64,
+    pub(crate) loop_flops: f64,
+    pub(crate) loop_bytes: f64,
+    pub(crate) loop_seconds: f64,
+    pub(crate) comm_seconds: f64,
+    pub(crate) comm_repetitions: u64,
+    pub(crate) strips: u64,
+    pub(crate) bank_accesses: u64,
+    pub(crate) bank_stall_cycles: u64,
+    pub(crate) net_messages: u64,
+    pub(crate) net_payload_bytes: u64,
+    pub(crate) net_hops: u64,
+    pub(crate) net_bisection_bytes: u64,
+    pub(crate) net_links_used: u64,
+    pub(crate) net_peak_link_bytes: u64,
 }
 
 impl RunTally {
@@ -121,12 +124,65 @@ impl RunTally {
     }
 }
 
+/// The engine's phase-boundary accumulator state: everything `advance`
+/// mutates between phases, and exactly what a [`RunCheckpoint`] captures.
+/// Because counters and spans flush to the recorder only at run
+/// completion, carrying the tally and span list here makes a
+/// suspend/resume cycle invisible in the observability output too.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RunState {
+    pub(crate) next_phase: usize,
+    pub(crate) time_s: f64,
+    pub(crate) comm_s: f64,
+    pub(crate) flops: f64,
+    pub(crate) metrics: VectorMetrics,
+    pub(crate) breakdown: Vec<PhaseBreakdown>,
+    pub(crate) tally: RunTally,
+    /// (name, begin_s, end_s) per phase; flushed as one span batch.
+    pub(crate) phase_spans: Vec<(String, f64, f64)>,
+}
+
+/// What [`Engine::run_until`] produced: either the finished report or a
+/// checkpoint at the requested phase boundary.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The stream ran to the end.
+    Complete(PerfReport),
+    /// The run stopped at a phase boundary; resume with
+    /// [`Engine::resume`].
+    Suspended(RunCheckpoint),
+}
+
+impl RunOutcome {
+    /// The report, panicking on a suspension — for callers that did not
+    /// ask to stop.
+    pub fn expect_complete(self) -> PerfReport {
+        match self {
+            RunOutcome::Complete(r) => r,
+            RunOutcome::Suspended(ck) => {
+                panic!("run suspended at phase {} of {}", ck.next_phase(), ck.phases_total())
+            }
+        }
+    }
+
+    /// The checkpoint, panicking on completion — for callers that
+    /// stopped mid-stream on purpose.
+    pub fn expect_suspended(self) -> RunCheckpoint {
+        match self {
+            RunOutcome::Suspended(ck) => ck,
+            RunOutcome::Complete(_) => panic!("run completed instead of suspending"),
+        }
+    }
+}
+
 /// An engine bound to one machine, optionally reporting counters and
-/// phase spans into a [`Recorder`].
+/// phase spans into a [`Recorder`], optionally running under injected
+/// hardware damage.
 #[derive(Clone)]
 pub struct Engine {
     machine: Machine,
     recorder: Option<Arc<dyn Recorder>>,
+    adversity: Adversity,
 }
 
 impl std::fmt::Debug for Engine {
@@ -134,6 +190,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("machine", &self.machine)
             .field("observed", &self.recorder.is_some())
+            .field("adversity", &self.adversity)
             .finish()
     }
 }
@@ -144,6 +201,7 @@ impl Engine {
         Self {
             machine,
             recorder: None,
+            adversity: Adversity::healthy(),
         }
     }
 
@@ -156,39 +214,110 @@ impl Engine {
         self
     }
 
+    /// Inject hardware damage: every subsequent run executes on the
+    /// degraded machine. See [`Adversity`].
+    pub fn with_adversity(mut self, adversity: Adversity) -> Self {
+        self.adversity = adversity;
+        self
+    }
+
     /// The bound machine.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The injected damage (healthy unless [`Engine::with_adversity`]
+    /// was called).
+    pub fn adversity(&self) -> &Adversity {
+        &self.adversity
     }
 
     /// Execute a phase stream built for `procs` processors. Returns the
     /// per-processor performance report (Gflop/s per processor, % of peak,
     /// AVL/VOR on vector machines, communication fraction).
     pub fn run(&self, phases: &[Phase], procs: usize) -> PerfReport {
+        self.advance(RunState::default(), phases, procs, None)
+            .expect_complete()
+    }
+
+    /// [`Engine::run`], stopping at a phase boundary: with
+    /// `stop_before = Some(k)` the run suspends just before phase index
+    /// `k` and returns the checkpoint (or completes if `k` is past the
+    /// end). `None` always runs to completion.
+    pub fn run_until(
+        &self,
+        phases: &[Phase],
+        procs: usize,
+        stop_before: Option<usize>,
+    ) -> RunOutcome {
+        self.advance(RunState::default(), phases, procs, stop_before)
+    }
+
+    /// Continue a suspended run to completion. The checkpoint must have
+    /// been cut from the same machine, processor count, and phase
+    /// stream; resuming reproduces the uninterrupted run bit for bit —
+    /// report fields, counters, and spans alike.
+    pub fn resume(&self, ck: RunCheckpoint, phases: &[Phase], procs: usize) -> RunOutcome {
+        self.resume_until(ck, phases, procs, None)
+    }
+
+    /// [`Engine::resume`] with another stop point, for chains of
+    /// suspensions.
+    pub fn resume_until(
+        &self,
+        ck: RunCheckpoint,
+        phases: &[Phase],
+        procs: usize,
+        stop_before: Option<usize>,
+    ) -> RunOutcome {
+        assert_eq!(
+            ck.machine, self.machine.name,
+            "checkpoint was cut on a different machine"
+        );
+        assert_eq!(ck.procs, procs, "checkpoint was cut for a different procs");
+        assert_eq!(
+            ck.phases_total,
+            phases.len(),
+            "checkpoint was cut from a different phase stream"
+        );
+        self.advance(ck.state, phases, procs, stop_before)
+    }
+
+    fn advance(
+        &self,
+        mut state: RunState,
+        phases: &[Phase],
+        procs: usize,
+        stop_before: Option<usize>,
+    ) -> RunOutcome {
         assert!(procs >= 1);
-        let mut time_s = 0.0;
-        let mut comm_s = 0.0;
-        let mut flops = 0.0;
-        let mut metrics = VectorMetrics::default();
-        let mut breakdown = Vec::with_capacity(phases.len());
-
+        assert!(state.next_phase <= phases.len(), "checkpoint beyond stream");
         let rec = self.recorder.as_deref();
-        let mut tally = RunTally::default();
-        // (name, begin_s, end_s) per phase; flushed as one span batch.
-        let mut phase_spans: Vec<(&str, f64, f64)> = Vec::new();
 
-        for phase in phases {
-            let began_s = time_s;
+        while state.next_phase < phases.len() {
+            if stop_before.is_some_and(|k| state.next_phase >= k) {
+                return RunOutcome::Suspended(RunCheckpoint {
+                    machine: self.machine.name.to_string(),
+                    procs,
+                    phases_total: phases.len(),
+                    state,
+                });
+            }
+            let phase = &phases[state.next_phase];
+            let began_s = state.time_s;
             match phase {
                 Phase::Loop(l) => {
                     let outcome = self.run_loop(l);
-                    time_s += outcome.seconds;
-                    flops += phase.counted_flops();
+                    state.time_s += outcome.seconds;
+                    state.flops += phase.counted_flops();
                     if let Some(m) = outcome.metrics {
-                        metrics.merge(&m);
+                        state.metrics.merge(&m);
                     }
                     if rec.is_some() {
-                        phase_spans.push((&l.name, began_s, time_s));
+                        state
+                            .phase_spans
+                            .push((l.name.to_string(), began_s, state.time_s));
+                        let tally = &mut state.tally;
                         tally.loop_phases += 1;
                         tally.loop_flops += phase.total_flops();
                         tally.loop_bytes +=
@@ -198,7 +327,7 @@ impl Engine {
                         tally.bank_accesses += outcome.bank_accesses;
                         tally.bank_stall_cycles += outcome.bank_stall_cycles;
                     }
-                    breakdown.push(PhaseBreakdown {
+                    state.breakdown.push(PhaseBreakdown {
                         name: l.name.to_string(),
                         seconds: outcome.seconds,
                         flops: phase.total_flops(),
@@ -207,10 +336,13 @@ impl Engine {
                 }
                 Phase::Comm(c) => {
                     let (secs, stats) = self.run_comm(c, procs);
-                    time_s += secs;
-                    comm_s += secs;
+                    state.time_s += secs;
+                    state.comm_s += secs;
                     if rec.is_some() {
-                        phase_spans.push((&c.name, began_s, time_s));
+                        state
+                            .phase_spans
+                            .push((c.name.to_string(), began_s, state.time_s));
+                        let tally = &mut state.tally;
                         tally.comm_phases += 1;
                         tally.comm_repetitions += c.repetitions as u64;
                         tally.comm_seconds += secs;
@@ -224,7 +356,7 @@ impl Engine {
                         tally.net_peak_link_bytes =
                             tally.net_peak_link_bytes.max(stats.peak_link_bytes());
                     }
-                    breakdown.push(PhaseBreakdown {
+                    state.breakdown.push(PhaseBreakdown {
                         name: c.name.to_string(),
                         seconds: secs,
                         flops: 0.0,
@@ -232,48 +364,54 @@ impl Engine {
                     });
                 }
             }
+            state.next_phase += 1;
         }
 
         if let Some(r) = rec {
             // Whole phase tree in one batch: entry 0 is the root "run"
             // span; every phase is its child.
-            let mut batch = Vec::with_capacity(phase_spans.len() + 1);
+            let mut batch = Vec::with_capacity(state.phase_spans.len() + 1);
             batch.push(SpanRecord {
                 name: "run",
                 parent: None,
                 begin_ticks: 0,
-                end_ticks: ticks(time_s),
+                end_ticks: ticks(state.time_s),
             });
-            batch.extend(phase_spans.iter().map(|&(name, begin_s, end_s)| SpanRecord {
-                name,
-                parent: Some(0),
-                begin_ticks: ticks(begin_s),
-                end_ticks: ticks(end_s),
-            }));
+            batch.extend(
+                state
+                    .phase_spans
+                    .iter()
+                    .map(|(name, begin_s, end_s)| SpanRecord {
+                        name: name.as_str(),
+                        parent: Some(0),
+                        begin_ticks: ticks(*begin_s),
+                        end_ticks: ticks(*end_s),
+                    }),
+            );
             r.span_many(&batch);
-            tally.flush(r, &metrics, self.machine.clock_mhz);
+            state.tally.flush(r, &state.metrics, self.machine.clock_mhz);
         }
 
-        let gflops_per_p = if time_s > 0.0 {
-            flops / 1e9 / time_s
+        let gflops_per_p = if state.time_s > 0.0 {
+            state.flops / 1e9 / state.time_s
         } else {
             0.0
         };
-        PerfReport {
+        RunOutcome::Complete(PerfReport {
             machine: self.machine.name.to_string(),
             procs,
-            time_s,
-            comm_s,
-            flops_per_p: flops,
+            time_s: state.time_s,
+            comm_s: state.comm_s,
+            flops_per_p: state.flops,
             gflops_per_p,
             pct_peak: 100.0 * gflops_per_p / self.machine.peak_gflops,
             vector_metrics: if self.machine.is_vector() {
-                Some(metrics)
+                Some(state.metrics)
             } else {
                 None
             },
-            phases: breakdown,
-        }
+            phases: state.breakdown,
+        })
     }
 
     /// Execute a batch of `(phases, procs)` configurations on this
@@ -293,18 +431,18 @@ impl Engine {
         batch: Vec<(Vec<Phase>, usize)>,
         threads: usize,
     ) -> Vec<PerfReport> {
-        let machine = self.machine.clone();
-        run_sweep_threads(
-            batch
-                .into_iter()
-                .map(|(phases, procs)| SweepJob {
-                    machine: machine.clone(),
-                    phases,
-                    procs,
-                })
-                .collect(),
-            threads,
-        )
+        // The recorder is deliberately not carried into the workers —
+        // flush order across threads would depend on scheduling. The
+        // adversity is: damaged-machine sweeps stay deterministic
+        // because each cell is still a pure function of its inputs.
+        let template = Engine {
+            machine: self.machine.clone(),
+            recorder: None,
+            adversity: self.adversity.clone(),
+        };
+        ThreadPool::new(threads).map(batch, move |(phases, procs)| {
+            template.run(&phases, procs)
+        })
     }
 
     fn run_loop(&self, l: &LoopPhase) -> LoopOutcome {
@@ -372,6 +510,9 @@ impl Engine {
         banks: &pvs_memsim::banks::BankConfig,
     ) -> Option<BankedMemory> {
         let mut mem = BankedMemory::new(*banks);
+        for &b in &self.adversity.failed_banks {
+            mem.fail_bank(b % banks.num_banks);
+        }
         if l.vector.duplicated {
             mem.duplicate(32);
         }
@@ -384,6 +525,13 @@ impl Engine {
             mem.strided_access(0, BANK_SAMPLE, stride);
             return Some(mem);
         }
+        if !self.adversity.failed_banks.is_empty() {
+            // Patterns that cannot conflict on healthy hardware *do*
+            // conflict once banks are mapped out: the remapped share of
+            // a unit-stride walk piles onto the surviving neighbours.
+            mem.strided_access(0, BANK_SAMPLE, 1);
+            return Some(mem);
+        }
         None
     }
 
@@ -392,7 +540,8 @@ impl Engine {
         if c.one_sided {
             config.latency_us *= ONE_SIDED_LATENCY_RATIO;
         }
-        let net = Network::new(config);
+        let faults = &self.adversity.net;
+        let net = Network::with_faults(config, faults);
         let (stats, payload_per_rank) = match c.pattern {
             CommPattern::Halo2d {
                 px,
@@ -400,7 +549,8 @@ impl Engine {
                 bytes_edge,
                 bytes_corner,
             } => {
-                let s = halo_exchange_2d_stats(&net, px, py, bytes_edge, bytes_corner);
+                let s =
+                    halo_exchange_2d_stats_faulted(&net, px, py, bytes_edge, bytes_corner, faults);
                 (s, 4 * bytes_edge + 4 * bytes_corner)
             }
             CommPattern::Halo3d {
@@ -409,14 +559,20 @@ impl Engine {
                 pz,
                 bytes_face,
             } => {
-                let s = halo_exchange_3d_stats(&net, px, py, pz, bytes_face);
+                let s = halo_exchange_3d_stats_faulted(&net, px, py, pz, bytes_face, faults);
                 (s, 6 * bytes_face)
             }
             CommPattern::AllToAll {
                 ranks,
                 bytes_per_pair,
             } => {
-                let s = all_to_all_stats_sampled(&net, ranks, bytes_per_pair, MAX_A2A_ROUNDS);
+                let s = all_to_all_stats_sampled_faulted(
+                    &net,
+                    ranks,
+                    bytes_per_pair,
+                    MAX_A2A_ROUNDS,
+                    faults,
+                );
                 (s, ranks.saturating_sub(1) as u64 * bytes_per_pair)
             }
             CommPattern::AllReduce { ranks, bytes } => {
@@ -425,7 +581,10 @@ impl Engine {
                 } else {
                     0
                 };
-                (allreduce_stats(&net, ranks, bytes), rounds as u64 * bytes)
+                (
+                    allreduce_stats_faulted(&net, ranks, bytes, faults),
+                    rounds as u64 * bytes,
+                )
             }
         };
         let wire = stats.makespan_s;
@@ -478,6 +637,37 @@ pub fn run_sweep_threads(jobs: Vec<SweepJob>, threads: usize) -> Vec<PerfReport>
     ThreadPool::new(threads).map(jobs, |job| {
         Engine::new(job.machine).run(&job.phases, job.procs)
     })
+}
+
+/// Finish an interrupted sweep: cells already recorded in `checkpoint`
+/// are taken from it verbatim, the rest run fresh (in parallel) and are
+/// recorded as they land. Because every cell is a pure function of its
+/// job, the assembled result is bit-identical to an uninterrupted
+/// [`run_sweep_threads`] over the same jobs — the restart is invisible.
+pub fn run_sweep_resumed(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+    checkpoint: &mut SweepCheckpoint,
+) -> Vec<PerfReport> {
+    assert_eq!(
+        checkpoint.total(),
+        jobs.len(),
+        "checkpoint tracks a different sweep"
+    );
+    let pending: Vec<(usize, SweepJob)> = jobs
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !checkpoint.contains(*i))
+        .collect();
+    let fresh = ThreadPool::new(threads).map(pending, |(i, job)| {
+        (i, Engine::new(job.machine).run(&job.phases, job.procs))
+    });
+    for (i, report) in fresh {
+        checkpoint.record(i, report);
+    }
+    checkpoint
+        .reports_in_order()
+        .expect("all cells recorded")
 }
 
 #[cfg(test)]
@@ -825,6 +1015,220 @@ mod tests {
             .with_recorder(reg)
             .run(&phases, 16);
         assert_eq!(fingerprint(&plain), fingerprint(&observed));
+    }
+
+    fn comm_heavy(procs: usize) -> Vec<Phase> {
+        let side = (procs as f64).sqrt() as usize;
+        vec![
+            lbmhd_like(),
+            Phase::comm(
+                "transpose",
+                CommPattern::AllToAll {
+                    ranks: procs,
+                    bytes_per_pair: 40_000,
+                },
+            ),
+            Phase::comm(
+                "halo",
+                CommPattern::Halo2d {
+                    px: side,
+                    py: side,
+                    bytes_edge: 200_000,
+                    bytes_corner: 2_000,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn healthy_adversity_changes_nothing() {
+        let phases = comm_heavy(64);
+        let plain = Engine::new(platforms::x1()).run(&phases, 64);
+        let guarded = Engine::new(platforms::x1())
+            .with_adversity(Adversity::healthy())
+            .run(&phases, 64);
+        assert_eq!(fingerprint(&plain), fingerprint(&guarded));
+    }
+
+    #[test]
+    fn torus_link_loss_slows_the_x1_deterministically() {
+        let phases = comm_heavy(64);
+        let healthy = Engine::new(platforms::x1()).run(&phases, 64);
+        let adversity = Adversity::healthy().with_net(
+            pvs_netsim::LinkFaults::healthy()
+                .fail_link(0)
+                .degrade_link(5, 0.5),
+        );
+        let hurt = |_: usize| {
+            Engine::new(platforms::x1())
+                .with_adversity(adversity.clone())
+                .run(&phases, 64)
+        };
+        let a = hurt(0);
+        let b = hurt(1);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "same faults, same run");
+        assert!(
+            a.comm_s > healthy.comm_s,
+            "damaged torus must communicate slower: {} vs {}",
+            a.comm_s,
+            healthy.comm_s
+        );
+        assert!(a.gflops_per_p < healthy.gflops_per_p);
+    }
+
+    #[test]
+    fn crossbar_port_loss_slows_the_es() {
+        let phases = comm_heavy(64);
+        let healthy = Engine::new(platforms::earth_simulator()).run(&phases, 64);
+        let hurt = Engine::new(platforms::earth_simulator())
+            .with_adversity(
+                Adversity::healthy()
+                    .with_net(pvs_netsim::LinkFaults::healthy().lose_port(0).lose_port(7)),
+            )
+            .run(&phases, 64);
+        assert!(hurt.comm_s > healthy.comm_s, "{} vs {}", hurt.comm_s, healthy.comm_s);
+    }
+
+    #[test]
+    fn failed_banks_slow_vector_loops() {
+        // lbmhd_like is unit-stride: conflict-free on healthy hardware,
+        // so the bank replay normally doesn't even run. A mapped-out
+        // bank must force the fallback and cost time.
+        let phases = [lbmhd_like()];
+        let healthy = Engine::new(platforms::earth_simulator()).run(&phases, 16);
+        let hurt = Engine::new(platforms::earth_simulator())
+            .with_adversity(Adversity::healthy().fail_bank(0).fail_bank(1))
+            .run(&phases, 16);
+        assert!(hurt.time_s > healthy.time_s, "{} vs {}", hurt.time_s, healthy.time_s);
+        assert!(hurt.gflops_per_p < healthy.gflops_per_p);
+    }
+
+    #[test]
+    fn degraded_sweep_is_thread_count_invariant() {
+        let engine = Engine::new(platforms::x1()).with_adversity(
+            Adversity::healthy()
+                .with_net(pvs_netsim::LinkFaults::healthy().fail_link(0))
+                .fail_bank(3),
+        );
+        let batch: Vec<(Vec<Phase>, usize)> =
+            (0..6).map(|i| (comm_heavy(16 << (i % 3)), 16 << (i % 3))).collect();
+        let serial: Vec<String> = engine
+            .run_sweep_threads(batch.clone(), 1)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        let wide: Vec<String> = engine
+            .run_sweep_threads(batch, 8)
+            .iter()
+            .map(fingerprint)
+            .collect();
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn suspended_run_resumes_bit_identically() {
+        for procs in [16usize, 64] {
+            let phases = comm_heavy(procs);
+            let full_reg = std::sync::Arc::new(pvs_obs::Registry::new());
+            let full = Engine::new(platforms::x1())
+                .with_recorder(full_reg.clone())
+                .run(&phases, procs);
+
+            let split_reg = std::sync::Arc::new(pvs_obs::Registry::new());
+            let engine = Engine::new(platforms::x1()).with_recorder(split_reg.clone());
+            let ck = engine
+                .run_until(&phases, procs, Some(1))
+                .expect_suspended();
+            assert_eq!(ck.next_phase(), 1);
+            // Through the wire format: serialize, parse, resume.
+            let ck = RunCheckpoint::parse(&ck.serialize()).expect("round trip");
+            let resumed = engine.resume(ck, &phases, procs).expect_complete();
+
+            assert_eq!(fingerprint(&full), fingerprint(&resumed));
+            assert_eq!(
+                full.phases.len(),
+                resumed.phases.len(),
+                "breakdown carried across the suspension"
+            );
+            // Observability is part of the contract: counters, gauges,
+            // and the span tree must be indistinguishable.
+            assert_eq!(full_reg.snapshot(), split_reg.snapshot());
+            assert_eq!(full_reg.trace_jsonl(), split_reg.trace_jsonl());
+        }
+    }
+
+    #[test]
+    fn checkpoint_chain_across_every_boundary_matches() {
+        let phases = comm_heavy(64);
+        let engine = Engine::new(platforms::earth_simulator());
+        let full = engine.run(&phases, 64);
+        // Suspend at every phase boundary in turn, resuming one phase at
+        // a time through the serialized format.
+        let mut outcome = engine.run_until(&phases, 64, Some(1));
+        let mut stop = 2;
+        let resumed = loop {
+            match outcome {
+                RunOutcome::Complete(r) => break r,
+                RunOutcome::Suspended(ck) => {
+                    let ck = RunCheckpoint::parse(&ck.serialize()).expect("round trip");
+                    outcome = engine.resume_until(ck, &phases, 64, Some(stop));
+                    stop += 1;
+                }
+            }
+        };
+        assert_eq!(fingerprint(&full), fingerprint(&resumed));
+    }
+
+    #[test]
+    fn run_until_past_the_end_completes() {
+        let phases = [lbmhd_like()];
+        let engine = Engine::new(platforms::x1());
+        let r = engine.run_until(&phases, 4, Some(99)).expect_complete();
+        assert_eq!(fingerprint(&r), fingerprint(&engine.run(&phases, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine")]
+    fn resume_on_the_wrong_machine_is_rejected() {
+        let phases = [lbmhd_like()];
+        let ck = Engine::new(platforms::x1())
+            .run_until(&phases, 4, Some(0))
+            .expect_suspended();
+        let _ = Engine::new(platforms::earth_simulator()).resume(ck, &phases, 4);
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_the_uninterrupted_result() {
+        let jobs: Vec<SweepJob> = platforms::all()
+            .into_iter()
+            .flat_map(|m| {
+                [16usize, 64].into_iter().map(move |procs| {
+                    SweepJob::new(m.clone(), vec![lbmhd_like(), blas3_like()], procs)
+                })
+            })
+            .collect();
+        let uninterrupted: Vec<String> = run_sweep_threads(jobs.clone(), 8)
+            .iter()
+            .map(fingerprint)
+            .collect();
+
+        for threads in [1usize, 8] {
+            // "Kill" the sweep after 4 cells: only their results survive,
+            // through the serialized checkpoint, as a crashed driver
+            // would have left them on disk.
+            let mut ck = SweepCheckpoint::new(jobs.len());
+            for (i, job) in jobs.iter().take(4).enumerate() {
+                ck.record(i, Engine::new(job.machine.clone()).run(&job.phases, job.procs));
+            }
+            let mut ck = SweepCheckpoint::parse(&ck.serialize()).expect("round trip");
+            assert_eq!(ck.completed(), 4);
+            let resumed: Vec<String> = run_sweep_resumed(jobs.clone(), threads, &mut ck)
+                .iter()
+                .map(fingerprint)
+                .collect();
+            assert_eq!(uninterrupted, resumed, "threads={threads}");
+            assert!(ck.is_complete());
+        }
     }
 
     #[test]

@@ -44,6 +44,8 @@
 //! assert!(es.gflops_per_p > 10.0 * p3.gflops_per_p);
 //! ```
 
+pub mod adversity;
+pub mod checkpoint;
 pub mod engine;
 pub mod kernel;
 pub mod machine;
@@ -53,7 +55,9 @@ pub mod pool;
 pub mod report;
 pub mod rng;
 
-pub use engine::{run_sweep, run_sweep_threads, Engine, SweepJob};
+pub use adversity::Adversity;
+pub use checkpoint::{RunCheckpoint, SweepCheckpoint};
+pub use engine::{run_sweep, run_sweep_resumed, run_sweep_threads, Engine, RunOutcome, SweepJob};
 pub use kernel::{KernelDescriptor, MachineKind, StaticPrediction};
 pub use machine::{CpuClass, Machine};
 pub use phase::{CommPattern, Phase, VectorizationInfo};

@@ -41,6 +41,13 @@ struct Shared {
     /// pop time (before the job runs), so once a batch has drained the
     /// sum equals the number of jobs submitted.
     worker_tasks: Vec<AtomicU64>,
+    /// Fault injection: worker `i` exits after claiming `retire_quota[i]`
+    /// tasks (`None` = immortal). Because the queue is shared, work a
+    /// retired worker would have claimed redistributes to the survivors
+    /// and `map` results are unchanged.
+    retire_quota: Vec<Option<u64>>,
+    /// Workers that have hit their quota and exited.
+    retired_workers: AtomicU64,
 }
 
 /// The pool. Dropping it drains outstanding jobs and joins the workers.
@@ -90,7 +97,28 @@ fn threads_from_env(raw: Option<&str>, host: usize) -> (usize, Option<String>) {
 impl ThreadPool {
     /// Spawn a pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
+        Self::with_retirements(threads, &[])
+    }
+
+    /// [`ThreadPool::new`] with deterministic worker-loss injection:
+    /// each `(worker, quota)` entry makes that worker exit after
+    /// claiming `quota` tasks (its final claim still runs to
+    /// completion). At least one worker must be left immortal so the
+    /// queue always drains; lost workers' unstarted share redistributes
+    /// through the shared queue, so [`ThreadPool::map`] output is
+    /// unchanged by the losses.
+    pub fn with_retirements(threads: usize, retirements: &[(usize, u64)]) -> Self {
         let threads = threads.max(1);
+        let mut retire_quota: Vec<Option<u64>> = vec![None; threads];
+        for &(worker, quota) in retirements {
+            assert!(worker < threads, "retirement for worker {worker} of {threads}");
+            assert!(quota >= 1, "a zero quota would strand a claimed task slot");
+            retire_quota[worker] = Some(quota);
+        }
+        assert!(
+            retire_quota.iter().any(Option::is_none),
+            "at least one worker must be immortal"
+        );
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -99,6 +127,8 @@ impl ThreadPool {
             }),
             work_ready: Condvar::new(),
             worker_tasks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            retire_quota,
+            retired_workers: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -106,6 +136,8 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("pvs-pool-{i}"))
                     .spawn(move || worker_loop(&shared, i))
+                    // INFALLIBLE: spawn fails only on OS thread exhaustion
+                    // at construction — there is no pool to degrade into.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -126,6 +158,8 @@ impl ThreadPool {
     /// worker survives); use [`ThreadPool::map`] when the caller needs the
     /// panic re-raised.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        // INFALLIBLE: jobs run under catch_unwind, so no thread panics
+        // while holding the queue lock; poisoning is unreachable.
         let mut q = self.shared.queue.lock().expect("pool lock");
         assert!(!q.shutdown, "spawn on a shut-down pool");
         q.jobs.push_back(Box::new(job));
@@ -138,6 +172,7 @@ impl ThreadPool {
     /// depth). Exact once outstanding batches have drained — e.g. right
     /// after [`ThreadPool::map`] returns.
     pub fn metrics(&self) -> PoolMetrics {
+        // INFALLIBLE: see `spawn` — queue-lock holders never panic.
         let peak_queue_depth = self.shared.queue.lock().expect("pool lock").peak_depth as u64;
         let per_worker_tasks: Vec<u64> = self
             .shared
@@ -149,6 +184,7 @@ impl ThreadPool {
             tasks_executed: per_worker_tasks.iter().sum(),
             peak_queue_depth,
             per_worker_tasks,
+            retired_workers: self.shared.retired_workers.load(Ordering::SeqCst),
         }
     }
 
@@ -193,6 +229,8 @@ impl ThreadPool {
             let f = Arc::clone(&f);
             self.spawn(move || {
                 let out = catch_unwind(AssertUnwindSafe(|| f(item)));
+                // INFALLIBLE: the user closure already ran (contained
+                // above); the bookkeeping below cannot panic.
                 let mut slots = batch.slots.lock().expect("batch lock");
                 slots.results[i] = Some(out);
                 slots.finished += 1;
@@ -201,8 +239,11 @@ impl ThreadPool {
                 }
             });
         }
+        // INFALLIBLE: batch-lock holders only do bookkeeping (user
+        // panics are contained by catch_unwind before the lock).
         let mut slots = batch.slots.lock().expect("batch lock");
         while slots.finished < n {
+            // INFALLIBLE: waiting repoisons only if a holder panicked.
             slots = batch.done.wait(slots).expect("batch wait");
         }
         let results = std::mem::take(&mut slots.results);
@@ -229,6 +270,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
+            // INFALLIBLE: see `spawn` — queue-lock holders never panic.
             let mut q = self.shared.queue.lock().expect("pool lock");
             q.shutdown = true;
         }
@@ -242,6 +284,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         let job = {
+            // INFALLIBLE: see `spawn` — queue-lock holders never panic.
             let mut q = shared.queue.lock().expect("pool lock");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
@@ -250,13 +293,31 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 if q.shutdown {
                     return;
                 }
+                // INFALLIBLE: waiting repoisons only on a panicked holder.
                 q = shared.work_ready.wait(q).expect("pool wait");
             }
         };
-        shared.worker_tasks[worker].fetch_add(1, Ordering::SeqCst);
-        // Contain panics so one bad task cannot take the worker down;
-        // `map` re-raises them on the submitting thread.
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        let claimed = shared.worker_tasks[worker].fetch_add(1, Ordering::SeqCst) + 1;
+        run_contained(job);
+        if shared.retire_quota[worker].is_some_and(|quota| claimed >= quota) {
+            // Injected worker loss: this worker dies here. Survivors may
+            // be asleep with work still queued, so re-kick them.
+            shared.retired_workers.fetch_add(1, Ordering::SeqCst);
+            shared.work_ready.notify_all();
+            return;
+        }
+    }
+}
+
+/// Run one job so that nothing it does can take the worker thread down.
+/// `catch_unwind` alone is not enough: dropping a caught panic payload
+/// runs the payload's own `Drop`, and if *that* panics the unwind would
+/// escape the loop, kill the worker, and strand every queued task (a
+/// deadlock in `map` at one worker). So the payload is dropped inside a
+/// second catch.
+fn run_contained(job: Job) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+        let _ = catch_unwind(AssertUnwindSafe(move || drop(payload)));
     }
 }
 
@@ -269,6 +330,9 @@ pub struct PoolMetrics {
     pub peak_queue_depth: u64,
     /// Tasks claimed per worker, indexed by worker id.
     pub per_worker_tasks: Vec<u64>,
+    /// Workers lost to injected retirement (always 0 without
+    /// [`ThreadPool::with_retirements`]).
+    pub retired_workers: u64,
 }
 
 impl PoolMetrics {
@@ -294,6 +358,11 @@ impl PoolMetrics {
         r.gauge_set("pool.threads", threads as u64);
         for (i, &t) in self.per_worker_tasks.iter().enumerate() {
             r.add(&format!("pool.worker.{i}.tasks"), t);
+        }
+        // Only present under fault injection, so healthy observability
+        // snapshots are unchanged.
+        if self.retired_workers > 0 {
+            r.add("pool.workers.retired", self.retired_workers);
         }
     }
 }
@@ -404,6 +473,99 @@ mod tests {
         }
         drop(pool); // drains the queue before joining
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    /// A panic payload whose own `Drop` panics — the nastiest thing a
+    /// task can throw at the pool. Quiet while another unwind is in
+    /// flight (a double panic would abort the process instead of
+    /// testing anything).
+    struct VolatilePayload;
+    impl Drop for VolatilePayload {
+        fn drop(&mut self) {
+            if !std::thread::panicking() {
+                panic!("payload drop exploded");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payload_drop_cannot_kill_the_worker() {
+        // Regression: dropping a caught panic payload runs the payload's
+        // Drop; before run_contained a panicking Drop escaped the catch,
+        // killed the worker, and stranded every queued task — at one
+        // worker, a permanent deadlock in map. Checked at the two
+        // PVS_THREADS settings the determinism suite pins.
+        for threads in [1usize, 8] {
+            let pool = ThreadPool::new(threads);
+            pool.spawn(|| std::panic::panic_any(VolatilePayload));
+            let out = pool.map((0..16u32).collect(), |x| x + 1);
+            assert_eq!(out, (1..=16u32).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_with_queue_nonempty_strands_no_tasks() {
+        // One worker, a grenade first in the queue, real work behind it:
+        // every queued task must still run and shutdown must not hang.
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.spawn(|| std::panic::panic_any(VolatilePayload));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn retired_workers_do_not_change_map_output() {
+        let expected: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(31) ^ 5).collect();
+        // All but worker 0 die after their first task; the shared queue
+        // hands their unstarted share to the survivors.
+        let lossy = ThreadPool::with_retirements(8, &[(1, 1), (2, 1), (3, 1), (4, 1), (5, 1), (6, 1), (7, 1)]);
+        let out = lossy.map((0..64u64).collect(), |i| i.wrapping_mul(31) ^ 5);
+        assert_eq!(out, expected);
+        let m = lossy.metrics();
+        assert_eq!(m.tasks_executed, 64);
+        for (i, &t) in m.per_worker_tasks.iter().enumerate().skip(1) {
+            assert!(t <= 1, "worker {i} claimed {t} past its quota");
+        }
+        assert!(m.retired_workers <= 7);
+        // The pool keeps serving on the immortal worker afterwards.
+        assert_eq!(lossy.map(vec![10u64, 20], |x| x + 1), vec![11, 21]);
+    }
+
+    #[test]
+    fn retirements_with_shutdown_strand_nothing() {
+        let pool = ThreadPool::with_retirements(2, &[(1, 1)]);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..24 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker must be immortal")]
+    fn total_worker_loss_is_rejected() {
+        let _ = ThreadPool::with_retirements(1, &[(0, 5)]);
+    }
+
+    #[test]
+    fn retirement_counter_reported_only_under_loss() {
+        let healthy = ThreadPool::new(2);
+        healthy.map((0..8u32).collect(), |x| x);
+        let reg = pvs_obs::Registry::new();
+        healthy.record_to(&reg);
+        assert_eq!(reg.counter("pool.workers.retired"), 0);
+        assert_eq!(healthy.metrics().retired_workers, 0);
     }
 
     #[test]

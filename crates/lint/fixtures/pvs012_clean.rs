@@ -1,0 +1,32 @@
+//! PVS012 clean fixture: Result errors handled, justified, or out of
+//! scope — no findings.
+
+fn handled(shared: &std::sync::Mutex<Vec<f64>>) -> usize {
+    match shared.lock() {
+        Ok(q) => q.len(),
+        Err(poisoned) => poisoned.into_inner().len(),
+    }
+}
+
+fn propagated(tx: &std::sync::mpsc::Sender<f64>) -> Result<(), String> {
+    tx.send(1.0).map_err(|e| e.to_string())
+}
+
+fn justified(shared: &std::sync::Mutex<u64>) -> u64 {
+    // INFALLIBLE: the only other holder never panics while locked.
+    *shared.lock().expect("state lock")
+}
+
+fn option_unwrap_is_not_this_lint(v: &[f64]) -> f64 {
+    *v.first().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

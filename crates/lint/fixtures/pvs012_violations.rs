@@ -1,0 +1,42 @@
+//! PVS012 fixture: `unwrap`/`expect` on Results in simulator library
+//! code. Every Result-producing chain below must be flagged; the
+//! justified and Option cases must not.
+
+fn locked_len(shared: &std::sync::Mutex<Vec<f64>>) -> usize {
+    let q = shared.lock().unwrap();
+    q.len()
+}
+
+fn fire_and_forget(tx: &std::sync::mpsc::Sender<f64>) {
+    tx.send(1.0).expect("receiver alive");
+}
+
+fn chained_receive(rx: &std::sync::mpsc::Receiver<f64>) -> f64 {
+    rx
+        .recv()
+        .expect("senders alive")
+}
+
+fn reap(handle: std::thread::JoinHandle<u64>) -> u64 {
+    handle.join().unwrap()
+}
+
+fn justified(shared: &std::sync::Mutex<u64>) -> u64 {
+    // INFALLIBLE: poisoning requires a panicked holder, and worker
+    // panics already abort the run before this lock is retaken.
+    *shared.lock().expect("state lock")
+}
+
+fn options_are_out_of_scope(v: &[f64]) -> f64 {
+    *v.first().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

@@ -59,11 +59,13 @@ pub enum LintCode {
     /// Recorder counter/gauge name literal is not lowercase
     /// `snake.dotted`.
     Pvs011,
+    /// `unwrap()`/`expect()` on a `Result` in simulator library code.
+    Pvs012,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub fn all() -> [LintCode; 11] {
+    pub fn all() -> [LintCode; 12] {
         [
             LintCode::Pvs001,
             LintCode::Pvs002,
@@ -76,6 +78,7 @@ impl LintCode {
             LintCode::Pvs009,
             LintCode::Pvs010,
             LintCode::Pvs011,
+            LintCode::Pvs012,
         ]
     }
 
@@ -93,6 +96,7 @@ impl LintCode {
             LintCode::Pvs009 => "PVS009",
             LintCode::Pvs010 => "PVS010",
             LintCode::Pvs011 => "PVS011",
+            LintCode::Pvs012 => "PVS012",
         }
     }
 
@@ -124,6 +128,7 @@ impl LintCode {
             LintCode::Pvs009 => "kernel static VOR prediction diverges from the dynamic model",
             LintCode::Pvs010 => "kernel predicted AVL below half the hardware vector length",
             LintCode::Pvs011 => "recorder counter name literal is not lowercase `snake.dotted`",
+            LintCode::Pvs012 => "`unwrap()`/`expect()` on a Result in simulator library code",
         }
     }
 
@@ -246,6 +251,24 @@ impl LintCode {
                  (`engine.loop.cycles`, `netsim.bisection_bytes`): at least\n\
                  two segments of `[a-z0-9_]+` separated by dots. Dynamically\n\
                  built names (`format!`) are not checked."
+            }
+            LintCode::Pvs012 => {
+                "PVS012: `unwrap()`/`expect()` on a Result in simulator library code.\n\
+                 \n\
+                 The fault-injection layer (`pvs-fault`, `pvs_mpisim::fault`,\n\
+                 `Adversity`) deliberately drives the simulators into degraded\n\
+                 states, so an \"impossible\" error in simulator library code is\n\
+                 now an input, not a bug — a stray `.unwrap()` turns a modelled\n\
+                 fault into a process abort. In the simulator crates (core,\n\
+                 memsim, netsim, vectorsim, mpisim, obs, fault), library code\n\
+                 must handle Result errors or justify the infallibility with a\n\
+                 `// INFALLIBLE:` comment on the same line or the three lines\n\
+                 above. Test code (`#[cfg(test)]` modules, integration tests)\n\
+                 and build scripts are exempt, and Option `unwrap`/`expect` is\n\
+                 out of scope. The pass is heuristic: it fires only when the\n\
+                 call chain ends in a known Result-producing call (`lock()`,\n\
+                 `recv()`, `send(..)`, `join()`, `wait(..)`, `spawn(..)`,\n\
+                 `parse()`, ...), so it cannot misfire on Option accessors."
             }
         }
     }

@@ -1,4 +1,5 @@
-//! Invariant lints over scanned source files (PVS003–PVS007, PVS011).
+//! Invariant lints over scanned source files (PVS003–PVS007, PVS011,
+//! PVS012).
 //!
 //! Each pass is a heuristic over the comment/string-stripped code channel
 //! of [`crate::scan`], tuned to this workspace's idiom and pinned by the
@@ -32,6 +33,7 @@ pub fn check_source(ctx: SourceContext<'_>, text: &str) -> Vec<Diagnostic> {
     pass_allow_escape_hatches(&ctx, &lines, &mut out);
     let raw_lines: Vec<&str> = text.lines().collect();
     pass_counter_names(&ctx, &raw_lines, &lines, &mut out);
+    pass_result_unwraps(&ctx, &lines, &mut out);
     out
 }
 
@@ -410,6 +412,101 @@ fn pass_counter_names(
     }
 }
 
+/// The crates whose library code PVS012 covers: the simulators the
+/// fault-injection layer drives into degraded states (plus "fixture",
+/// the crate name the golden-fixture driver scans under). Application
+/// and harness crates stay out of scope — their errors are programmer
+/// bugs, not modelled faults.
+const PVS012_CRATES: [&str; 8] = [
+    "core", "memsim", "netsim", "vectorsim", "mpisim", "obs", "fault", "fixture",
+];
+
+/// Call suffixes that produce a `Result` in this std-only workspace.
+/// PVS012 fires only when the `unwrap`/`expect` chain ends in one of
+/// these, so Option accessors (`first()`, `get()`, `max_by()`, ...)
+/// can never trip it.
+const RESULT_MARKERS: [&str; 13] = [
+    ".lock()",
+    ".read()",
+    ".write()",
+    ".join()",
+    ".wait(",
+    ".recv()",
+    ".try_recv()",
+    ".recv_timeout(",
+    ".send(",
+    ".spawn(",
+    ".parse()",
+    ".parse::<",
+    "from_utf8(",
+];
+
+/// How many lines above an `unwrap`/`expect` a `// INFALLIBLE:`
+/// justification may sit (mirrors the PVS004 `// SAFETY:` window).
+const INFALLIBLE_COMMENT_WINDOW: usize = 3;
+
+/// PVS012: `unwrap()`/`expect()` on a Result in simulator library code.
+/// The fault layer makes simulator errors *inputs*, so panicking on one
+/// turns a modelled fault into a process abort. Test modules are exempt
+/// (`#[cfg(test)]` to end of file — the workspace keeps tests last);
+/// `// INFALLIBLE:` justifies a genuinely unreachable error path. The
+/// chain may continue across lines: a line starting with `.` extends
+/// the two lines above it.
+fn pass_result_unwraps(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut Vec<Diagnostic>) {
+    if !PVS012_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let cutoff = lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    for (idx, line) in lines.iter().enumerate().take(cutoff) {
+        let code = &line.code;
+        if !code.contains(".unwrap()") && !code.contains(".expect(") {
+            continue;
+        }
+        // The statement window: this line, plus — when the line is a
+        // method-chain continuation — the lines back to the end of the
+        // previous statement (a multi-line struct-literal argument keeps
+        // `.send(..)` far above its `.expect(..)`), bounded to stay local.
+        let mut window_start = idx;
+        if code.trim_start().starts_with('.') {
+            for back in 1..=8 {
+                let Some(prev_idx) = idx.checked_sub(back) else {
+                    break;
+                };
+                window_start = prev_idx;
+                let prev = lines[prev_idx].code.trim();
+                if prev.ends_with(';') || prev.ends_with('}') {
+                    break;
+                }
+            }
+        }
+        let marker = lines[window_start..=idx]
+            .iter()
+            .find_map(|l| RESULT_MARKERS.iter().find(|m| l.code.contains(**m)));
+        let Some(marker) = marker else {
+            continue;
+        };
+        let justified = lines[idx.saturating_sub(INFALLIBLE_COMMENT_WINDOW)..=idx]
+            .iter()
+            .any(|l| l.comment.contains("INFALLIBLE:"));
+        if !justified {
+            out.push(Diagnostic::new(
+                LintCode::Pvs012,
+                ctx.path,
+                idx + 1,
+                format!(
+                    "`unwrap`/`expect` on the Result of `{}` in simulator \
+                     library code — handle the error (faults make it \
+                     reachable) or justify with `// INFALLIBLE:`",
+                    marker.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_'),
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +646,48 @@ mod tests {
                    r.add(&format!(\"pool.worker.{i}.tasks\"), 1);\n\
                    r.add(name, 1);\n";
         assert!(check("core", src).is_empty());
+    }
+
+    #[test]
+    fn result_unwraps_flagged_in_simulator_crates_only() {
+        let src = "let q = shared.lock().unwrap();\n";
+        assert_eq!(codes(&check("core", src)), vec![("PVS012", 1)]);
+        assert_eq!(codes(&check("mpisim", src)), vec![("PVS012", 1)]);
+        assert!(check("bench", src).is_empty());
+        assert!(check("lbmhd", src).is_empty());
+    }
+
+    #[test]
+    fn result_unwrap_chain_continuations_are_tracked() {
+        let src = "self.senders[dst]\n\
+                   .send(pkt)\n\
+                   .expect(\"receiver alive\");\n";
+        assert_eq!(codes(&check("mpisim", src)), vec![("PVS012", 3)]);
+    }
+
+    #[test]
+    fn option_unwraps_are_out_of_scope() {
+        let src = "let x = v.first().expect(\"nonempty\");\n\
+                   let y = m.get(&k).unwrap();\n\
+                   let (xd, yd) = self.torus_dims.expect(\"torus dims\");\n";
+        assert!(check("netsim", src).is_empty());
+    }
+
+    #[test]
+    fn infallible_comment_and_test_modules_are_exempt() {
+        let justified = "// INFALLIBLE: poisoning needs a panicked holder\n\
+                         let q = shared.lock().expect(\"pool lock\");\n";
+        assert!(check("core", justified).is_empty());
+        let in_tests = "fn lib() {}\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n\
+                            fn t() { tx.send(1).unwrap(); }\n\
+                        }\n";
+        assert!(check("core", in_tests).is_empty());
+        let before_tests = "fn lib() { tx.send(1).unwrap(); }\n\
+                            #[cfg(test)]\n\
+                            mod tests {}\n";
+        assert_eq!(codes(&check("core", before_tests)), vec![("PVS012", 1)]);
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn assert_matches_golden(fixture: &str) {
     );
 }
 
-const VIOLATION_FIXTURES: [&str; 8] = [
+const VIOLATION_FIXTURES: [&str; 9] = [
     "pvs001_violations.toml",
     "pvs002_violations.lock",
     "pvs003_violations.rs",
@@ -69,9 +69,10 @@ const VIOLATION_FIXTURES: [&str; 8] = [
     "pvs006_violations.rs",
     "pvs007_violations.rs",
     "pvs011_violations.rs",
+    "pvs012_violations.rs",
 ];
 
-const CLEAN_FIXTURES: [&str; 8] = [
+const CLEAN_FIXTURES: [&str; 9] = [
     "pvs001_clean.toml",
     "pvs002_clean.lock",
     "pvs003_clean.rs",
@@ -80,6 +81,7 @@ const CLEAN_FIXTURES: [&str; 8] = [
     "pvs006_clean.rs",
     "pvs007_clean.rs",
     "pvs011_clean.rs",
+    "pvs012_clean.rs",
 ];
 
 #[test]

@@ -48,6 +48,13 @@ pub struct BankedMemory {
     /// `duplicate` pragma model): accesses rotate across `dup` images.
     dup: usize,
     dup_rr: usize,
+    /// Banks mapped out by fault injection: accesses that land on a failed
+    /// bank are redirected to the next surviving bank, degrading the
+    /// interleave and forcing the conflict-heavy fallback path.
+    failed: Vec<bool>,
+    failed_banks: usize,
+    /// Element accesses that hit a failed bank and were remapped.
+    pub remapped_accesses: u64,
 }
 
 impl BankedMemory {
@@ -62,7 +69,30 @@ impl BankedMemory {
             stall_cycles: 0,
             dup: 1,
             dup_rr: 0,
+            failed: vec![false; config.num_banks],
+            failed_banks: 0,
+            remapped_accesses: 0,
         }
+    }
+
+    /// Mark one bank as failed: the hardware maps it out and its share of
+    /// the interleave piles onto the next surviving bank. At least one
+    /// bank must survive.
+    pub fn fail_bank(&mut self, bank: usize) {
+        assert!(bank < self.config.num_banks, "bank {bank} out of range");
+        if !self.failed[bank] {
+            self.failed[bank] = true;
+            self.failed_banks += 1;
+        }
+        assert!(
+            self.failed_banks < self.config.num_banks,
+            "at least one bank must survive"
+        );
+    }
+
+    /// Number of banks currently mapped out.
+    pub fn failed_bank_count(&self) -> usize {
+        self.failed_banks
     }
 
     /// Model the compiler's `duplicate` directive: create `copies` images of
@@ -84,7 +114,14 @@ impl BankedMemory {
         } else {
             0
         };
-        ((word + img) % self.config.num_banks as u64) as usize
+        let mut bank = ((word + img) % self.config.num_banks as u64) as usize;
+        if self.failed_banks > 0 && self.failed[bank] {
+            self.remapped_accesses += 1;
+            while self.failed[bank] {
+                bank = (bank + 1) % self.config.num_banks;
+            }
+        }
+        bank
     }
 
     /// Issue one element access at the current clock; advances the clock by
@@ -145,14 +182,20 @@ impl BankedMemory {
     pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
         r.add("memsim.bank.accesses", self.accesses);
         r.add("memsim.bank.stall_cycles", self.stall_cycles);
+        if self.failed_banks > 0 {
+            r.add("memsim.bank.failed_banks", self.failed_banks as u64);
+            r.add("memsim.bank.remapped_accesses", self.remapped_accesses);
+        }
     }
 
-    /// Reset banks and statistics (keeps the duplication setting).
+    /// Reset banks and statistics (keeps the duplication setting and any
+    /// injected bank faults — the hardware stays broken across phases).
     pub fn reset(&mut self) {
         self.busy_until.iter_mut().for_each(|b| *b = 0);
         self.clock = 0;
         self.accesses = 0;
         self.stall_cycles = 0;
+        self.remapped_accesses = 0;
     }
 
     /// The configured geometry.
@@ -275,6 +318,66 @@ mod tests {
         let idx: Vec<usize> = (0..2048usize).map(|i| (i * 2654435761) % 100_000).collect();
         m.gather(0, &idx);
         assert!(m.efficiency() > 0.8, "eff {}", m.efficiency());
+    }
+
+    #[test]
+    fn failed_bank_forces_conflict_fallback() {
+        let mut healthy = mem();
+        assert_eq!(healthy.strided_access(0, 1024, 1), 0);
+        let mut broken = mem();
+        broken.fail_bank(0);
+        let stalls = broken.strided_access(0, 1024, 1);
+        assert!(stalls > 0, "remapped bank 0 must collide with bank 1");
+        assert!(broken.efficiency() < healthy.efficiency());
+        assert!(broken.remapped_accesses > 0);
+        assert_eq!(broken.failed_bank_count(), 1);
+    }
+
+    #[test]
+    fn zero_faults_leave_behaviour_bitwise_identical() {
+        let idx: Vec<usize> = (0..1024usize).map(|i| (i * 2654435761) % 9973).collect();
+        let mut a = mem();
+        let mut b = mem();
+        let sa = a.gather(0, &idx);
+        let sb = b.gather(0, &idx);
+        assert_eq!(sa, sb);
+        assert_eq!(a.remapped_accesses, 0);
+        assert_eq!(a.failed_bank_count(), 0);
+    }
+
+    #[test]
+    fn faulted_counters_are_exported() {
+        let mut m = mem();
+        m.fail_bank(3);
+        m.strided_access(0, 256, 1);
+        let reg = pvs_obs::Registry::new();
+        m.record_to(&reg);
+        assert_eq!(reg.counter("memsim.bank.failed_banks"), 1);
+        assert!(reg.counter("memsim.bank.remapped_accesses") > 0);
+    }
+
+    #[test]
+    fn reset_keeps_injected_faults() {
+        let mut m = mem();
+        m.fail_bank(0);
+        m.strided_access(0, 64, 1);
+        m.reset();
+        assert_eq!(m.remapped_accesses, 0);
+        assert_eq!(m.failed_bank_count(), 1);
+        m.access(0);
+        assert_eq!(m.remapped_accesses, 1, "bank 0 is still mapped out");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank must survive")]
+    fn last_bank_cannot_fail() {
+        let mut m = BankedMemory::new(BankConfig {
+            num_banks: 2,
+            bank_cycle: 8,
+            word_bytes: 8,
+        });
+        m.fail_bank(0);
+        m.fail_bank(1);
     }
 
     #[test]

@@ -66,24 +66,30 @@ impl CoArray {
     /// One-sided put: write `data` into image `image`'s window starting at
     /// `offset` (co-array remote assignment `a(off:off+n)[image] = data`).
     pub fn put(&self, image: usize, offset: usize, data: &[f64]) {
+        // INFALLIBLE: window holders only copy slices; they cannot panic
+        // while locked, so poisoning is unreachable.
         let mut w = self.windows[image].write().expect("window lock");
         w[offset..offset + data.len()].copy_from_slice(data);
     }
 
     /// One-sided get: read `len` elements from image `image` at `offset`.
     pub fn get(&self, image: usize, offset: usize, len: usize) -> Vec<f64> {
+        // INFALLIBLE: see `put` — window holders never panic.
         let w = self.windows[image].read().expect("window lock");
         w[offset..offset + len].to_vec()
     }
 
     /// Read-modify access to the local window.
     pub fn local_mut<R>(&self, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        // INFALLIBLE: a panicking user closure aborts the whole rank
+        // before any other image can observe the poison.
         let mut w = self.windows[self.rank].write().expect("window lock");
         f(&mut w)
     }
 
     /// Read access to the local window.
     pub fn local<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        // INFALLIBLE: see `local_mut`.
         let w = self.windows[self.rank].read().expect("window lock");
         f(&w)
     }

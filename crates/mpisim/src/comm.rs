@@ -11,6 +11,11 @@ pub(crate) enum Payload {
     Data(Vec<f64>),
     /// A shared window handle, used once during co-array creation.
     Window(Arc<RwLock<Vec<f64>>>),
+    /// Tombstone for a message whose every send attempt was dropped by
+    /// fault injection: carries the sender's simulated expiry time so the
+    /// receiver observes the timeout instead of blocking forever (see
+    /// [`crate::fault`]).
+    Lost { expired_at_ps: u64 },
 }
 
 #[derive(Debug, Clone)]
@@ -52,6 +57,22 @@ pub struct Comm {
 }
 
 impl Comm {
+    pub(crate) fn endpoint(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Packet>>,
+        receiver: Receiver<Packet>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: VecDeque::new(),
+            stats: CommStats::default(),
+        }
+    }
+
     /// This rank's id in `[0, size)`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -77,6 +98,8 @@ impl Comm {
                 tag,
                 payload: Payload::Data(data),
             })
+            // INFALLIBLE: receivers outlive every sender (failed
+            // ranks' receivers are parked, not dropped, in run_faulty).
             .expect("receiver alive");
     }
 
@@ -91,15 +114,17 @@ impl Comm {
         {
             match self.pending.remove(pos).expect("index valid").payload {
                 Payload::Data(d) => return d,
-                Payload::Window(_) => unreachable!(),
+                _ => unreachable!(),
             }
         }
         loop {
+            // INFALLIBLE: every peer holds a sender for this rank until
+            // the scope ends, so the channel cannot disconnect mid-run.
             let p = self.receiver.recv().expect("senders alive");
             if p.src == src && p.tag == tag {
                 match p.payload {
                     Payload::Data(d) => return d,
-                    Payload::Window(_) => {
+                    _ => {
                         self.pending.push_back(p);
                         continue;
                     }
@@ -109,6 +134,54 @@ impl Comm {
         }
     }
 
+    /// Faulty-mode receive: matches either a data packet or a loss
+    /// tombstone for `(src, tag)`, whichever the sender emitted. `Err`
+    /// carries the sender's simulated expiry time in picoseconds.
+    pub(crate) fn recv_or_lost(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, u64> {
+        if let Some(pos) = self.pending.iter().position(|p| {
+            p.src == src
+                && p.tag == tag
+                && matches!(p.payload, Payload::Data(_) | Payload::Lost { .. })
+        }) {
+            match self.pending.remove(pos).expect("index valid").payload {
+                Payload::Data(d) => return Ok(d),
+                Payload::Lost { expired_at_ps } => return Err(expired_at_ps),
+                _ => unreachable!(),
+            }
+        }
+        loop {
+            // INFALLIBLE: every peer holds a sender for this rank until
+            // the scope ends, so the channel cannot disconnect mid-run.
+            let p = self.receiver.recv().expect("senders alive");
+            if p.src == src && p.tag == tag {
+                match p.payload {
+                    Payload::Data(d) => return Ok(d),
+                    Payload::Lost { expired_at_ps } => return Err(expired_at_ps),
+                    _ => {
+                        self.pending.push_back(p);
+                        continue;
+                    }
+                }
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    /// Deliver a loss tombstone in place of a message whose every attempt
+    /// was dropped, so the receiver's faulty-mode receive unblocks with a
+    /// timeout instead of deadlocking.
+    pub(crate) fn send_lost(&mut self, dst: usize, tag: u64, expired_at_ps: u64) {
+        self.senders[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload: Payload::Lost { expired_at_ps },
+            })
+            // INFALLIBLE: receivers outlive every sender (failed
+            // ranks' receivers are parked, not dropped, in run_faulty).
+            .expect("receiver alive");
+    }
+
     pub(crate) fn send_window(&mut self, dst: usize, tag: u64, w: Arc<RwLock<Vec<f64>>>) {
         self.senders[dst]
             .send(Packet {
@@ -116,6 +189,8 @@ impl Comm {
                 tag,
                 payload: Payload::Window(w),
             })
+            // INFALLIBLE: receivers outlive every sender (failed
+            // ranks' receivers are parked, not dropped, in run_faulty).
             .expect("receiver alive");
     }
 
@@ -127,15 +202,17 @@ impl Comm {
         {
             match self.pending.remove(pos).expect("index valid").payload {
                 Payload::Window(w) => return w,
-                Payload::Data(_) => unreachable!(),
+                _ => unreachable!(),
             }
         }
         loop {
+            // INFALLIBLE: every peer holds a sender for this rank until
+            // the scope ends, so the channel cannot disconnect mid-run.
             let p = self.receiver.recv().expect("senders alive");
             if p.src == src && p.tag == tag {
                 match p.payload {
                     Payload::Window(w) => return w,
-                    Payload::Data(_) => {
+                    _ => {
                         self.pending.push_back(p);
                         continue;
                     }
@@ -303,19 +380,13 @@ where
         let mut handles = Vec::with_capacity(nranks);
         for (rank, receiver) in receivers.into_iter().enumerate() {
             handles.push(scope.spawn(move || {
-                let comm = Comm {
-                    rank,
-                    size: nranks,
-                    senders: senders.clone(),
-                    receiver,
-                    pending: VecDeque::new(),
-                    stats: CommStats::default(),
-                };
-                f(comm)
+                f(Comm::endpoint(rank, nranks, senders.clone(), receiver))
             }));
         }
         handles
             .into_iter()
+            // INFALLIBLE: a panicked rank is a programming error in the
+            // rank closure; re-raising it here is the intended behaviour.
             .map(|h| h.join().expect("rank panicked"))
             .collect()
     })
@@ -469,6 +540,34 @@ mod tests {
         assert_eq!(results[0].messages_sent, 1);
         assert_eq!(results[0].bytes_sent, 800);
         assert_eq!(results[1].messages_sent, 0);
+    }
+
+    #[test]
+    fn zero_length_collectives() {
+        // Zero-byte payloads flow through every collective unharmed.
+        let results = run(3, |mut c| {
+            let summed = c.allreduce_sum(&[]);
+            let cast = c.broadcast(1, Vec::new());
+            let swapped = c.alltoallv(vec![Vec::new(); 3]);
+            (summed.len(), cast.len(), swapped.iter().map(Vec::len).sum::<usize>())
+        });
+        for r in results {
+            assert_eq!(r, (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identities() {
+        let results = run(1, |mut c| {
+            let gathered = c.allgather(&[7.0]);
+            let swapped = c.alltoallv(vec![vec![1.5]]);
+            let cast = c.broadcast(0, vec![2.0]);
+            (gathered, swapped, cast)
+        });
+        assert_eq!(
+            results[0],
+            (vec![vec![7.0]], vec![vec![1.5]], vec![2.0])
+        );
     }
 
     #[test]

@@ -1,0 +1,704 @@
+//! Deterministic message-level fault injection for the runtime.
+//!
+//! The SC 2004 machines were shared production systems; runs routinely
+//! saw degraded interconnects and node loss. This module lets the
+//! reproduction rehearse those conditions *deterministically*: every
+//! fault decision is a pure function of a [`FaultSpec`] seed and the
+//! message coordinates `(src, dst, tag, attempt)`, and every cost is
+//! charged in **simulated picoseconds** — no host clocks, so the
+//! determinism lint (PVS003) holds and the same seed reproduces the same
+//! degraded run bit-for-bit at any host thread count.
+//!
+//! Three fault kinds are modelled:
+//!
+//! * **Message drop** — a send attempt is lost with probability
+//!   `drop_per_mille / 1000`. The sender retries with exponential
+//!   backoff (`base_backoff_ps << attempt`); after `max_attempts` losses
+//!   it gives up, charges the accumulated backoff to its simulated
+//!   clock, and delivers a loss *tombstone* so the receiver observes
+//!   [`FaultError::Timeout`] instead of deadlocking.
+//! * **Message delay** — a delivered message is late with probability
+//!   `delay_per_mille / 1000`, charging `delay_ps` to the sender's
+//!   simulated clock.
+//! * **Rank failure** — ranks in `failed_ranks` never execute. Their
+//!   channel endpoints stay open as blackholes, sends toward them fail
+//!   fast with [`FaultError::RankFailed`], and the survivor-only
+//!   collectives ([`FaultyComm::allreduce_sum`], [`FaultyComm::barrier`])
+//!   run over the remaining ranks.
+//!
+//! Retry/drop/timeout counters accumulate in [`FaultStats`] per rank and
+//! report into `pvs-obs` via [`FaultStats::record_to`].
+
+use crate::comm::{Comm, CommStats};
+use pvs_core::SplitMix64;
+use std::sync::mpsc::channel;
+
+/// What to break, and how hard. Healthy by default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for every drop/delay decision. Two runs with equal specs make
+    /// identical decisions for identical message coordinates.
+    pub seed: u64,
+    /// Probability (out of 1000) that one send attempt is lost.
+    pub drop_per_mille: u32,
+    /// Probability (out of 1000) that a delivered message is delayed.
+    pub delay_per_mille: u32,
+    /// Simulated picoseconds charged per delayed message.
+    pub delay_ps: u64,
+    /// Send attempts before the sender declares a timeout (>= 1).
+    pub max_attempts: u32,
+    /// Simulated backoff after the first lost attempt; doubles per retry.
+    pub base_backoff_ps: u64,
+    /// Ranks that have failed and never execute.
+    pub failed_ranks: Vec<usize>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            delay_ps: 50_000_000, // 50 µs: one software-stack traversal
+            max_attempts: 4,
+            base_backoff_ps: 1_000_000_000, // 1 ms
+            failed_ranks: Vec::new(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Nothing is broken.
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// Whether this spec injects anything at all.
+    pub fn is_healthy(&self) -> bool {
+        self.drop_per_mille == 0 && self.delay_per_mille == 0 && self.failed_ranks.is_empty()
+    }
+
+    /// Set the decision seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Lose each send attempt with probability `per_mille / 1000`.
+    pub fn drop_per_mille(mut self, per_mille: u32) -> Self {
+        assert!(per_mille <= 1000, "probability is out of 1000");
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Delay each delivered message with probability `per_mille / 1000`.
+    pub fn delay_per_mille(mut self, per_mille: u32) -> Self {
+        assert!(per_mille <= 1000, "probability is out of 1000");
+        self.delay_per_mille = per_mille;
+        self
+    }
+
+    /// Mark a rank as failed.
+    pub fn fail_rank(mut self, rank: usize) -> Self {
+        if !self.failed_ranks.contains(&rank) {
+            self.failed_ranks.push(rank);
+        }
+        self
+    }
+}
+
+/// Per-rank fault accounting. Times are simulated picoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages actually delivered (successful attempts).
+    pub delivered: u64,
+    /// Send attempts lost to injected drops.
+    pub drops: u64,
+    /// Re-send attempts made after a loss.
+    pub retries: u64,
+    /// Delivered messages that were delayed.
+    pub delays: u64,
+    /// Sends abandoned after `max_attempts` losses.
+    pub timeouts: u64,
+    /// Total simulated backoff charged while retrying.
+    pub backoff_ps: u64,
+    /// Total simulated delay charged to late messages.
+    pub delay_ps: u64,
+}
+
+impl FaultStats {
+    /// Fold another rank's accounting into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.delivered += other.delivered;
+        self.drops += other.drops;
+        self.retries += other.retries;
+        self.delays += other.delays;
+        self.timeouts += other.timeouts;
+        self.backoff_ps += other.backoff_ps;
+        self.delay_ps += other.delay_ps;
+    }
+
+    /// Report the retry/drop/timeout counters into a [`pvs_obs::Recorder`]
+    /// under the `mpisim.fault.*` namespace. Counters that are zero are
+    /// omitted so healthy runs keep a fault-free snapshot.
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        for (name, value) in [
+            ("mpisim.fault.delivered", self.delivered),
+            ("mpisim.fault.drops", self.drops),
+            ("mpisim.fault.retries", self.retries),
+            ("mpisim.fault.delays", self.delays),
+            ("mpisim.fault.timeouts", self.timeouts),
+            ("mpisim.fault.backoff_ps", self.backoff_ps),
+            ("mpisim.fault.delay_ps", self.delay_ps),
+        ] {
+            if value > 0 {
+                r.add(name, value);
+            }
+        }
+    }
+}
+
+/// Why a faulty-mode operation did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// The peer is in the failed set; no traffic can reach it.
+    RankFailed {
+        /// The failed peer.
+        rank: usize,
+    },
+    /// Every send attempt for one message was dropped.
+    Timeout {
+        /// The other end of the abandoned message.
+        peer: usize,
+        /// The message tag.
+        tag: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The sender's simulated clock when it gave up — deterministic,
+        /// so timeout *ordering* is reproducible across runs.
+        expired_at_ps: u64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::RankFailed { rank } => write!(f, "rank {rank} has failed"),
+            FaultError::Timeout {
+                peer,
+                tag,
+                attempts,
+                expired_at_ps,
+            } => write!(
+                f,
+                "message to/from rank {peer} tag {tag} timed out after \
+                 {attempts} attempts at t={expired_at_ps} ps"
+            ),
+        }
+    }
+}
+
+/// A rank endpoint with fault injection on every send.
+///
+/// Wraps the healthy [`Comm`]; all decisions are deterministic functions
+/// of the [`FaultSpec`] and the message coordinates.
+pub struct FaultyComm {
+    inner: Comm,
+    spec: FaultSpec,
+    stats: FaultStats,
+    clock_ps: u64,
+}
+
+impl FaultyComm {
+    /// This rank's id in `[0, size)`.
+    pub fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    /// Number of ranks, failed ones included.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// Whether `rank` is still executing.
+    pub fn alive(&self, rank: usize) -> bool {
+        !self.spec.failed_ranks.contains(&rank)
+    }
+
+    /// The surviving ranks, in rank order.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&r| self.alive(r)).collect()
+    }
+
+    /// Fault accounting so far for this rank.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Healthy-layer traffic statistics (delivered messages only).
+    pub fn comm_stats(&self) -> CommStats {
+        self.inner.stats()
+    }
+
+    /// This rank's simulated clock: total backoff + delay charged so far.
+    pub fn clock_ps(&self) -> u64 {
+        self.clock_ps
+    }
+
+    /// One deterministic per-mille draw for a message coordinate. Seeded
+    /// hashing via [`SplitMix64`] so the decision depends on every field
+    /// but on no global state.
+    fn draw(&self, kind: u64, dst: usize, tag: u64, attempt: u32) -> u32 {
+        let mut h = SplitMix64::new(self.spec.seed ^ kind).next_u64();
+        for v in [
+            self.rank() as u64,
+            dst as u64,
+            tag,
+            attempt as u64,
+        ] {
+            h = SplitMix64::new(h ^ v).next_u64();
+        }
+        (h % 1000) as u32
+    }
+
+    fn attempt_lost(&self, dst: usize, tag: u64, attempt: u32) -> bool {
+        self.spec.drop_per_mille > 0
+            && self.draw(0xD209_D209, dst, tag, attempt) < self.spec.drop_per_mille
+    }
+
+    fn message_delayed(&self, dst: usize, tag: u64) -> bool {
+        self.spec.delay_per_mille > 0
+            && self.draw(0xDE1A_DE1A, dst, tag, 0) < self.spec.delay_per_mille
+    }
+
+    /// Send `data` to rank `dst`, retrying dropped attempts with
+    /// exponential backoff. On timeout a tombstone is delivered so the
+    /// receiver unblocks with the same [`FaultError::Timeout`].
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) -> Result<(), FaultError> {
+        if !self.alive(dst) {
+            return Err(FaultError::RankFailed { rank: dst });
+        }
+        // Loopback traffic never leaves the rank; it cannot be dropped.
+        let mut attempt = 0u32;
+        if dst != self.rank() {
+            while attempt < self.spec.max_attempts && self.attempt_lost(dst, tag, attempt) {
+                self.stats.drops += 1;
+                let backoff = self.spec.base_backoff_ps << attempt;
+                self.stats.backoff_ps += backoff;
+                self.clock_ps += backoff;
+                attempt += 1;
+            }
+            if attempt == self.spec.max_attempts {
+                self.stats.timeouts += 1;
+                self.inner.send_lost(dst, tag, self.clock_ps);
+                return Err(FaultError::Timeout {
+                    peer: dst,
+                    tag,
+                    attempts: attempt,
+                    expired_at_ps: self.clock_ps,
+                });
+            }
+            self.stats.retries += attempt as u64;
+            if self.message_delayed(dst, tag) {
+                self.stats.delays += 1;
+                self.stats.delay_ps += self.spec.delay_ps;
+                self.clock_ps += self.spec.delay_ps;
+            }
+        }
+        self.stats.delivered += 1;
+        self.inner.send(dst, tag, data);
+        Ok(())
+    }
+
+    /// Receive from `src`. Fails fast if `src` is dead; surfaces the
+    /// sender's timeout (with the sender's deterministic expiry time) if
+    /// every attempt of the matching message was dropped.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, FaultError> {
+        if !self.alive(src) {
+            return Err(FaultError::RankFailed { rank: src });
+        }
+        match self.inner.recv_or_lost(src, tag) {
+            Ok(d) => Ok(d),
+            Err(expired_at_ps) => Err(FaultError::Timeout {
+                peer: src,
+                tag,
+                attempts: self.spec.max_attempts,
+                expired_at_ps,
+            }),
+        }
+    }
+
+    /// Combined send + receive with the same partner.
+    pub fn sendrecv(&mut self, partner: usize, tag: u64, data: Vec<f64>) -> Result<Vec<f64>, FaultError> {
+        if partner == self.rank() {
+            return Ok(data);
+        }
+        self.send(partner, tag, data)?;
+        self.recv(partner, tag)
+    }
+
+    /// Index of this rank within the survivor list. Panics if called from
+    /// a failed rank — failed ranks never execute, so this is unreachable
+    /// under [`run_faulty`].
+    fn survivor_index(&self, survivors: &[usize]) -> usize {
+        survivors
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("collective called from a failed rank")
+    }
+
+    /// Dissemination barrier over the surviving ranks.
+    pub fn barrier(&mut self) -> Result<(), FaultError> {
+        let survivors = self.alive_ranks();
+        let n = survivors.len();
+        let me = self.survivor_index(&survivors);
+        let mut round = 0u64;
+        let mut dist = 1;
+        while dist < n {
+            let to = survivors[(me + dist) % n];
+            let from = survivors[(me + n - dist) % n];
+            self.send(to, 0xFA17_BA00 + round, Vec::new())?;
+            self.recv(from, 0xFA17_BA00 + round)?;
+            dist *= 2;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum allreduce over the surviving ranks (gather-to-all
+    /// ring, folding each survivor's contribution exactly once).
+    pub fn allreduce_sum(&mut self, data: &[f64]) -> Result<Vec<f64>, FaultError> {
+        let survivors = self.alive_ranks();
+        let n = survivors.len();
+        let me = self.survivor_index(&survivors);
+        let mut acc = data.to_vec();
+        let mut travelling = data.to_vec();
+        for step in 0..n.saturating_sub(1) {
+            let to = survivors[(me + 1) % n];
+            let from = survivors[(me + n - 1) % n];
+            let tag = 0xFA17_A100 + step as u64;
+            self.send(to, tag, travelling)?;
+            travelling = self.recv(from, tag)?;
+            for (a, b) in acc.iter_mut().zip(&travelling) {
+                *a += *b;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Scalar sum allreduce over the surviving ranks.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> Result<f64, FaultError> {
+        Ok(self.allreduce_sum(&[x])?[0])
+    }
+}
+
+/// What one rank produced under [`run_faulty`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankOutcome<T> {
+    /// The rank ran to completion.
+    Completed {
+        /// The closure's return value.
+        value: T,
+        /// This rank's fault accounting.
+        faults: FaultStats,
+    },
+    /// The rank was in the spec's failed set and never executed.
+    Failed,
+}
+
+impl<T> RankOutcome<T> {
+    /// The value, if the rank completed.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            RankOutcome::Completed { value, .. } => Some(value),
+            RankOutcome::Failed => None,
+        }
+    }
+
+    /// The fault accounting, if the rank completed.
+    pub fn faults(&self) -> Option<FaultStats> {
+        match self {
+            RankOutcome::Completed { faults, .. } => Some(*faults),
+            RankOutcome::Failed => None,
+        }
+    }
+
+    /// Whether this rank was failed by the spec.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RankOutcome::Failed)
+    }
+}
+
+/// Sum the fault accounting of every completed rank.
+pub fn total_fault_stats<T>(outcomes: &[RankOutcome<T>]) -> FaultStats {
+    let mut total = FaultStats::default();
+    for o in outcomes {
+        if let Some(s) = o.faults() {
+            total.merge(&s);
+        }
+    }
+    total
+}
+
+/// Launch `nranks` endpoints under fault injection. Surviving ranks run
+/// `f` on their own thread; failed ranks never execute, but their channel
+/// endpoints are kept open as blackholes so in-flight traffic toward them
+/// is absorbed rather than erroring. Results come back in rank order.
+pub fn run_faulty<T, F>(nranks: usize, spec: FaultSpec, f: F) -> Vec<RankOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut FaultyComm) -> T + Send + Sync,
+{
+    assert!(nranks >= 1);
+    assert!(spec.max_attempts >= 1, "at least one send attempt");
+    let alive = (0..nranks).filter(|r| !spec.failed_ranks.contains(r)).count();
+    assert!(alive >= 1, "at least one rank must survive");
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (s, r) = channel();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let f = &f;
+    let spec = &spec;
+    let senders = &senders;
+    // Receivers of failed ranks are parked here, keeping the channels
+    // open (a dead node's NIC still sinks packets) until the scope ends.
+    let mut blackholes = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            if spec.failed_ranks.contains(&rank) {
+                blackholes.push(receiver);
+                handles.push(None);
+                continue;
+            }
+            handles.push(Some(scope.spawn(move || {
+                let mut fc = FaultyComm {
+                    inner: Comm::endpoint(rank, nranks, senders.clone(), receiver),
+                    spec: spec.clone(),
+                    stats: FaultStats::default(),
+                    clock_ps: 0,
+                };
+                let value = f(&mut fc);
+                (value, fc.stats)
+            })));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h {
+                None => RankOutcome::Failed,
+                Some(h) => {
+                    // INFALLIBLE: injected faults surface as FaultError
+                    // values, never panics; a panic is a bug to re-raise.
+                    let (value, faults) = h.join().expect("rank panicked");
+                    RankOutcome::Completed { value, faults }
+                }
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(seed: u64) -> FaultSpec {
+        FaultSpec::healthy().with_seed(seed).drop_per_mille(300)
+    }
+
+    #[test]
+    fn healthy_spec_matches_the_healthy_runtime() {
+        let healthy = crate::comm::run(4, |mut c| c.allreduce_sum_scalar((c.rank() + 1) as f64));
+        let faulty = run_faulty(4, FaultSpec::healthy(), |c| {
+            c.allreduce_sum_scalar((c.rank() + 1) as f64).expect("healthy")
+        });
+        for (h, f) in healthy.iter().zip(&faulty) {
+            assert_eq!(Some(h), f.value());
+            let s = f.faults().expect("completed");
+            assert_eq!(s.drops, 0);
+            assert_eq!(s.retries, 0);
+            assert_eq!(s.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn drops_retry_to_the_same_answer_deterministically() {
+        let run_once = || {
+            run_faulty(6, lossy(42), |c| {
+                c.allreduce_sum_scalar((c.rank() + 1) as f64).expect("retries succeed")
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seed, same decisions, same stats");
+        for o in &a {
+            assert_eq!(o.value(), Some(&21.0));
+        }
+        let total = total_fault_stats(&a);
+        assert!(total.drops > 0, "30% loss over 30 sends must drop some");
+        assert_eq!(total.retries, total.drops, "every drop was retried");
+        assert_eq!(total.timeouts, 0);
+        assert!(total.backoff_ps > 0);
+    }
+
+    #[test]
+    fn different_seeds_make_different_decisions() {
+        let a = total_fault_stats(&run_faulty(6, lossy(1), |c| {
+            c.allreduce_sum_scalar(1.0).expect("ok")
+        }));
+        let b = total_fault_stats(&run_faulty(6, lossy(2), |c| {
+            c.allreduce_sum_scalar(1.0).expect("ok")
+        }));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failed_ranks_are_excluded_from_collectives() {
+        let spec = FaultSpec::healthy().fail_rank(1).fail_rank(3);
+        let outcomes = run_faulty(5, spec, |c| {
+            assert_eq!(c.alive_ranks(), vec![0, 2, 4]);
+            c.allreduce_sum_scalar((c.rank() + 1) as f64).expect("survivors ok")
+        });
+        assert!(outcomes[1].is_failed());
+        assert!(outcomes[3].is_failed());
+        // Survivors sum only the surviving contributions: 1 + 3 + 5.
+        for r in [0, 2, 4] {
+            assert_eq!(outcomes[r].value(), Some(&9.0));
+        }
+    }
+
+    #[test]
+    fn sends_to_a_failed_rank_fail_fast() {
+        let outcomes = run_faulty(3, FaultSpec::healthy().fail_rank(2), |c| {
+            c.send(2, 7, vec![1.0])
+        });
+        for r in [0, 1] {
+            assert_eq!(
+                outcomes[r].value(),
+                Some(&Err(FaultError::RankFailed { rank: 2 }))
+            );
+        }
+    }
+
+    #[test]
+    fn zero_byte_messages_survive_the_faulty_path() {
+        let outcomes = run_faulty(2, lossy(7), |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, Vec::new()).expect("retries succeed");
+                c.barrier().expect("barrier");
+                0
+            } else {
+                let got = c.recv(0, 9).expect("delivered");
+                c.barrier().expect("barrier");
+                got.len()
+            }
+        });
+        assert_eq!(outcomes[1].value(), Some(&0));
+        // Zero-byte messages are still messages: they can drop and retry.
+        let total = total_fault_stats(&outcomes);
+        assert_eq!(total.timeouts, 0);
+    }
+
+    #[test]
+    fn single_rank_world_never_drops() {
+        // All traffic is loopback; even a 100% drop rate changes nothing.
+        let spec = FaultSpec::healthy().with_seed(3).drop_per_mille(1000);
+        let outcomes = run_faulty(1, spec, |c| {
+            c.barrier().expect("no peers");
+            let sum = c.allreduce_sum_scalar(5.0).expect("loopback");
+            let echo = c.sendrecv(0, 1, vec![2.5]).expect("self");
+            (sum, echo[0])
+        });
+        assert_eq!(outcomes[0].value(), Some(&(5.0, 2.5)));
+        let s = outcomes[0].faults().expect("completed");
+        assert_eq!(s.drops, 0);
+        assert_eq!(s.timeouts, 0);
+    }
+
+    #[test]
+    fn total_loss_times_out_with_ordered_expiries() {
+        // 100% drop: every send exhausts max_attempts and times out. The
+        // expiry times are pure sums of exponential backoffs, so their
+        // ordering is deterministic: the second message expires after the
+        // first on the sender's simulated clock.
+        let spec = FaultSpec::healthy().with_seed(11).drop_per_mille(1000);
+        let per_message: u64 = (0..4).map(|a| 1_000_000_000u64 << a).sum();
+        let run_once = || {
+            run_faulty(2, spec.clone(), |c| {
+                if c.rank() == 0 {
+                    let e1 = c.send(1, 1, vec![1.0]).expect_err("all dropped");
+                    let e2 = c.send(1, 2, vec![2.0]).expect_err("all dropped");
+                    vec![e1, e2]
+                } else {
+                    vec![
+                        c.recv(0, 1).expect_err("tombstone"),
+                        c.recv(0, 2).expect_err("tombstone"),
+                    ]
+                }
+            })
+        };
+        let outcomes = run_once();
+        let sender = outcomes[0].value().expect("completed");
+        let (e1, e2) = (&sender[0], &sender[1]);
+        let expiry = |e: &FaultError| match *e {
+            FaultError::Timeout { expired_at_ps, attempts, .. } => {
+                assert_eq!(attempts, 4);
+                expired_at_ps
+            }
+            ref other => panic!("expected timeout, got {other:?}"),
+        };
+        assert_eq!(expiry(e1), per_message);
+        assert_eq!(expiry(e2), 2 * per_message, "expiries accumulate in order");
+        // The receiver observes the sender's expiry times, in the same
+        // order (its `peer` field names the source instead of the dest).
+        let receiver = outcomes[1].value().expect("completed");
+        assert_eq!(expiry(&receiver[0]), per_message);
+        assert_eq!(expiry(&receiver[1]), 2 * per_message);
+        // And the whole schedule reproduces.
+        assert_eq!(outcomes, run_once());
+    }
+
+    #[test]
+    fn delays_charge_simulated_time_without_changing_results() {
+        let spec = FaultSpec::healthy().with_seed(5).delay_per_mille(500);
+        let outcomes = run_faulty(4, spec, |c| {
+            c.allreduce_sum_scalar((c.rank() + 1) as f64).expect("delivered")
+        });
+        for o in &outcomes {
+            assert_eq!(o.value(), Some(&10.0));
+        }
+        let total = total_fault_stats(&outcomes);
+        assert!(total.delays > 0, "50% delay over 12 sends must delay some");
+        assert_eq!(total.delay_ps, total.delays * 50_000_000);
+        assert_eq!(total.drops, 0);
+    }
+
+    #[test]
+    fn fault_counters_report_to_obs() {
+        let reg = pvs_obs::Registry::new();
+        let outcomes = run_faulty(4, lossy(9), |c| {
+            c.allreduce_sum_scalar(1.0).expect("ok")
+        });
+        total_fault_stats(&outcomes).record_to(&reg);
+        assert!(reg.counter("mpisim.fault.retries") > 0);
+        assert_eq!(
+            reg.counter("mpisim.fault.retries"),
+            reg.counter("mpisim.fault.drops")
+        );
+        assert_eq!(reg.counter("mpisim.fault.timeouts"), 0);
+    }
+
+    #[test]
+    fn barrier_over_survivors_completes_for_odd_worlds() {
+        for n in [2usize, 3, 5] {
+            let spec = FaultSpec::healthy().fail_rank(0);
+            let outcomes = run_faulty(n + 1, spec, |c| {
+                c.barrier().expect("survivor barrier");
+                c.rank()
+            });
+            assert_eq!(outcomes.iter().filter(|o| !o.is_failed()).count(), n);
+        }
+    }
+}

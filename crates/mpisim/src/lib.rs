@@ -16,7 +16,11 @@
 //! * [`caf`]: co-array style one-sided windows (`put`/`get` into remote
 //!   rank memory) mirroring LBMHD's CAF port;
 //! * [`cart`]: cartesian process-grid helpers (2D/3D decompositions and
-//!   neighbour ranks) used by every grid application.
+//!   neighbour ranks) used by every grid application;
+//! * [`fault`]: deterministic message-level fault injection — seeded
+//!   drop/delay decisions, exponential backoff in simulated picoseconds,
+//!   timeouts, rank failure with survivor-only collectives, and retry
+//!   counters reported through `pvs-obs`.
 //!
 //! ## Example
 //!
@@ -31,7 +35,9 @@
 pub mod caf;
 pub mod cart;
 pub mod comm;
+pub mod fault;
 
 pub use caf::CoArray;
 pub use cart::{Cart2d, Cart3d};
 pub use comm::{run, Comm, CommStats, RecvRequest};
+pub use fault::{run_faulty, FaultError, FaultSpec, FaultStats, FaultyComm, RankOutcome};

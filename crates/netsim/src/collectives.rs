@@ -13,6 +13,7 @@
 //! the topology rather than being assumed.
 
 use crate::des::{Message, NetSim, SimStats};
+use crate::fault::LinkFaults;
 use crate::topology::Network;
 
 /// Time (seconds) for a 2D periodic halo exchange: every rank exchanges
@@ -37,6 +38,20 @@ pub fn halo_exchange_2d_stats(
     py: usize,
     bytes_per_edge: u64,
     bytes_per_corner: u64,
+) -> SimStats {
+    halo_exchange_2d_stats_faulted(net, px, py, bytes_per_edge, bytes_per_corner, &LinkFaults::healthy())
+}
+
+/// [`halo_exchange_2d_stats`] on a damaged network: link degrades and
+/// crossbar port-lane loss slow the affected routes (hard failures are
+/// baked into `net` via [`Network::with_faults`], which reroutes).
+pub fn halo_exchange_2d_stats_faulted(
+    net: &Network,
+    px: usize,
+    py: usize,
+    bytes_per_edge: u64,
+    bytes_per_corner: u64,
+    faults: &LinkFaults,
 ) -> SimStats {
     assert!(
         px * py <= net.config().endpoints,
@@ -81,7 +96,7 @@ pub fn halo_exchange_2d_stats(
             }
         }
     }
-    NetSim::new(net).run(&msgs)
+    NetSim::with_faults(net, faults).run(&msgs)
 }
 
 /// Time (seconds) for an all-to-all personalized exchange of
@@ -127,6 +142,18 @@ pub fn halo_exchange_3d_stats(
     pz: usize,
     bytes_per_face: u64,
 ) -> SimStats {
+    halo_exchange_3d_stats_faulted(net, px, py, pz, bytes_per_face, &LinkFaults::healthy())
+}
+
+/// [`halo_exchange_3d_stats`] on a damaged network.
+pub fn halo_exchange_3d_stats_faulted(
+    net: &Network,
+    px: usize,
+    py: usize,
+    pz: usize,
+    bytes_per_face: u64,
+    faults: &LinkFaults,
+) -> SimStats {
     assert!(
         px * py * pz <= net.config().endpoints,
         "process grid exceeds network"
@@ -158,7 +185,7 @@ pub fn halo_exchange_3d_stats(
             }
         }
     }
-    NetSim::new(net).run(&msgs)
+    NetSim::with_faults(net, faults).run(&msgs)
 }
 
 /// Like [`all_to_all_time`], but simulating at most `max_rounds` of the
@@ -185,9 +212,20 @@ pub fn all_to_all_stats_sampled(
     bytes_per_pair: u64,
     max_rounds: usize,
 ) -> SimStats {
+    all_to_all_stats_sampled_faulted(net, p, bytes_per_pair, max_rounds, &LinkFaults::healthy())
+}
+
+/// [`all_to_all_stats_sampled`] on a damaged network.
+pub fn all_to_all_stats_sampled_faulted(
+    net: &Network,
+    p: usize,
+    bytes_per_pair: u64,
+    max_rounds: usize,
+    faults: &LinkFaults,
+) -> SimStats {
     assert!(p <= net.config().endpoints && max_rounds >= 1);
     if p < 2 {
-        return NetSim::new(net).run(&[]);
+        return NetSim::with_faults(net, faults).run(&[]);
     }
     let total_rounds = p - 1;
     let simulate = total_rounds.min(max_rounds);
@@ -205,7 +243,7 @@ pub fn all_to_all_stats_sampled(
             });
         }
     }
-    let mut stats = NetSim::new(net).run(&msgs);
+    let mut stats = NetSim::with_faults(net, faults).run(&msgs);
     stats.makespan_s *= total_rounds as f64 / simulate as f64;
     stats
 }
@@ -220,8 +258,13 @@ pub fn allreduce_time(net: &Network, p: usize, bytes: u64) -> f64 {
 /// [`allreduce_time`] returning traffic statistics accumulated over all
 /// exchange rounds (rounds execute back to back, so makespans add).
 pub fn allreduce_stats(net: &Network, p: usize, bytes: u64) -> SimStats {
+    allreduce_stats_faulted(net, p, bytes, &LinkFaults::healthy())
+}
+
+/// [`allreduce_stats`] on a damaged network.
+pub fn allreduce_stats_faulted(net: &Network, p: usize, bytes: u64, faults: &LinkFaults) -> SimStats {
     assert!(p >= 1 && p <= net.config().endpoints);
-    let mut sim = NetSim::new(net);
+    let mut sim = NetSim::with_faults(net, faults);
     if p == 1 {
         return sim.run(&[]);
     }
@@ -255,25 +298,31 @@ pub fn allreduce_stats(net: &Network, p: usize, bytes: u64) -> SimStats {
 /// saturating it with pairwise traffic across a balanced cut and dividing
 /// moved bytes by the makespan.
 pub fn measured_bisection_gbs(net: &Network, bytes_per_pair: u64) -> f64 {
-    let p = net.config().endpoints;
-    assert!(p >= 2);
-    let half = p / 2;
+    measured_bisection_gbs_faulted(net, bytes_per_pair, &LinkFaults::healthy())
+}
+
+/// [`measured_bisection_gbs`] on a damaged network: rerouting around
+/// failed torus links and derated survivors both show up in the measured
+/// number, which is what the chaos harness compares against
+/// [`Network::bisection_gbs_degraded`].
+pub fn measured_bisection_gbs_faulted(net: &Network, bytes_per_pair: u64, faults: &LinkFaults) -> f64 {
+    assert!(net.config().endpoints >= 2);
     let mut msgs = Vec::new();
-    for i in 0..half {
+    for (a, b) in net.bisection_pairs() {
         msgs.push(Message {
-            src: i,
-            dst: half + i,
+            src: a,
+            dst: b,
             bytes: bytes_per_pair,
             submit_s: 0.0,
         });
         msgs.push(Message {
-            src: half + i,
-            dst: i,
+            src: b,
+            dst: a,
             bytes: bytes_per_pair,
             submit_s: 0.0,
         });
     }
-    NetSim::new(net).run(&msgs).aggregate_gbs()
+    NetSim::with_faults(net, faults).run(&msgs).aggregate_gbs()
 }
 
 #[cfg(test)]
@@ -436,6 +485,95 @@ mod tests {
         assert!(
             full_tree > slim_tree,
             "full {full_tree} vs slim {slim_tree}"
+        );
+    }
+
+    #[test]
+    fn faulted_collectives_match_healthy_with_no_faults() {
+        let net = mk(TopologyKind::Torus2D, 16);
+        let h = LinkFaults::healthy();
+        assert_eq!(
+            halo_exchange_2d_stats(&net, 4, 4, 10_000, 100).makespan_s,
+            halo_exchange_2d_stats_faulted(&net, 4, 4, 10_000, 100, &h).makespan_s
+        );
+        assert_eq!(
+            allreduce_stats(&net, 16, 8_000).makespan_s,
+            allreduce_stats_faulted(&net, 16, 8_000, &h).makespan_s
+        );
+        assert_eq!(
+            all_to_all_stats_sampled(&net, 16, 10_000, 5).makespan_s,
+            all_to_all_stats_sampled_faulted(&net, 16, 10_000, 5, &h).makespan_s
+        );
+    }
+
+    #[test]
+    fn torus_link_failure_slows_all_to_all_and_shifts_traffic() {
+        let mk_net = |faults: &LinkFaults| {
+            crate::topology::Network::with_faults(
+                crate::topology::NetworkConfig {
+                    kind: TopologyKind::Torus2D,
+                    endpoints: 16,
+                    link_bw_gbs: 1.0,
+                    latency_us: 5.0,
+                },
+                faults,
+            )
+        };
+        let healthy_faults = LinkFaults::healthy();
+        let healthy_net = mk_net(&healthy_faults);
+        let healthy = all_to_all_stats_sampled_faulted(&healthy_net, 16, 50_000, 8, &healthy_faults);
+        let faults = LinkFaults::healthy().fail_link(0).fail_link(2);
+        let net = mk_net(&faults);
+        let degraded = all_to_all_stats_sampled_faulted(&net, 16, 50_000, 8, &faults);
+        assert!(
+            degraded.makespan_s >= healthy.makespan_s,
+            "rerouting never speeds things up: {} vs {}",
+            degraded.makespan_s,
+            healthy.makespan_s
+        );
+        assert_eq!(degraded.link_bytes[0], 0, "dead link carries nothing");
+        assert!(
+            degraded.hops > healthy.hops,
+            "detours add hops: {} vs {}",
+            degraded.hops,
+            healthy.hops
+        );
+    }
+
+    #[test]
+    fn crossbar_port_loss_slows_the_halo() {
+        let net = mk(TopologyKind::Crossbar, 16);
+        let healthy = halo_exchange_2d_stats(&net, 4, 4, 200_000, 2_000).makespan_s;
+        let faults = LinkFaults::healthy().lose_port(5);
+        let degraded =
+            halo_exchange_2d_stats_faulted(&net, 4, 4, 200_000, 2_000, &faults).makespan_s;
+        assert!(degraded > healthy, "{degraded} vs {healthy}");
+    }
+
+    #[test]
+    fn measured_bisection_drops_with_cut_link_failures() {
+        let cfgv = crate::topology::NetworkConfig {
+            kind: TopologyKind::Torus2D,
+            endpoints: 64,
+            link_bw_gbs: 1.0,
+            latency_us: 5.0,
+        };
+        let healthy_net = crate::topology::Network::new(cfgv.clone());
+        let cut = healthy_net.bisection_cut_links().expect("torus cut");
+        // Cut layout per row: [interior +x, interior -x, wrap +x, wrap -x].
+        // Failing both +x crossings in half the rows squeezes all of those
+        // rows' crossing traffic onto the two surviving -x links, halving
+        // their capacity; each ring stays connected (the -x arc survives).
+        let mut faults = LinkFaults::healthy();
+        for row in cut.chunks(4).take(4) {
+            faults = faults.fail_link(row[0]).fail_link(row[2]);
+        }
+        let net = crate::topology::Network::with_faults(cfgv, &faults);
+        let healthy = measured_bisection_gbs(&healthy_net, 1_000_000);
+        let degraded = measured_bisection_gbs_faulted(&net, 1_000_000, &faults);
+        assert!(
+            degraded > 0.0 && degraded < 0.9 * healthy,
+            "lost cut capacity must show up: {degraded} vs {healthy}"
         );
     }
 

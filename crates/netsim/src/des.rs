@@ -113,6 +113,22 @@ impl<'a> NetSim<'a> {
         }
     }
 
+    /// Simulator with the degradation half of a fault description already
+    /// applied: every link's derate is its
+    /// [`Network::effective_link_factor`] (degrades and crossbar
+    /// port-lane loss). Hard link failures are the network's concern —
+    /// build it with [`Network::with_faults`] so routes avoid them.
+    pub fn with_faults(net: &'a Network, faults: &crate::fault::LinkFaults) -> Self {
+        let mut sim = Self::new(net);
+        for id in 0..net.num_links() {
+            let factor = net.effective_link_factor(faults, id);
+            if factor > 0.0 && factor < 1.0 {
+                sim.degrade_link(id, factor);
+            }
+        }
+        sim
+    }
+
     /// Inject a fault: link `id` delivers only `factor` of its bandwidth
     /// from now on. Modelling a flaky cable or an oversubscribed port; the
     /// interesting question is how far the damage spreads through

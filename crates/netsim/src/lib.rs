@@ -40,6 +40,7 @@
 
 pub mod collectives;
 pub mod des;
+pub mod fault;
 pub mod topology;
 
 pub use collectives::{
@@ -47,4 +48,5 @@ pub use collectives::{
     measured_bisection_gbs,
 };
 pub use des::{Message, NetSim, SimStats};
+pub use fault::LinkFaults;
 pub use topology::{Network, NetworkConfig, TopologyKind};

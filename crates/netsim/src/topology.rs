@@ -51,6 +51,9 @@ pub struct Network {
     torus_dims: Option<(usize, usize)>,
     /// Fat-tree level count when applicable.
     tree_levels: usize,
+    /// Hard-failed link ids (empty for a healthy network). Only the torus
+    /// can route around these; see [`Network::with_faults`].
+    failed: Vec<bool>,
 }
 
 impl Network {
@@ -70,6 +73,7 @@ impl Network {
                     links,
                     torus_dims: None,
                     tree_levels: 0,
+                    failed: Vec::new(),
                 }
             }
             TopologyKind::FatTree { arity, slim } => {
@@ -107,6 +111,7 @@ impl Network {
                     links,
                     torus_dims: None,
                     tree_levels: levels,
+                    failed: Vec::new(),
                 }
             }
             TopologyKind::Torus2D => {
@@ -122,9 +127,42 @@ impl Network {
                     links,
                     torus_dims: Some((x, y)),
                     tree_levels: 0,
+                    failed: Vec::new(),
                 }
             }
         }
+    }
+
+    /// Build a network with hard link failures applied. Only the 2D torus
+    /// has redundant paths to route around a dead link (the long way
+    /// round the affected ring); a failed link on a crossbar or fat-tree
+    /// would disconnect endpoints outright, so it is rejected here —
+    /// degrade those links instead (see [`crate::fault::LinkFaults`]).
+    pub fn with_faults(config: NetworkConfig, faults: &crate::fault::LinkFaults) -> Self {
+        let mut net = Self::new(config);
+        if faults.failed_links.is_empty() {
+            return net;
+        }
+        assert!(
+            matches!(net.config.kind, TopologyKind::Torus2D),
+            "hard link failures are only reroutable on the 2D torus"
+        );
+        net.failed = vec![false; net.links.len()];
+        for &id in &faults.failed_links {
+            assert!(id < net.links.len(), "failed link {id} out of range");
+            net.failed[id] = true;
+        }
+        net
+    }
+
+    /// Whether link `id` is hard-failed.
+    pub fn link_failed(&self, id: usize) -> bool {
+        self.failed.get(id).copied().unwrap_or(false)
+    }
+
+    /// Whether any link is hard-failed.
+    pub fn has_failures(&self) -> bool {
+        self.failed.iter().any(|&f| f)
     }
 
     /// The configuration this network was built from.
@@ -184,40 +222,85 @@ impl Network {
             }
             TopologyKind::Torus2D => {
                 let (xd, yd) = self.torus_dims.expect("torus dims");
-                let (mut sx, mut sy) = (src % xd, src / xd);
+                let (sx, sy) = (src % xd, src / xd);
                 let (dx, dy) = (dst % xd, dst / xd);
-                let mut route = Vec::new();
-                // X dimension first (dimension-order routing), shortest way.
-                while sx != dx {
-                    let fwd = (dx + xd - sx) % xd;
-                    let node = sy * xd + sx;
-                    if fwd <= xd - fwd {
-                        route.push(4 * node); // +x
-                        sx = (sx + 1) % xd;
-                    } else {
-                        route.push(4 * node + 1); // -x
-                        sx = (sx + xd - 1) % xd;
-                    }
-                }
-                while sy != dy {
-                    let fwd = (dy + yd - sy) % yd;
-                    let node = sy * xd + sx;
-                    if fwd <= yd - fwd {
-                        route.push(4 * node + 2); // +y
-                        sy = (sy + 1) % yd;
-                    } else {
-                        route.push(4 * node + 3); // -y
-                        sy = (sy + yd - 1) % yd;
-                    }
-                }
+                // Dimension-order routing, X then Y. Per ring, the
+                // shortest direction is preferred (ties go forward); a
+                // hard-failed link on the preferred arc flips the whole
+                // traversal to the long way round that ring.
+                let mut route = self.ring_traversal(sx, dx, xd, |c| sy * xd + c, 0);
+                route.extend(self.ring_traversal(sy, dy, yd, |c| c * xd + dx, 2));
                 route
             }
         }
     }
 
+    /// Links for one torus-ring traversal from coordinate `from` to `to`
+    /// on a ring of `len` nodes. `node_of(c)` maps a ring coordinate to a
+    /// node id; `dir_base` selects the dimension's link pair (0 = ±x,
+    /// 2 = ±y). Prefers the shortest direction; a failed link on that arc
+    /// diverts the whole traversal the other way round the ring.
+    fn ring_traversal(
+        &self,
+        from: usize,
+        to: usize,
+        len: usize,
+        node_of: impl Fn(usize) -> usize,
+        dir_base: usize,
+    ) -> Vec<usize> {
+        if from == to {
+            return Vec::new();
+        }
+        let fwd = (to + len - from) % len;
+        let arc = |forward: bool| -> Vec<usize> {
+            let mut links = Vec::new();
+            let mut c = from;
+            while c != to {
+                let node = node_of(c);
+                if forward {
+                    links.push(4 * node + dir_base);
+                    c = (c + 1) % len;
+                } else {
+                    links.push(4 * node + dir_base + 1);
+                    c = (c + len - 1) % len;
+                }
+            }
+            links
+        };
+        let preferred = arc(fwd <= len - fwd);
+        if !preferred.iter().any(|&l| self.link_failed(l)) {
+            return preferred;
+        }
+        let detour = arc(fwd > len - fwd);
+        assert!(
+            !detour.iter().any(|&l| self.link_failed(l)),
+            "torus ring partitioned: failures on both arcs between \
+             coordinates {from} and {to}"
+        );
+        detour
+    }
+
     /// Hop count between two endpoints.
     pub fn hops(&self, src: usize, dst: usize) -> usize {
         self.route(src, dst).len()
+    }
+
+    /// Effective bandwidth factor of link `id` under `faults`, in
+    /// `[0, 1]`: 0 for a hard-failed link, otherwise the product of its
+    /// degrade factors, halved again on a crossbar whose endpoint
+    /// (`id / 2`) lost a port lane.
+    pub fn effective_link_factor(&self, faults: &crate::fault::LinkFaults, id: usize) -> f64 {
+        if self.link_failed(id) || faults.link_failed(id) {
+            return 0.0;
+        }
+        let mut factor = faults.degrade_factor(id);
+        if matches!(self.config.kind, TopologyKind::Crossbar)
+            && id < 2 * self.config.endpoints
+            && faults.lost_ports.contains(&(id / 2))
+        {
+            factor *= 0.5;
+        }
+        factor
     }
 
     /// Analytic bisection bandwidth in GB/s: the aggregate link capacity
@@ -249,6 +332,89 @@ impl Network {
                 cut_links as f64 * 2.0 * self.config.link_bw_gbs
             }
         }
+    }
+
+    /// The directed link ids crossing the balanced cut that
+    /// [`Network::analytic_bisection_gbs`] prices, when they can be
+    /// enumerated exactly: crossbar (one half's injection links) and 2D
+    /// torus (the ±x links at the cut column and the wraparound). Fat
+    /// trees return `None` (their cut is priced per level, not per link).
+    pub fn bisection_cut_links(&self) -> Option<Vec<usize>> {
+        let n = self.config.endpoints;
+        match self.config.kind {
+            TopologyKind::Crossbar => Some((0..n / 2).map(|e| 2 * e).collect()),
+            TopologyKind::FatTree { .. } => None,
+            TopologyKind::Torus2D => {
+                let (xd, yd) = self.torus_dims.expect("torus dims");
+                if xd < 2 {
+                    return Some(Vec::new());
+                }
+                let mut links = Vec::new();
+                if xd > 2 {
+                    // Interior cut between columns c and c+1, plus the
+                    // wraparound between columns xd-1 and 0 — 4 directed
+                    // links per row.
+                    let c = xd / 2 - 1;
+                    for y in 0..yd {
+                        links.push(4 * (y * xd + c)); // +x across the cut
+                        links.push(4 * (y * xd + c + 1) + 1); // -x back
+                        links.push(4 * (y * xd + xd - 1)); // +x wraparound
+                        links.push(4 * (y * xd) + 1); // -x wraparound
+                    }
+                } else {
+                    // A 2-ring: the two +x links per row are the crossing
+                    // capacity the healthy formula prices.
+                    for y in 0..yd {
+                        links.push(4 * (y * xd));
+                        links.push(4 * (y * xd + 1));
+                    }
+                }
+                Some(links)
+            }
+        }
+    }
+
+    /// Endpoint pairs whose traffic crosses the balanced cut priced by
+    /// [`Network::analytic_bisection_gbs`]. For the crossbar and fat
+    /// trees the halves are `[0, n/2)` and `[n/2, n)`; for the 2D torus
+    /// the priced cut runs between *columns*, so each node pairs with the
+    /// one half a ring away in x (same row) — the pattern
+    /// [`crate::collectives::measured_bisection_gbs`] saturates.
+    pub fn bisection_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.config.endpoints;
+        match self.config.kind {
+            TopologyKind::Crossbar | TopologyKind::FatTree { .. } => {
+                (0..n / 2).map(|i| (i, n / 2 + i)).collect()
+            }
+            TopologyKind::Torus2D => {
+                let (xd, yd) = self.torus_dims.expect("torus dims");
+                let mut pairs = Vec::new();
+                for y in 0..yd {
+                    for x in 0..xd / 2 {
+                        pairs.push((y * xd + x, y * xd + x + xd / 2));
+                    }
+                }
+                pairs
+            }
+        }
+    }
+
+    /// [`Network::analytic_bisection_gbs`] with faults priced in: each
+    /// crossing link contributes its effective (derated) bandwidth, and
+    /// hard-failed links contribute nothing. Where the cut cannot be
+    /// enumerated (fat trees), the healthy analytic value is returned
+    /// unchanged. With no faults this equals the healthy value.
+    pub fn bisection_gbs_degraded(&self, faults: &crate::fault::LinkFaults) -> f64 {
+        let Some(cut) = self.bisection_cut_links() else {
+            return self.analytic_bisection_gbs();
+        };
+        if cut.is_empty() {
+            return self.analytic_bisection_gbs();
+        }
+        let healthy_per_link = self.analytic_bisection_gbs() / cut.len() as f64;
+        cut.iter()
+            .map(|&id| healthy_per_link * self.effective_link_factor(faults, id))
+            .sum()
     }
 }
 
@@ -466,5 +632,123 @@ mod tests {
         assert_eq!(near_square(16), (4, 4));
         assert_eq!(near_square(32), (8, 4));
         assert_eq!(near_square(7), (7, 1));
+    }
+
+    #[test]
+    fn torus_reroutes_around_a_failed_link() {
+        use crate::fault::LinkFaults;
+        let healthy = Network::new(cfg(TopologyKind::Torus2D, 16)); // 4x4
+        // (0,0) -> (1,0) uses +x link of node 0 (link id 0).
+        assert_eq!(healthy.route(0, 1), vec![0]);
+        let faults = LinkFaults::healthy().fail_link(0);
+        let faulty = Network::with_faults(cfg(TopologyKind::Torus2D, 16), &faults);
+        let detour = faulty.route(0, 1);
+        // The long way round the x ring: 0 -> 3 -> 2 -> 1 via -x links.
+        assert_eq!(detour.len(), 3, "detour {detour:?}");
+        assert!(!detour.contains(&0));
+        for &l in &detour {
+            assert!(!faulty.link_failed(l));
+        }
+        // Unrelated pairs keep their healthy routes.
+        assert_eq!(faulty.route(5, 6), healthy.route(5, 6));
+        // And the reverse direction still has its own healthy link.
+        assert_eq!(faulty.route(1, 0), healthy.route(1, 0));
+    }
+
+    #[test]
+    fn torus_detour_spans_both_dimensions() {
+        use crate::fault::LinkFaults;
+        let n = 16; // 4x4
+        let healthy = Network::new(cfg(TopologyKind::Torus2D, n));
+        // Fail the first +y link on the route (0,0) -> (2,2): dimension
+        // order goes x first, so the y traversal starts at node 2.
+        let y_link = 4 * 2 + 2;
+        let faults = LinkFaults::healthy().fail_link(y_link);
+        let faulty = Network::with_faults(cfg(TopologyKind::Torus2D, n), &faults);
+        let healthy_route = healthy.route(0, 10);
+        let detour = faulty.route(0, 10);
+        assert!(healthy_route.contains(&y_link));
+        assert!(!detour.contains(&y_link));
+        // On a 4-ring the forward and backward arcs between y=0 and y=2
+        // tie in length; the detour must simply avoid the dead link while
+        // still reaching the destination with valid links.
+        assert_eq!(detour.len(), healthy_route.len());
+        assert_ne!(detour, healthy_route);
+        for &l in &detour {
+            assert!(l < faulty.num_links() && !faulty.link_failed(l));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "torus ring partitioned")]
+    fn partitioned_ring_is_rejected() {
+        use crate::fault::LinkFaults;
+        // Fail both x exits of node 0 on a 4x4 torus: +x (link 0) blocks
+        // the short arc to node 1 and -x (link 1) blocks the detour.
+        let faults = LinkFaults::healthy().fail_link(0).fail_link(1);
+        let net = Network::with_faults(cfg(TopologyKind::Torus2D, 16), &faults);
+        let _ = net.route(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only reroutable on the 2D torus")]
+    fn crossbar_rejects_hard_link_failures() {
+        use crate::fault::LinkFaults;
+        let faults = LinkFaults::healthy().fail_link(0);
+        let _ = Network::with_faults(cfg(TopologyKind::Crossbar, 8), &faults);
+    }
+
+    #[test]
+    fn degraded_bisection_matches_healthy_when_fault_free() {
+        use crate::fault::LinkFaults;
+        for kind in [
+            TopologyKind::Crossbar,
+            TopologyKind::Torus2D,
+            TopologyKind::FatTree {
+                arity: 4,
+                slim: 0.5,
+            },
+        ] {
+            let net = Network::new(cfg(kind, 64));
+            let healthy = net.analytic_bisection_gbs();
+            let degraded = net.bisection_gbs_degraded(&LinkFaults::healthy());
+            assert!(
+                (healthy - degraded).abs() < 1e-9,
+                "{kind:?}: {healthy} vs {degraded}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_torus_link_cuts_recomputed_bisection() {
+        use crate::fault::LinkFaults;
+        let net = Network::new(cfg(TopologyKind::Torus2D, 64)); // 8x8
+        let cut = net.bisection_cut_links().expect("torus cut");
+        let healthy = net.analytic_bisection_gbs();
+        let faults = LinkFaults::healthy().fail_link(cut[0]);
+        let degraded = net.bisection_gbs_degraded(&faults);
+        let expected = healthy * (cut.len() as f64 - 1.0) / cut.len() as f64;
+        assert!(
+            (degraded - expected).abs() < 1e-9,
+            "one of {} cut links gone: {degraded} vs {expected}",
+            cut.len()
+        );
+        // Failing a link off the cut changes nothing.
+        let elsewhere = (0..net.num_links())
+            .find(|l| !cut.contains(l))
+            .expect("non-cut link");
+        let same = net.bisection_gbs_degraded(&LinkFaults::healthy().fail_link(elsewhere));
+        assert!((same - healthy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossbar_port_loss_halves_its_share_of_bisection() {
+        use crate::fault::LinkFaults;
+        let net = Network::new(cfg(TopologyKind::Crossbar, 16));
+        let healthy = net.analytic_bisection_gbs();
+        // Endpoint 0 is in the sending half of the cut.
+        let degraded = net.bisection_gbs_degraded(&LinkFaults::healthy().lose_port(0));
+        let expected = healthy - 0.5 * healthy / 8.0;
+        assert!((degraded - expected).abs() < 1e-9, "{degraded} vs {expected}");
     }
 }

@@ -42,6 +42,8 @@ impl Registry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // INFALLIBLE: registry holders only update plain maps and
+        // counters — no user code runs while the lock is held.
         self.inner.lock().expect("obs registry poisoned")
     }
 

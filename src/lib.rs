@@ -13,6 +13,7 @@ pub use pvs_amr as amr;
 pub use pvs_analyze as analyze;
 pub use pvs_cactus as cactus;
 pub use pvs_core as core;
+pub use pvs_fault as fault;
 pub use pvs_fft as fft;
 pub use pvs_gtc as gtc;
 pub use pvs_lbmhd as lbmhd;
