@@ -6,6 +6,7 @@ use pvs_core::engine::Engine;
 use pvs_core::platforms;
 
 fn main() {
+    pvs_bench::cli::parse_flags("amr_sweep", &[]);
     println!("AMR tile-size sweep: Gflops/P for 2^20 cells/step of stencil work\n");
     println!(
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 1.
 fn main() {
+    pvs_bench::cli::parse_flags("fig1", &[]);
     print!("{}", pvs_bench::figures::fig1(64, &[0, 100, 300]));
 }

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 2.
 fn main() {
+    pvs_bench::cli::parse_flags("fig2", &[]);
     print!("{}", pvs_bench::figures::fig2());
 }

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 3.
 fn main() {
+    pvs_bench::cli::parse_flags("fig3", &[]);
     print!("{}", pvs_bench::figures::fig3());
 }

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 4.
 fn main() {
+    pvs_bench::cli::parse_flags("fig4", &[]);
     print!("{}", pvs_bench::figures::fig4());
 }

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 5.
 fn main() {
+    pvs_bench::cli::parse_flags("fig5", &[]);
     print!("{}", pvs_bench::figures::fig5());
 }

@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 6.
 fn main() {
+    pvs_bench::cli::parse_flags("fig6", &[]);
     print!("{}", pvs_bench::figures::fig6());
 }

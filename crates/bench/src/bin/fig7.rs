@@ -1,4 +1,5 @@
 //! Regenerate the data behind the paper's Figure 7.
 fn main() {
+    pvs_bench::cli::parse_flags("fig7", &[]);
     print!("{}", pvs_bench::figures::fig7());
 }

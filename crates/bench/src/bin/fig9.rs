@@ -1,7 +1,8 @@
 //! Regenerate the paper's Figure 9 (sustained % of peak at P=64).
 fn main() {
+    let flags = pvs_bench::cli::parse_flags("fig9 [--json]", &["--json"]);
     let out = pvs_bench::fig9_model();
-    if std::env::args().any(|a| a == "--json") {
+    if flags.iter().any(|f| f == "--json") {
         println!("{}", out.render_json());
     } else {
         print!("{}", out.render());

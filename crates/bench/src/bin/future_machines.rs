@@ -13,6 +13,7 @@ use pvs_gtc::perf::{GtcVariant, GtcWorkload};
 use pvs_paratec::perf::ParatecWorkload;
 
 fn main() {
+    pvs_bench::cli::parse_flags("future_machines", &[]);
     println!("1. Cactus on the speculative Power5 (weak scaling, P=64)\n");
     println!("{:<9} {:>14} {:>14} {:>8}", "case", "Gflops/P", "%peak", "");
     for (label, w) in [

@@ -23,6 +23,7 @@ fn gflops_at_intensity(machine: pvs_core::machine::Machine, flops_per_byte: f64)
 }
 
 fn main() {
+    pvs_bench::cli::parse_flags("roofline", &[]);
     println!("Roofline sweep: streaming kernel, Gflops/P vs computational intensity\n");
     println!(
         "{:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",

@@ -47,6 +47,7 @@ fn job(machine: pvs_core::machine::Machine, app: &str, procs: usize) -> SweepJob
 }
 
 fn main() {
+    pvs_bench::cli::parse_flags("scaling", &[]);
     let procs = [16usize, 64, 256, 1024];
     let apps = ["LBMHD", "PARATEC", "CACTUS", "GTC"];
 

@@ -1,0 +1,104 @@
+//! The sweep server CLI: bind, print the address, serve until told to
+//! stop.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin serve                     # 127.0.0.1:7411
+//! cargo run --release -p pvs-bench --bin serve -- --addr 127.0.0.1:0 --idle-timeout-ms 5000
+//! ```
+//!
+//! Flags: `--addr A` (bind address, port 0 for ephemeral), `--threads N`
+//! (simulation pool), `--shards N` (cache shards), `--max-pending N`
+//! (admission cap on distinct in-flight simulations), `--spill-dir PATH`
+//! (on-disk cache), `--idle-timeout-ms N` (exit after N ms without
+//! traffic; default runs until a client sends `{"op":"shutdown"}`).
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 clean
+//! shutdown, 2 malformed usage, 6 the bind failed.
+
+use std::time::Duration;
+
+use pvs_bench::cli::exit;
+use pvs_serve::{Server, ServerOptions};
+
+const USAGE: &str = "serve [--addr A] [--threads N] [--shards N] [--max-pending N] \
+                     [--spill-dir PATH] [--idle-timeout-ms N]";
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(exit::USAGE);
+}
+
+fn parse_options() -> ServerOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = ServerOptions {
+        addr: "127.0.0.1:7411".to_string(),
+        ..Default::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |name: &str| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        let numeric = |name: &str| -> usize {
+            value(name)
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("{name} needs a non-negative integer")))
+        };
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(exit::OK);
+            }
+            "--addr" => options.addr = value("--addr"),
+            "--threads" => {
+                options.store.threads = numeric("--threads").max(1);
+            }
+            "--shards" => options.store.shards = numeric("--shards").max(1),
+            "--max-pending" => options.store.max_pending = numeric("--max-pending"),
+            "--spill-dir" => options.store.spill_dir = Some(value("--spill-dir").into()),
+            "--idle-timeout-ms" => {
+                options.idle_timeout =
+                    Some(Duration::from_millis(numeric("--idle-timeout-ms") as u64));
+            }
+            other => usage_exit(&format!("unrecognized argument {other:?}")),
+        }
+        i += 2;
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let store = options.store.clone();
+    let mut server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    };
+    println!("serving on {}", server.addr());
+    println!(
+        "  threads={} shards={} max_pending={} spill={}",
+        store.threads,
+        store.shards,
+        store.max_pending,
+        store
+            .spill_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".to_string())
+    );
+    server.wait();
+    let snap = server.store().registry().snapshot();
+    println!(
+        "served {} lines ({} hits, {} misses, {} batched); exiting",
+        snap.counter("serve.net.lines").unwrap_or(0),
+        snap.counter("serve.cache.hits").unwrap_or(0),
+        snap.counter("serve.cache.misses").unwrap_or(0),
+        snap.counter("serve.cache.batched_misses").unwrap_or(0),
+    );
+}

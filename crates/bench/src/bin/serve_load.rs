@@ -1,0 +1,239 @@
+//! Seeded load generator for the sweep server, and the
+//! `BENCH_serve.json` emitter.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin serve_load -- --inline --out BENCH_serve.json
+//! cargo run --release -p pvs-bench --bin serve_load -- --addr 127.0.0.1:7411 --rate 500
+//! cargo run --release -p pvs-bench --bin serve_load -- --inline --smoke --check-identity
+//! ```
+//!
+//! Flags: `--inline` (start a server in-process on an ephemeral port —
+//! the one-command CI path) or `--addr A` (drive an existing server);
+//! `--requests N`; `--connections C` (closed loop, default 4) or
+//! `--rate R` (open loop, Poisson arrivals at R req/s); `--seed S`;
+//! `--smoke` (16 requests over 4 cells); `--check-identity` (verify
+//! every served cell byte-matches a direct engine run); `--out PATH`
+//! (write the profile-v2 document, probed first, written atomically).
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
+//! 1 a request failed or identity was violated, 2 malformed usage,
+//! 6 `--out` cannot be written.
+
+use pvs_bench::cli::{self, exit};
+use pvs_bench::serveload::{
+    bench_serve_doc, check_identity, fetch_cell_body, fetch_stats, paper_serve_cells, percentile,
+    run_load, ArrivalMode, LoadOptions,
+};
+use pvs_serve::{Request, Server, ServerOptions};
+
+const USAGE: &str = "serve_load [--inline | --addr A] [--requests N] [--connections C | --rate R] \
+                     [--seed S] [--smoke] [--check-identity] [--out PATH]";
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(exit::USAGE);
+}
+
+struct Cli {
+    addr: Option<String>,
+    inline: bool,
+    smoke: bool,
+    check: bool,
+    out: Option<String>,
+    options: LoadOptions,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli {
+        addr: None,
+        inline: false,
+        smoke: false,
+        check: false,
+        out: None,
+        options: LoadOptions::default(),
+    };
+    let mut requests = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |name: &str| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{name} needs a value")))
+        };
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("usage: {USAGE}");
+                std::process::exit(exit::OK);
+            }
+            "--inline" => {
+                cli.inline = true;
+                i += 1;
+            }
+            "--smoke" => {
+                cli.smoke = true;
+                i += 1;
+            }
+            "--check-identity" => {
+                cli.check = true;
+                i += 1;
+            }
+            "--addr" => {
+                cli.addr = Some(value("--addr"));
+                i += 2;
+            }
+            "--out" => {
+                cli.out = Some(value("--out"));
+                i += 2;
+            }
+            "--requests" => {
+                requests = Some(value("--requests").parse::<usize>().unwrap_or_else(|_| {
+                    usage_exit("--requests needs a positive integer")
+                }));
+                i += 2;
+            }
+            "--connections" => {
+                let c = value("--connections")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .unwrap_or_else(|| usage_exit("--connections needs a positive integer"));
+                cli.options.mode = ArrivalMode::Closed { connections: c };
+                i += 2;
+            }
+            "--rate" => {
+                let r = value("--rate")
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&r| r > 0.0)
+                    .unwrap_or_else(|| usage_exit("--rate needs a positive number"));
+                cli.options.mode = ArrivalMode::Open { rate_rps: r };
+                i += 2;
+            }
+            "--seed" => {
+                cli.options.seed = value("--seed")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage_exit("--seed needs a non-negative integer"));
+                i += 2;
+            }
+            other => usage_exit(&format!("unrecognized argument {other:?}")),
+        }
+    }
+    if cli.inline && cli.addr.is_some() {
+        usage_exit("--inline and --addr are mutually exclusive");
+    }
+    if !cli.inline && cli.addr.is_none() {
+        cli.inline = true; // one-command default
+    }
+    cli.options.requests = requests.unwrap_or(if cli.smoke { 16 } else { 64 });
+    if cli.options.requests == 0 {
+        usage_exit("--requests needs a positive integer");
+    }
+    cli
+}
+
+fn cells_for(smoke: bool) -> Vec<Request> {
+    if smoke {
+        // Four small cells: one per application, cheap enough for CI.
+        vec![
+            Request::cell("LBMHD", "4096x4096", "ES", 16),
+            Request::cell("PARATEC", "432 atom", "X1", 16),
+            Request::cell("CACTUS", "80x80x80", "Power3", 16),
+            Request::cell("GTC", "10 part/cell", "Altix", 16),
+        ]
+    } else {
+        paper_serve_cells()
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some(out) = &cli.out {
+        if let Err(e) = cli::probe_writable(out) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    }
+    let cells = cells_for(cli.smoke);
+
+    let inline_server = if cli.inline {
+        match Server::start(ServerOptions::default()) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("error: cannot start inline server: {e}");
+                std::process::exit(exit::WRITE);
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match (&inline_server, &cli.addr) {
+        (Some(server), _) => server.addr().to_string(),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => unreachable!("parse_cli guarantees a target"),
+    };
+
+    let run = match run_load(&addr, &cells, &cli.options) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: load run failed: {e}");
+            std::process::exit(exit::FAILURE);
+        }
+    };
+
+    let sorted = run.sorted_latencies_s();
+    println!(
+        "{} requests in {:.3}s  ({:.1} req/s)",
+        run.samples.len(),
+        run.wall_s,
+        run.throughput_rps()
+    );
+    println!(
+        "latency p50 {:.0}us  p90 {:.0}us  p99 {:.0}us",
+        percentile(&sorted, 50.0) * 1e6,
+        percentile(&sorted, 90.0) * 1e6,
+        percentile(&sorted, 99.0) * 1e6
+    );
+    for (source, count) in run.source_counts() {
+        println!("  {source:<12} {count}");
+    }
+
+    let failed = run.samples.iter().filter(|s| !s.ok).count();
+    if failed > 0 {
+        eprintln!("FAILURE: {failed} requests did not succeed");
+        std::process::exit(exit::FAILURE);
+    }
+
+    if cli.check {
+        match check_identity(&addr, &cells) {
+            Ok(()) => println!("identity: every served cell matches the direct computation"),
+            Err(bad) => {
+                eprintln!("FAILURE: served bytes diverge from direct computation for:");
+                for key in bad {
+                    eprintln!("  {key}");
+                }
+                std::process::exit(exit::FAILURE);
+            }
+        }
+    }
+
+    if let Some(out) = &cli.out {
+        let bodies: Result<Vec<String>, _> =
+            cells.iter().map(|c| fetch_cell_body(&addr, c)).collect();
+        let stats = fetch_stats(&addr);
+        let (bodies, stats) = match (bodies, stats) {
+            (Ok(b), Ok(s)) => (b, s),
+            (b, s) => {
+                eprintln!("error: could not gather document inputs: {:?} {:?}", b.err(), s.err());
+                std::process::exit(exit::FAILURE);
+            }
+        };
+        let doc = bench_serve_doc(&cells, &bodies, &run, &stats, &cli.options);
+        if let Err(e) = cli::write_atomic(out, &doc) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+        println!("wrote {out}");
+    }
+}

@@ -1,4 +1,5 @@
 //! Regenerate the paper's Table 1.
 fn main() {
+    pvs_bench::cli::parse_flags("table1", &[]);
     print!("{}", pvs_bench::table1_text());
 }

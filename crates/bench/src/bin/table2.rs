@@ -1,4 +1,5 @@
 //! Regenerate the paper's Table 2.
 fn main() {
+    pvs_bench::cli::parse_flags("table2", &[]);
     print!("{}", pvs_bench::table2_text());
 }

@@ -1,7 +1,8 @@
 //! Regenerate the paper's Table 5.
 fn main() {
+    let flags = pvs_bench::cli::parse_flags("table5 [--json]", &["--json"]);
     let out = pvs_bench::table5_model();
-    if std::env::args().any(|a| a == "--json") {
+    if flags.iter().any(|f| f == "--json") {
         println!("{}", out.render_json());
     } else {
         print!("{}", out.render());

@@ -1,7 +1,8 @@
 //! Regenerate the paper's Table 6.
 fn main() {
+    let flags = pvs_bench::cli::parse_flags("table6 [--json]", &["--json"]);
     let out = pvs_bench::table6_model();
-    if std::env::args().any(|a| a == "--json") {
+    if flags.iter().any(|f| f == "--json") {
         println!("{}", out.render_json());
     } else {
         print!("{}", out.render());

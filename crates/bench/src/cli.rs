@@ -39,6 +39,34 @@ pub mod exit {
     pub const WRITE: i32 = 6;
 }
 
+/// Harden a flag-only binary's argument handling: every argument must be
+/// one of `flags`. `--help`/`-h` prints the usage line and exits 0;
+/// anything else prints an error plus the usage line to stderr and exits
+/// 2 (`exit::USAGE`) — never a panic, never a silent success. Returns
+/// the recognized flags that were present (deduplicated, argv order).
+///
+/// Binaries with value-taking options (`--out PATH`, …) keep their own
+/// loops; this helper covers the table/figure generators whose whole
+/// surface is zero or more boolean flags.
+pub fn parse_flags(usage: &str, flags: &[&str]) -> Vec<String> {
+    let mut seen: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            println!("usage: {usage}");
+            std::process::exit(exit::OK);
+        } else if flags.contains(&arg.as_str()) {
+            if !seen.contains(&arg) {
+                seen.push(arg);
+            }
+        } else {
+            eprintln!("error: unrecognized argument {arg:?}");
+            eprintln!("usage: {usage}");
+            std::process::exit(exit::USAGE);
+        }
+    }
+    seen
+}
+
 /// Load a profile document, classifying every failure mode into the
 /// shared exit-code convention. Returns `(exit_code, one_line_message)`
 /// on failure; callers print the message to stderr and exit.

@@ -109,7 +109,7 @@ impl BenchmarkGroup {
                 self.name
             );
         } else {
-            let median = per_iter[per_iter.len() / 2];
+            let median = median(&per_iter);
             let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
             println!(
                 "{}/{name}: time [{} {} {}] ({} samples)",
@@ -164,6 +164,28 @@ impl Bencher {
         } else {
             Some(self.elapsed.as_secs_f64() / self.iters as f64)
         }
+    }
+}
+
+/// Median of a sample vector: midpoint average of the two middle
+/// elements for even lengths, the middle element for odd lengths, `0.0`
+/// for an empty slice. Sorts a copy with `f64::total_cmp`, so NaN-free
+/// inputs order totally and the result is deterministic.
+///
+/// Every reported-time path in this crate funnels through here: a bare
+/// `v[v.len() / 2]` picks the *upper*-middle element for even-length
+/// samples, biasing every reported median upward.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
     }
 }
 
@@ -271,6 +293,27 @@ mod tests {
         });
         g.finish();
         assert_eq!(calls, 3, "all samples still attempted");
+    }
+
+    #[test]
+    fn median_of_odd_length_is_middle_element() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(&[2.0, 8.0, 4.0, 10.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn median_of_even_length_averages_the_middle_pair() {
+        // A bare `v[len / 2]` would return 4.0 here — the upper-middle
+        // element — instead of the true median 3.0.
+        assert_eq!(median(&[4.0, 2.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 4.0, 8.0]), 3.0);
+        assert_eq!(median(&[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]), 35.0);
+    }
+
+    #[test]
+    fn median_of_empty_slice_is_zero() {
+        assert_eq!(median(&[]), 0.0);
     }
 
     #[test]

@@ -121,14 +121,10 @@ pub struct CellProfile {
 }
 
 impl CellProfile {
-    /// Median of the host samples (0 when no samples were taken).
+    /// Median of the host samples (0 when no samples were taken):
+    /// midpoint average of the middle pair for even sample counts.
     pub fn host_median_s(&self) -> f64 {
-        if self.host_secs.is_empty() {
-            return 0.0;
-        }
-        let mut v = self.host_secs.clone();
-        v.sort_by(f64::total_cmp);
-        v[v.len() / 2]
+        crate::harness::median(&self.host_secs)
     }
 }
 
@@ -422,6 +418,28 @@ mod tests {
             assert_eq!(a.snapshot, b.snapshot, "{} {}", a.cell.app, a.cell.machine);
             assert_eq!(a.span_events, b.span_events);
         }
+    }
+
+    fn profile_with_host_secs(host_secs: Vec<f64>) -> CellProfile {
+        let mut out = run_profile(vec![paper_cells().remove(0)], quick_options());
+        let mut c = out.cells.remove(0);
+        c.host_secs = host_secs;
+        c
+    }
+
+    #[test]
+    fn host_median_of_odd_sample_count_is_middle_element() {
+        let c = profile_with_host_secs(vec![0.9, 0.1, 0.5]);
+        assert_eq!(c.host_median_s(), 0.5);
+    }
+
+    #[test]
+    fn host_median_of_even_sample_count_averages_the_middle_pair() {
+        // `v[len / 2]` would report 0.75 (the upper-middle sample); the
+        // true median of {0.125, 0.25, 0.75, 0.875} is 0.5.
+        let c = profile_with_host_secs(vec![0.875, 0.25, 0.75, 0.125]);
+        assert_eq!(c.host_median_s(), 0.5);
+        assert_eq!(profile_with_host_secs(vec![]).host_median_s(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Seeded load generator for the serving layer, plus the
+//! `BENCH_serve.json` emitter.
+//!
+//! Two arrival models, both deterministic in *what* they ask for:
+//!
+//! * **closed loop** — `C` connections issue requests back-to-back; the
+//!   offered load follows service capacity (classic saturation probe);
+//! * **open loop** — requests arrive on a seeded Poisson process at a
+//!   fixed rate, each on its own connection, regardless of how the
+//!   server is keeping up (latency-under-load probe).
+//!
+//! Request *content* is a fixed schedule over a cell list (request `i`
+//! asks for cell `i mod cells.len()`), so two runs with the same options
+//! offer the same work in the same order; only host timing differs. The
+//! emitted document is schema `pvs-bench/profile-v2`: model metrics are
+//! the served cell bytes (pure, gated exactly by `compare`), request
+//! latencies land in `host_wall` (report-only unless `--host-tol`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pvs_core::engine::{run_sweep_threads, SweepJob};
+use pvs_core::rng::Pcg32;
+use pvs_report::json::{array, number, pretty, JsonObject};
+use pvs_serve::Request;
+
+use crate::harness::median;
+
+/// The default serving grid: every application's large configuration on
+/// the two vector machines at the paper's common P=64 — eight distinct
+/// cells, so a load run exercises both cold misses and hits.
+pub fn paper_serve_cells() -> Vec<Request> {
+    let mut cells = Vec::new();
+    for (app, config) in [
+        ("LBMHD", "8192x8192"),
+        ("PARATEC", "686 atom"),
+        ("CACTUS", "250x64x64"),
+        ("GTC", "100 part/cell"),
+    ] {
+        for machine in ["ES", "X1"] {
+            cells.push(Request::cell(app, config, machine, 64));
+        }
+    }
+    cells
+}
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMode {
+    /// `connections` workers, each issuing back-to-back requests.
+    Closed {
+        /// Concurrent connections.
+        connections: usize,
+    },
+    /// Seeded Poisson arrivals at `rate_rps` requests per second, one
+    /// connection per request.
+    Open {
+        /// Offered arrival rate (requests/second).
+        rate_rps: f64,
+    },
+}
+
+/// One load run's knobs.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Arrival model.
+    pub mode: ArrivalMode,
+    /// Seed for the open-loop arrival process (ignored closed-loop).
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            mode: ArrivalMode::Closed { connections: 4 },
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone)]
+pub struct RequestSample {
+    /// Index into the cell list this request asked for.
+    pub cell: usize,
+    /// Wall-clock seconds from send to full response line.
+    pub latency_s: f64,
+    /// The response's `source` tag (`memory`, `computed`, …), or the
+    /// error tag for `"ok":false` responses.
+    pub source: String,
+    /// Whether the response was `"ok":true`.
+    pub ok: bool,
+}
+
+/// A completed load run.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// Per-request outcomes, in schedule order.
+    pub samples: Vec<RequestSample>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+}
+
+impl LoadRun {
+    /// Achieved throughput over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.samples.len() as f64 / self.wall_s
+        }
+    }
+
+    /// Latencies of successful requests, sorted ascending.
+    pub fn sorted_latencies_s(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.ok)
+            .map(|s| s.latency_s)
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    /// How many responses carried each `source` tag, sorted by tag.
+    pub fn source_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for s in &self.samples {
+            *counts.entry(s.source.clone()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn request_line(request: &Request) -> String {
+    let mut obj = JsonObject::new()
+        .string("op", "cell")
+        .string("app", &request.app)
+        .string("config", &request.config)
+        .string("machine", &request.machine)
+        .number("procs", request.procs as f64);
+    if let Some(f) = request.faults {
+        obj = obj
+            .number("fault_seed", f.seed as f64)
+            .number("fault_events", f.events as f64);
+    }
+    obj.render()
+}
+
+fn source_of(response: &str) -> (bool, String) {
+    let doc = match pvs_analyze::json::parse(response) {
+        Ok(doc) => doc,
+        Err(_) => return (false, "unparseable".to_string()),
+    };
+    let ok = doc.get("ok").and_then(|v| v.as_bool()).unwrap_or(false);
+    let tag = if ok { doc.str("source") } else { doc.str("error") };
+    (ok, tag.unwrap_or("missing").to_string())
+}
+
+fn exchange(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    Ok(stream)
+}
+
+/// Run one request and time it.
+fn timed_request(stream: &mut TcpStream, cell: usize, line: &str) -> RequestSample {
+    let started = Instant::now();
+    match exchange(stream, line) {
+        Ok(response) => {
+            let latency_s = started.elapsed().as_secs_f64();
+            let (ok, source) = source_of(&response);
+            RequestSample { cell, latency_s, source, ok }
+        }
+        Err(e) => RequestSample {
+            cell,
+            latency_s: started.elapsed().as_secs_f64(),
+            source: format!("io: {e}"),
+            ok: false,
+        },
+    }
+}
+
+/// Drive `options.requests` requests at `addr` over the cell schedule.
+pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io::Result<LoadRun> {
+    assert!(!cells.is_empty(), "load run needs at least one cell");
+    let lines: Vec<String> = cells.iter().map(request_line).collect();
+    let results: Mutex<Vec<Option<RequestSample>>> = Mutex::new(vec![None; options.requests]);
+    let started = Instant::now();
+
+    match options.mode {
+        ArrivalMode::Closed { connections } => {
+            let connections = connections.clamp(1, options.requests.max(1));
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| -> std::io::Result<()> {
+                let mut handles = Vec::new();
+                for _ in 0..connections {
+                    let mut stream = connect(addr)?;
+                    let next = &next;
+                    let results = &results;
+                    let lines = &lines;
+                    handles.push(scope.spawn(move || {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= options.requests {
+                                return;
+                            }
+                            let cell = i % lines.len();
+                            let sample = timed_request(&mut stream, cell, &lines[cell]);
+                            // INFALLIBLE: holders only store a sample.
+                            results.lock().expect("results poisoned")[i] = Some(sample);
+                        }
+                    }));
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+                Ok(())
+            })?;
+        }
+        ArrivalMode::Open { rate_rps } => {
+            assert!(rate_rps > 0.0, "open-loop rate must be positive");
+            // Pre-draw the arrival offsets so the schedule depends only
+            // on the seed, not on how fast responses come back.
+            let mut rng = Pcg32::seed_from_u64(options.seed);
+            let mut at = 0.0f64;
+            let arrivals: Vec<f64> = (0..options.requests)
+                .map(|_| {
+                    // Exponential inter-arrival; 1 - u keeps ln() finite.
+                    at += -(1.0 - rng.next_f64()).ln() / rate_rps;
+                    at
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, arrival) in arrivals.into_iter().enumerate() {
+                    let elapsed = started.elapsed().as_secs_f64();
+                    if arrival > elapsed {
+                        std::thread::sleep(Duration::from_secs_f64(arrival - elapsed));
+                    }
+                    let results = &results;
+                    let lines = &lines;
+                    handles.push(scope.spawn(move || {
+                        let cell = i % lines.len();
+                        let sample = match connect(addr) {
+                            Ok(mut stream) => timed_request(&mut stream, cell, &lines[cell]),
+                            Err(e) => RequestSample {
+                                cell,
+                                latency_s: 0.0,
+                                source: format!("io: {e}"),
+                                ok: false,
+                            },
+                        };
+                        // INFALLIBLE: holders only store a sample.
+                        results.lock().expect("results poisoned")[i] = Some(sample);
+                    }));
+                }
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+        }
+    }
+
+    let wall_s = started.elapsed().as_secs_f64();
+    // INFALLIBLE: all workers have joined; the lock is free.
+    let samples = results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|s| s.expect("every request index filled"))
+        .collect();
+    Ok(LoadRun { samples, wall_s })
+}
+
+/// Fetch one cell's served body (the verbatim `cell` member bytes).
+pub fn fetch_cell_body(addr: &str, request: &Request) -> std::io::Result<String> {
+    let mut stream = connect(addr)?;
+    let response = exchange(&mut stream, &request_line(request))?;
+    match response.split_once("\"cell\":") {
+        Some((_, rest)) if response.starts_with("{\"ok\":true") => {
+            Ok(rest[..rest.len() - 1].to_string())
+        }
+        _ => Err(std::io::Error::other(format!("not a cell response: {response}"))),
+    }
+}
+
+/// Fetch the server's `stats` dump (raw JSON line).
+pub fn fetch_stats(addr: &str) -> std::io::Result<String> {
+    let mut stream = connect(addr)?;
+    exchange(&mut stream, "{\"op\":\"stats\"}")
+}
+
+/// The model bytes a direct, serial engine run renders for `request` —
+/// the reference the serving layer must match byte-for-byte.
+pub fn direct_cell_body(request: &Request) -> Result<String, String> {
+    let cell = request.resolve().map_err(|e| e.to_string())?;
+    let reports = run_sweep_threads(
+        vec![SweepJob {
+            machine: cell.machine,
+            phases: cell.phases,
+            procs: cell.procs,
+        }],
+        1,
+    );
+    Ok(pvs_report::json::perf_report(&reports[0]))
+}
+
+/// Verify every cell's served bytes equal the direct computation.
+/// Returns the offending cell keys on mismatch.
+pub fn check_identity(addr: &str, cells: &[Request]) -> Result<(), Vec<String>> {
+    let mut bad = Vec::new();
+    for request in cells {
+        let served = fetch_cell_body(addr, request);
+        let direct = direct_cell_body(request);
+        match (served, direct) {
+            (Ok(s), Ok(d)) if s == d => {}
+            _ => bad.push(request.canonical_key()),
+        }
+    }
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+/// Render the run as a `pvs-bench/profile-v2` document: one cell per
+/// distinct request (model = served bytes, host_wall = that cell's
+/// request latencies), the server's `serve.*` registry in `harness`,
+/// and the load aggregates in a `load` object.
+pub fn bench_serve_doc(
+    cells: &[Request],
+    bodies: &[String],
+    run: &LoadRun,
+    server_stats: &str,
+    options: &LoadOptions,
+) -> String {
+    assert_eq!(cells.len(), bodies.len());
+    let cell_docs = array(cells.iter().zip(bodies).enumerate().map(|(i, (req, body))| {
+        let mut lat: Vec<f64> = run
+            .samples
+            .iter()
+            .filter(|s| s.ok && s.cell == i)
+            .map(|s| s.latency_s)
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        let host = JsonObject::new()
+            .number("median_s", median(&lat))
+            .number("samples", lat.len() as f64)
+            .raw("all_s", array(lat.iter().map(|s| number(*s))))
+            .render();
+        JsonObject::new()
+            .string("app", &req.app)
+            .string("config", &req.config)
+            .string("machine", &req.machine)
+            .number("procs", req.procs as f64)
+            .raw("model", body.clone())
+            .raw("host_wall", host)
+            .render()
+    }));
+
+    // The server's own counters/gauges, in the same `harness` name/value
+    // shape the profile documents use.
+    let mut harness_entries = Vec::new();
+    if let Ok(stats) = pvs_analyze::json::parse(server_stats) {
+        for section in ["counters", "gauges"] {
+            if let Some(pvs_analyze::json::Value::Object(members)) = stats.get(section) {
+                for (name, value) in members {
+                    if let Some(v) = value.as_f64() {
+                        harness_entries.push(
+                            JsonObject::new().string("name", name).number("value", v).render(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let sorted = run.sorted_latencies_s();
+    let mode = match options.mode {
+        ArrivalMode::Closed { connections } => JsonObject::new()
+            .string("mode", "closed")
+            .number("connections", connections as f64)
+            .render(),
+        ArrivalMode::Open { rate_rps } => JsonObject::new()
+            .string("mode", "open")
+            .number("rate_rps", rate_rps)
+            .render(),
+    };
+    let load = JsonObject::new()
+        .number("requests", run.samples.len() as f64)
+        .raw("arrivals", mode)
+        .number("seed", options.seed as f64)
+        .number("wall_s", run.wall_s)
+        .number("throughput_rps", run.throughput_rps())
+        .number("latency_p50_us", percentile(&sorted, 50.0) * 1e6)
+        .number("latency_p90_us", percentile(&sorted, 90.0) * 1e6)
+        .number("latency_p99_us", percentile(&sorted, 99.0) * 1e6)
+        .render();
+
+    pretty(
+        &JsonObject::new()
+            .string("schema", "pvs-bench/profile-v2")
+            .raw("load", load)
+            .raw("harness", array(harness_entries))
+            .raw("cells", cell_docs)
+            .render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_serve::{Server, ServerOptions};
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 90.0), 4.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&v, 25.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn default_serve_grid_is_eight_valid_cells() {
+        let cells = paper_serve_cells();
+        assert_eq!(cells.len(), 8);
+        for c in &cells {
+            c.resolve().unwrap();
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_covers_the_schedule_and_passes_identity() {
+        let server = Server::start(ServerOptions::default()).unwrap();
+        let addr = server.addr().to_string();
+        let cells = vec![
+            Request::cell("LBMHD", "4096x4096", "ES", 16),
+            Request::cell("GTC", "10 part/cell", "X1", 16),
+        ];
+        let options = LoadOptions {
+            requests: 10,
+            mode: ArrivalMode::Closed { connections: 3 },
+            seed: 1,
+        };
+        let run = run_load(&addr, &cells, &options).unwrap();
+        assert_eq!(run.samples.len(), 10);
+        assert!(run.samples.iter().all(|s| s.ok), "{:?}", run.source_counts());
+        // Request i asked for cell i % 2.
+        for (i, s) in run.samples.iter().enumerate() {
+            assert_eq!(s.cell, i % 2);
+        }
+        check_identity(&addr, &cells).unwrap();
+
+        let bodies: Vec<String> = cells
+            .iter()
+            .map(|c| fetch_cell_body(&addr, c).unwrap())
+            .collect();
+        let stats = fetch_stats(&addr).unwrap();
+        let doc = bench_serve_doc(&cells, &bodies, &run, &stats, &options);
+        // The emitted document loads as profile-v2 and carries both cells.
+        let parsed = pvs_analyze::profiledoc::load(&doc).unwrap();
+        assert_eq!(parsed.cells.len(), 2);
+        assert!(doc.contains("serve.cache.hits"), "harness carries serve counters");
+        assert!(doc.contains("throughput_rps"));
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_seed_deterministic() {
+        let server = Server::start(ServerOptions::default()).unwrap();
+        let addr = server.addr().to_string();
+        let cells = vec![Request::cell("CACTUS", "80x80x80", "Power3", 16)];
+        let options = LoadOptions {
+            requests: 5,
+            mode: ArrivalMode::Open { rate_rps: 200.0 },
+            seed: 42,
+        };
+        let run = run_load(&addr, &cells, &options).unwrap();
+        assert_eq!(run.samples.len(), 5);
+        assert!(run.samples.iter().all(|s| s.ok), "{:?}", run.source_counts());
+        // Exactly one computed miss; the rest were batched or hits.
+        let counts = run.source_counts();
+        let computed: usize = counts
+            .iter()
+            .filter(|(tag, _)| tag == "computed")
+            .map(|(_, n)| *n)
+            .sum();
+        assert_eq!(computed, 1, "{counts:?}");
+    }
+}

@@ -39,6 +39,11 @@ const COMPARE: &str = env!("CARGO_BIN_EXE_compare");
 const PROFILE: &str = env!("CARGO_BIN_EXE_profile");
 const CHAOS: &str = env!("CARGO_BIN_EXE_chaos");
 const EXPERIMENTS: &str = env!("CARGO_BIN_EXE_experiments");
+const SCALING: &str = env!("CARGO_BIN_EXE_scaling");
+const FIG9: &str = env!("CARGO_BIN_EXE_fig9");
+const TABLE3: &str = env!("CARGO_BIN_EXE_table3");
+const SERVE: &str = env!("CARGO_BIN_EXE_serve");
+const SERVE_LOAD: &str = env!("CARGO_BIN_EXE_serve_load");
 
 /// The smallest valid profile document: known schema, zero cells.
 const EMPTY_DOC: &str = "{\"schema\": \"pvs-bench/profile-v2\", \"cells\": []}";
@@ -163,6 +168,100 @@ fn chaos_unwritable_out_exits_6_fast_and_writes_nothing() {
     assert_exit(&out, 6, "--out under a file");
     assert_no_panic(&out, "chaos on unwritable --out");
     assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flag_only_generators_reject_unknown_arguments() {
+    // Pre-hardening these binaries either panicked on stray arguments or
+    // silently ignored them (running the full sweep anyway). Now every
+    // generator validates argv before doing any work.
+    let out = run(SCALING, &["--bogus"]);
+    assert_exit(&out, 2, "scaling rejects unknown flags");
+    assert_no_panic(&out, "scaling on unknown flag");
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+
+    let out = run(FIG9, &["--jsonn"]);
+    assert_exit(&out, 2, "fig9 rejects a typoed --json");
+    assert_no_panic(&out, "fig9 on typoed flag");
+
+    let out = run(TABLE3, &["extra-positional"]);
+    assert_exit(&out, 2, "table3 rejects positional arguments");
+
+    // --help answers without running the model (exit 0, usage on stdout).
+    let out = run(FIG9, &["--help"]);
+    assert_exit(&out, 0, "--help is not an error");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = run(SERVE, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    assert_no_panic(&out, "serve on unknown flag");
+    let out = run(SERVE, &["--threads"]);
+    assert_exit(&out, 2, "--threads without a value");
+    let out = run(SERVE, &["--max-pending", "lots"]);
+    assert_exit(&out, 2, "non-numeric --max-pending");
+    let out = run(SERVE, &["--help"]);
+    assert_exit(&out, 0, "--help answers cleanly");
+}
+
+#[test]
+fn serve_load_usage_errors_exit_2() {
+    let out = run(SERVE_LOAD, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    assert_no_panic(&out, "serve_load on unknown flag");
+    let out = run(SERVE_LOAD, &["--requests", "many"]);
+    assert_exit(&out, 2, "non-numeric --requests");
+    let out = run(SERVE_LOAD, &["--requests", "0"]);
+    assert_exit(&out, 2, "zero requests is a usage error");
+    let out = run(SERVE_LOAD, &["--inline", "--addr", "127.0.0.1:1"]);
+    assert_exit(&out, 2, "--inline and --addr conflict");
+    let out = run(SERVE_LOAD, &["--rate", "-3"]);
+    assert_exit(&out, 2, "negative --rate");
+}
+
+#[test]
+fn serve_load_unwritable_out_exits_6_before_any_load() {
+    let dir = scratch_dir("serve_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("BENCH_serve.json");
+    let out = run(
+        SERVE_LOAD,
+        &["--inline", "--smoke", "--out", under.to_str().unwrap()],
+    );
+    assert_exit(&out, 6, "--out under a file fails before the load runs");
+    assert_no_panic(&out, "serve_load on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_load_inline_smoke_passes_identity() {
+    let dir = scratch_dir("serve_smoke");
+    let out_path = dir.join("BENCH_serve.json");
+    let out = run(
+        SERVE_LOAD,
+        &[
+            "--inline",
+            "--smoke",
+            "--requests",
+            "8",
+            "--connections",
+            "2",
+            "--check-identity",
+            "--out",
+            out_path.to_str().unwrap(),
+        ],
+    );
+    assert_exit(&out, 0, "inline smoke load run");
+    assert_no_panic(&out, "serve_load inline smoke");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("identity: every served cell"), "{stdout}");
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    assert!(doc.contains("\"schema\": \"pvs-bench/profile-v2\""), "{doc}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,0 +1,95 @@
+//! Stable 64-bit content hashing (FNV-1a) for content-addressable keys.
+//!
+//! `std::hash::DefaultHasher` is randomly seeded per process, so it can
+//! never name a cache entry that must be findable across processes or
+//! survive on disk. The serving layer (`pvs-serve`) canonicalizes each
+//! request into a byte string and addresses it by this hash instead:
+//! FNV-1a is tiny, allocation-free, and produces the same digest on
+//! every platform and in every process — exactly the property a
+//! deterministic simulation cache needs.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot digest rendered as 16 lowercase hex digits — the form cache
+/// keys and spill filenames use.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference digests from the FNV specification's test suite.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_writes_match_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn hex_form_is_16_lowercase_digits_zero_padded() {
+        let hex = fnv1a_hex(b"foobar");
+        assert_eq!(hex, "85944171f73967e8");
+        assert_eq!(hex.len(), 16);
+        // Zero-padding: find nothing shorter even for small digests.
+        assert_eq!(fnv1a_hex(b"").len(), 16);
+    }
+
+    #[test]
+    fn distinct_inputs_produce_distinct_digests() {
+        assert_ne!(fnv1a(b"LBMHD|ES|64"), fnv1a(b"LBMHD|ES|65"));
+        assert_ne!(fnv1a(b"a|bc"), fnv1a(b"ab|c"));
+    }
+}

@@ -23,7 +23,9 @@
 //! * [`pool`]: the std-only work-sharing thread pool behind `run_sweep`
 //!   (no external crates — the whole workspace builds offline);
 //! * [`rng`]: deterministic in-tree SplitMix64/PCG32 generators replacing
-//!   `rand`, so every seeded simulation is bit-reproducible.
+//!   `rand`, so every seeded simulation is bit-reproducible;
+//! * [`hash`]: stable FNV-1a content hashing (unlike `DefaultHasher`,
+//!   never randomly seeded), used by the serving layer to address cells.
 //!
 //! ## Example
 //!
@@ -47,6 +49,7 @@
 pub mod adversity;
 pub mod checkpoint;
 pub mod engine;
+pub mod hash;
 pub mod kernel;
 pub mod machine;
 pub mod phase;
@@ -58,6 +61,7 @@ pub mod rng;
 pub use adversity::Adversity;
 pub use checkpoint::{RunCheckpoint, SweepCheckpoint};
 pub use engine::{run_sweep, run_sweep_resumed, run_sweep_threads, Engine, RunOutcome, SweepJob};
+pub use hash::{fnv1a, fnv1a_hex, Fnv1a};
 pub use kernel::{KernelDescriptor, MachineKind, StaticPrediction};
 pub use machine::{CpuClass, Machine};
 pub use phase::{CommPattern, Phase, VectorizationInfo};

@@ -119,7 +119,7 @@ impl LintCode {
         match self {
             LintCode::Pvs001 => "external dependency declared in a workspace manifest",
             LintCode::Pvs002 => "Cargo.lock resolves a package from a registry source",
-            LintCode::Pvs003 => "wall-clock time source outside the bench harness",
+            LintCode::Pvs003 => "wall-clock time source outside the exempt bench/serve-edge surface",
             LintCode::Pvs004 => "`unsafe` without an adjacent `// SAFETY:` comment",
             LintCode::Pvs005 => "iteration over an unordered hash container",
             LintCode::Pvs006 => "floating-point accumulation over an unordered source",
@@ -157,14 +157,18 @@ impl LintCode {
                  `pvs`/`pvs-*` path packages."
             }
             LintCode::Pvs003 => {
-                "PVS003: wall-clock time source outside the bench harness.\n\
+                "PVS003: wall-clock time source outside the exempt surface.\n\
                  \n\
                  Every table, figure, and sweep in this repository must be\n\
                  byte-identical across runs and across worker counts. Reading\n\
                  wall-clock time (`std::time::Instant`, `std::time::SystemTime`)\n\
                  anywhere in model or application code would let nondeterminism\n\
-                 leak into results. Timing belongs only in `pvs-bench`, whose\n\
-                 harness measures the host, not the model."
+                 leak into results. Host timing is allowed in exactly two\n\
+                 places: `pvs-bench` (the harness measures the host, not the\n\
+                 model) and `crates/serve/src/server.rs` (the serving layer's\n\
+                 process edge: idle timeouts and service-time accounting). The\n\
+                 rest of `pvs-serve` stays clock-free so cached responses are\n\
+                 pure functions of the request."
             }
             LintCode::Pvs004 => {
                 "PVS004: `unsafe` without an adjacent `// SAFETY:` comment.\n\

@@ -37,11 +37,27 @@ pub fn check_source(ctx: SourceContext<'_>, text: &str) -> Vec<Diagnostic> {
     out
 }
 
-/// PVS003: wall-clock time sources outside `pvs-bench`. The bench
-/// harness times the *host*; everything else models machines and must be
-/// a pure function of its inputs.
+/// Where PVS003 permits host wall-clock access. The exemption is scoped
+/// as tightly as the architecture allows:
+///
+/// * crate `bench` — the harness exists to time the host;
+/// * `crates/serve/src/server.rs` — the serving layer's process edge,
+///   where idle timeouts and service-time accounting are host concerns
+///   by definition. The rest of `pvs-serve` (key canonicalization,
+///   cache, single-flight batching) stays clock-free and enforced, so
+///   cached responses remain pure functions of the request.
+const WALL_CLOCK_EXEMPT_PATHS: [&str; 1] = ["crates/serve/src/server.rs"];
+
+fn wall_clock_exempt(ctx: &SourceContext<'_>) -> bool {
+    ctx.crate_name == "bench" || WALL_CLOCK_EXEMPT_PATHS.contains(&ctx.path)
+}
+
+/// PVS003: wall-clock time sources outside the exempt surface (see
+/// [`WALL_CLOCK_EXEMPT_PATHS`]). The bench harness times the *host*;
+/// everything else models machines and must be a pure function of its
+/// inputs.
 fn pass_time_sources(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut Vec<Diagnostic>) {
-    if ctx.crate_name == "bench" {
+    if wall_clock_exempt(ctx) {
         return;
     }
     for (idx, line) in lines.iter().enumerate() {
@@ -52,7 +68,8 @@ fn pass_time_sources(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut V
                     ctx.path,
                     idx + 1,
                     format!(
-                        "`{token}` used outside pvs-bench — model and application \
+                        "`{token}` used outside the wall-clock-exempt surface \
+                         (pvs-bench, the serve server edge) — model and application \
                          code must be wall-clock free for byte-identical output"
                     ),
                 ));
@@ -72,8 +89,9 @@ fn pass_time_sources(ctx: &SourceContext<'_>, lines: &[ScannedLine], out: &mut V
                 LintCode::Pvs003,
                 ctx.path,
                 idx + 1,
-                "`std::time` imported wholesale outside pvs-bench — import the \
-                 specific items needed (`Duration` is fine; clock types are not)"
+                "`std::time` imported wholesale outside the wall-clock-exempt \
+                 surface — import the specific items needed (`Duration` is \
+                 fine; clock types are not)"
                     .to_string(),
             ));
         }
@@ -533,6 +551,34 @@ mod tests {
             vec![("PVS003", 1), ("PVS003", 2)]
         );
         assert!(check("bench", src).is_empty());
+    }
+
+    #[test]
+    fn serve_wall_clock_exemption_is_path_scoped() {
+        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
+        let at = |path| {
+            check_source(
+                SourceContext {
+                    crate_name: "serve",
+                    path,
+                },
+                src,
+            )
+        };
+        // Only the server edge may read the host clock...
+        assert!(at("crates/serve/src/server.rs").is_empty());
+        // ...the rest of the serve crate stays enforced clock-free.
+        for path in [
+            "crates/serve/src/lib.rs",
+            "crates/serve/src/cache.rs",
+            "crates/serve/src/workload.rs",
+        ] {
+            assert_eq!(
+                codes(&at(path)),
+                vec![("PVS003", 1), ("PVS003", 2)],
+                "{path} must not be exempt"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,21 @@ pub struct Snapshot {
     pub gauges: Vec<(String, u64)>,
 }
 
+impl Snapshot {
+    /// Value of a named counter in this snapshot (`None` if absent).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a named gauge in this snapshot (`None` if absent).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
@@ -184,6 +199,18 @@ mod tests {
         let snap = r.snapshot();
         let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn snapshot_lookup_by_name() {
+        let r = Registry::new();
+        r.add("serve.cache.hits", 4);
+        r.gauge_set("serve.queue.depth", 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("serve.cache.hits"), Some(4));
+        assert_eq!(snap.counter("serve.cache.misses"), None);
+        assert_eq!(snap.gauge("serve.queue.depth"), Some(2));
+        assert_eq!(snap.gauge("serve.queue.peak"), None);
     }
 
     #[test]

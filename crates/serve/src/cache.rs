@@ -1,0 +1,191 @@
+//! Content-addressed response cache: sharded in-memory map with an
+//! optional on-disk spill.
+//!
+//! Keys are the 16-hex-digit content addresses of
+//! [`crate::workload::Request::key_hash`]; values are fully rendered
+//! response bodies. Shard selection hashes the key with the same stable
+//! FNV-1a the addresses use, so a key always lands on the same shard in
+//! every process. Storage is `BTreeMap` (PVS005: no unordered iteration
+//! anywhere near rendered output) and each shard takes its own lock, so
+//! concurrent hits on different shards never contend.
+//!
+//! The spill directory holds one `<key>.json` file per entry, written
+//! via the workspace's atomic-write convention (content to a sibling
+//! `*.tmp.<pid>`, then rename): a crashed server never leaves a
+//! truncated entry where a good one was expected, and a restarted server
+//! warm-starts from whatever the previous one computed.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count: enough to make cross-request lock contention
+/// negligible at the connection counts the load generator drives.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Sharded `key → rendered response` store with optional disk spill.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<BTreeMap<String, Arc<str>>>>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl ShardedCache {
+    /// Cache with `shards` shards (at least one) and, when `spill_dir`
+    /// is set, a disk spill under that directory (created on first
+    /// insert).
+    pub fn new(shards: usize, spill_dir: Option<PathBuf>) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            spill_dir,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entries across shards (memory only).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Whether the in-memory cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock<'a>(
+        &self,
+        shard: &'a Mutex<BTreeMap<String, Arc<str>>>,
+    ) -> std::sync::MutexGuard<'a, BTreeMap<String, Arc<str>>> {
+        // INFALLIBLE: shard holders only touch the map — no user code
+        // runs under the lock, so poisoning is unreachable.
+        shard.lock().expect("cache shard poisoned")
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<BTreeMap<String, Arc<str>>> {
+        let idx = pvs_core::hash::fnv1a(key.as_bytes()) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    fn spill_path(&self, key: &str) -> Option<PathBuf> {
+        self.spill_dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Memory lookup only.
+    pub fn get_memory(&self, key: &str) -> Option<Arc<str>> {
+        self.lock(self.shard_of(key)).get(key).cloned()
+    }
+
+    /// Disk lookup: on a spill hit the entry is promoted into memory so
+    /// the next request is a memory hit.
+    pub fn get_disk(&self, key: &str) -> Option<Arc<str>> {
+        let path = self.spill_path(key)?;
+        let body: Arc<str> = std::fs::read_to_string(path).ok()?.into();
+        self.lock(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
+        Some(body)
+    }
+
+    /// Insert into memory and, when spilling is on, persist to disk.
+    /// Returns `Err` only for spill I/O failures — the memory insert has
+    /// already happened, so serving continues degraded rather than not
+    /// at all.
+    pub fn insert(&self, key: &str, body: Arc<str>) -> std::io::Result<()> {
+        self.lock(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
+        match self.spill_path(key) {
+            None => Ok(()),
+            Some(path) => write_atomic(&path, &body),
+        }
+    }
+}
+
+/// Atomic file write, same convention as `pvs_bench::cli::write_atomic`
+/// (duplicated here because the dependency points the other way: the
+/// bench binaries link against this crate). Content lands in a sibling
+/// `*.tmp.<pid>` and is renamed into place; on failure the temp file is
+/// removed and any pre-existing target survives untouched.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pvs_serve_cache_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_roundtrip_and_shard_stability() {
+        let c = ShardedCache::new(4, None);
+        assert!(c.is_empty());
+        assert!(c.get_memory("0123456789abcdef").is_none());
+        c.insert("0123456789abcdef", "body-a".into()).unwrap();
+        c.insert("fedcba9876543210", "body-b".into()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(&*c.get_memory("0123456789abcdef").unwrap(), "body-a");
+        assert_eq!(&*c.get_memory("fedcba9876543210").unwrap(), "body-b");
+        // Re-insert replaces.
+        c.insert("0123456789abcdef", "body-a2".into()).unwrap();
+        assert_eq!(&*c.get_memory("0123456789abcdef").unwrap(), "body-a2");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn disk_spill_roundtrips_and_promotes() {
+        let dir = scratch("spill");
+        let _ = std::fs::remove_dir_all(&dir);
+        let warm = ShardedCache::new(2, Some(dir.clone()));
+        warm.insert("00000000000000aa", "spilled body".into()).unwrap();
+        assert!(dir.join("00000000000000aa.json").exists());
+
+        // A cold cache (fresh process restart) finds the entry on disk
+        // and promotes it into memory.
+        let cold = ShardedCache::new(2, Some(dir.clone()));
+        assert!(cold.get_memory("00000000000000aa").is_none());
+        assert_eq!(&*cold.get_disk("00000000000000aa").unwrap(), "spilled body");
+        assert_eq!(&*cold.get_memory("00000000000000aa").unwrap(), "spilled body");
+        assert!(cold.get_disk("00000000000000bb").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_temp_files_survive_inserts() {
+        let dir = scratch("tmpclean");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ShardedCache::new(1, Some(dir.clone()));
+        for i in 0..8 {
+            c.insert(&format!("{i:016x}"), format!("body {i}").into()).unwrap();
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_shard_degenerate_case_works() {
+        let c = ShardedCache::new(0, None); // clamped to 1
+        assert_eq!(c.shards(), 1);
+        c.insert("00000000000000cc", "x".into()).unwrap();
+        assert_eq!(&*c.get_memory("00000000000000cc").unwrap(), "x");
+    }
+}

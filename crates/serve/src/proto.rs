@@ -1,0 +1,285 @@
+//! Wire protocol: newline-delimited JSON, one request per line, one
+//! response line back.
+//!
+//! Requests are parsed with the workspace's own reader
+//! ([`pvs_analyze::json`]) and rendered with its writer conventions
+//! ([`pvs_report::json`]) — no external serialization crates (PVS001).
+//! The four operations:
+//!
+//! | request                                     | response                          |
+//! |---------------------------------------------|-----------------------------------|
+//! | `{"op":"cell","app":…,"config":…,…}`        | `{"ok":true,…,"cell":{…}}`        |
+//! | `{"op":"stats"}`                            | counters, gauges, cache size      |
+//! | `{"op":"ping"}`                             | `{"ok":true,"pong":true}`         |
+//! | `{"op":"shutdown"}`                         | ack, then the server drains       |
+//!
+//! A cell response puts the `cell` member **last**, holding the cached
+//! body verbatim — so the bytes after `"cell":` (minus the closing `}`
+//! and newline) are exactly the `pvs_report::json::perf_report`
+//! rendering a direct engine run would produce. Clients can check
+//! byte-identity without re-parsing.
+
+use pvs_analyze::json::parse;
+use pvs_obs::Snapshot;
+use pvs_report::json::{escape, JsonObject};
+
+use crate::store::{CellResponse, ServeError};
+use crate::workload::{FaultSpec, Request, DEFAULT_FAULT_EVENTS};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Serve a sweep cell.
+    Cell(Request),
+    /// Dump the server's observability registry.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// Parse one request line. The error string is client-facing (it goes
+/// back in a `malformed` response), so it names the offending field.
+pub fn parse_line(line: &str) -> Result<Op, String> {
+    let doc = parse(line).map_err(|e| e.to_string())?;
+    let op = doc.str("op").ok_or("missing string field \"op\"")?;
+    match op {
+        "stats" => Ok(Op::Stats),
+        "ping" => Ok(Op::Ping),
+        "shutdown" => Ok(Op::Shutdown),
+        "cell" => {
+            let field = |name: &str| {
+                doc.str(name)
+                    .map(str::to_string)
+                    .ok_or(format!("missing string field {name:?}"))
+            };
+            let procs = doc.num("procs").ok_or("missing numeric field \"procs\"")?;
+            if procs.fract() != 0.0 || procs < 0.0 {
+                return Err(format!("\"procs\" must be a non-negative integer, got {procs}"));
+            }
+            let faults = match (doc.num("fault_seed"), doc.num("fault_events")) {
+                (None, None) => None,
+                (None, Some(_)) => {
+                    return Err("\"fault_events\" given without \"fault_seed\"".to_string())
+                }
+                (Some(seed), events) => {
+                    if seed.fract() != 0.0 || seed < 0.0 {
+                        return Err(format!(
+                            "\"fault_seed\" must be a non-negative integer, got {seed}"
+                        ));
+                    }
+                    let events = match events {
+                        None => DEFAULT_FAULT_EVENTS,
+                        Some(e) if e.fract() == 0.0 && e >= 0.0 => e as usize,
+                        Some(e) => {
+                            return Err(format!(
+                                "\"fault_events\" must be a non-negative integer, got {e}"
+                            ))
+                        }
+                    };
+                    Some(FaultSpec { seed: seed as u64, events })
+                }
+            };
+            Ok(Op::Cell(Request {
+                app: field("app")?,
+                config: field("config")?,
+                machine: field("machine")?,
+                procs: procs as usize,
+                faults,
+            }))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Successful cell response (one line, no trailing newline). `cell` is
+/// last and verbatim — see the module docs.
+pub fn cell_response(resp: &CellResponse) -> String {
+    format!(
+        "{{\"ok\":true,\"key\":\"{}\",\"source\":\"{}\",\"cell\":{}}}",
+        resp.key,
+        resp.source.as_str(),
+        resp.body
+    )
+}
+
+/// Error response for a failed cell request.
+pub fn error_response(err: &ServeError) -> String {
+    match err {
+        ServeError::BadRequest(detail) => JsonObject::new()
+            .boolean("ok", false)
+            .string("error", "bad_request")
+            .string("detail", &detail.to_string())
+            .render(),
+        ServeError::Overloaded { pending, max } => JsonObject::new()
+            .boolean("ok", false)
+            .string("error", "overloaded")
+            .number("pending", *pending as f64)
+            .number("max", *max as f64)
+            .render(),
+        ServeError::Internal(detail) => JsonObject::new()
+            .boolean("ok", false)
+            .string("error", "internal")
+            .string("detail", detail)
+            .render(),
+    }
+}
+
+/// Response to a line that did not parse into any [`Op`].
+pub fn malformed_response(detail: &str) -> String {
+    JsonObject::new()
+        .boolean("ok", false)
+        .string("error", "malformed")
+        .string("detail", detail)
+        .render()
+}
+
+/// Stats dump: every counter and gauge in the registry snapshot
+/// (alphabetical — the snapshot is already sorted) plus the in-memory
+/// cache size.
+pub fn stats_response(snapshot: &Snapshot, cached_cells: usize) -> String {
+    let members = |entries: &[(String, u64)]| {
+        entries
+            .iter()
+            .map(|(name, value)| format!("\"{}\":{}", escape(name), value))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"ok\":true,\"cached_cells\":{},\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+        cached_cells,
+        members(&snapshot.counters),
+        members(&snapshot.gauges)
+    )
+}
+
+/// Liveness ack.
+pub fn pong_response() -> String {
+    "{\"ok\":true,\"pong\":true}".to_string()
+}
+
+/// Shutdown ack (sent before the server drains).
+pub fn shutdown_response() -> String {
+    "{\"ok\":true,\"shutdown\":true}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::RequestError;
+
+    #[test]
+    fn cell_lines_parse_into_requests() {
+        let op = parse_line(
+            r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64}"#,
+        )
+        .unwrap();
+        assert_eq!(op, Op::Cell(Request::cell("LBMHD", "8192x8192", "ES", 64)));
+    }
+
+    #[test]
+    fn fault_fields_parse_with_defaulted_events() {
+        let op = parse_line(
+            r#"{"op":"cell","app":"GTC","config":"10 part/cell","machine":"X1","procs":64,"fault_seed":7}"#,
+        )
+        .unwrap();
+        match op {
+            Op::Cell(r) => assert_eq!(
+                r.faults,
+                Some(FaultSpec { seed: 7, events: DEFAULT_FAULT_EVENTS })
+            ),
+            other => panic!("{other:?}"),
+        }
+        let op = parse_line(
+            r#"{"op":"cell","app":"GTC","config":"10 part/cell","machine":"X1","procs":64,"fault_seed":7,"fault_events":9}"#,
+        )
+        .unwrap();
+        match op {
+            Op::Cell(r) => assert_eq!(r.faults, Some(FaultSpec { seed: 7, events: 9 })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(parse_line(r#"{"op":"stats"}"#).unwrap(), Op::Stats);
+        assert_eq!(parse_line(r#"{"op":"ping"}"#).unwrap(), Op::Ping);
+        assert_eq!(parse_line(r#"{"op":"shutdown"}"#).unwrap(), Op::Shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_produce_field_naming_errors() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"op":"teleport"}"#).unwrap_err().contains("teleport"));
+        assert!(parse_line(r#"{"app":"LBMHD"}"#).unwrap_err().contains("\"op\""));
+        assert!(parse_line(r#"{"op":"cell","app":"LBMHD"}"#)
+            .unwrap_err()
+            .contains("procs"));
+        assert!(parse_line(
+            r#"{"op":"cell","app":"LBMHD","config":"x","machine":"ES","procs":2.5}"#
+        )
+        .unwrap_err()
+        .contains("2.5"));
+        assert!(parse_line(
+            r#"{"op":"cell","app":"LBMHD","config":"x","machine":"ES","procs":4,"fault_events":2}"#
+        )
+        .unwrap_err()
+        .contains("fault_seed"));
+    }
+
+    #[test]
+    fn cell_response_embeds_the_body_verbatim_and_last() {
+        let resp = CellResponse {
+            key: "00000000000000ab".to_string(),
+            body: "{\"time_s\":1.5}".into(),
+            source: crate::store::CellSource::Memory,
+        };
+        let line = cell_response(&resp);
+        assert_eq!(
+            line,
+            "{\"ok\":true,\"key\":\"00000000000000ab\",\"source\":\"memory\",\"cell\":{\"time_s\":1.5}}"
+        );
+        // The byte-extraction contract: strip prefix up to "cell": and
+        // the final brace to recover the body exactly.
+        let cell = line
+            .split_once("\"cell\":")
+            .map(|(_, rest)| &rest[..rest.len() - 1])
+            .unwrap();
+        assert_eq!(cell, &*resp.body);
+        // Round-trips through the parser.
+        assert!(parse(&line).unwrap().get("cell").is_some());
+    }
+
+    #[test]
+    fn error_responses_are_parseable_and_tagged() {
+        let bad = error_response(&ServeError::BadRequest(RequestError::UnknownApp(
+            "LINPACK".to_string(),
+        )));
+        let doc = parse(&bad).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.str("error"), Some("bad_request"));
+        assert!(doc.str("detail").unwrap().contains("LINPACK"));
+
+        let over = error_response(&ServeError::Overloaded { pending: 3, max: 3 });
+        let doc = parse(&over).unwrap();
+        assert_eq!(doc.str("error"), Some("overloaded"));
+        assert_eq!(doc.num("pending"), Some(3.0));
+
+        let doc = parse(&malformed_response("unknown op \"x\"")).unwrap();
+        assert_eq!(doc.str("error"), Some("malformed"));
+    }
+
+    #[test]
+    fn stats_response_carries_the_snapshot() {
+        let registry = pvs_obs::Registry::new();
+        use pvs_obs::Recorder;
+        registry.add("serve.cache.hits", 5);
+        registry.gauge_set("serve.queue.depth", 2);
+        let line = stats_response(&registry.snapshot(), 7);
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.num("cached_cells"), Some(7.0));
+        assert_eq!(doc.get("counters").unwrap().num("serve.cache.hits"), Some(5.0));
+        assert_eq!(doc.get("gauges").unwrap().num("serve.queue.depth"), Some(2.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! The TCP edge: accept loop, connection threads, and the *only* place
+//! in the serving layer allowed to read a wall clock.
+//!
+//! This file is the one path-scoped exemption from the workspace's
+//! PVS003 lint (wall-clock sources are otherwise confined to
+//! `pvs-bench`): a server genuinely needs host time — to notice it has
+//! been idle long enough to exit, and to meter how long each request
+//! held a connection thread (`serve.host.busy_us`). Everything those
+//! clocks feed is *operational* (lifecycle and load metrics), never
+//! model output: the store, cache, and protocol modules are clock-free,
+//! so a served cell remains a pure function of its key.
+//!
+//! Shape: one nonblocking accept loop on a background thread, one
+//! thread per connection reading newline-delimited requests. Sockets
+//! carry a short read timeout so connection threads poll the shutdown
+//! flag instead of blocking forever on a silent client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pvs_obs::Recorder;
+
+use crate::proto;
+use crate::store::{CellStore, StoreOptions};
+
+/// How often idle loops wake to poll flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Socket read timeout: bounds how long a connection thread can ignore
+/// the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address; use port `0` for an ephemeral port (tests).
+    pub addr: String,
+    /// Store knobs (threads, shards, admission cap, spill dir).
+    pub store: StoreOptions,
+    /// Exit after this long with no connections or requests
+    /// (`None` = run until `shutdown`).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            store: StoreOptions::default(),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// A running server. Dropping it requests shutdown and joins the accept
+/// loop.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    store: Arc<CellStore>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving on a background thread. Returns as soon
+    /// as the listener is live — `addr()` is immediately connectable.
+    pub fn start(options: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let store = Arc::new(CellStore::new(options.store));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let last_activity = Arc::new(Mutex::new(Instant::now()));
+
+        let accept_store = Arc::clone(&store);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(
+                listener,
+                accept_store,
+                accept_shutdown,
+                last_activity,
+                options.idle_timeout,
+            )
+        });
+
+        Ok(Server {
+            addr,
+            store,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core (for in-process callers and tests).
+    pub fn store(&self) -> &Arc<CellStore> {
+        &self.store
+    }
+
+    /// Request shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the accept loop exits (via `shutdown`, a client's
+    /// `{"op":"shutdown"}`, or the idle timeout).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+fn touch(last_activity: &Mutex<Instant>) {
+    // INFALLIBLE: holders only store an Instant — no code runs under
+    // the lock.
+    *last_activity.lock().expect("activity clock poisoned") = Instant::now();
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: Arc<CellStore>,
+    shutdown: Arc<AtomicBool>,
+    last_activity: Arc<Mutex<Instant>>,
+    idle_timeout: Option<Duration>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                touch(&last_activity);
+                store.registry().add("serve.net.connections", 1);
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                let last_activity = Arc::clone(&last_activity);
+                connections.push(std::thread::spawn(move || {
+                    serve_connection(stream, store, shutdown, last_activity)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if let Some(limit) = idle_timeout {
+                    // INFALLIBLE: see `touch`.
+                    let idle = last_activity.lock().expect("activity clock poisoned").elapsed();
+                    if idle >= limit {
+                        shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                connections.retain(|h| !h.is_finished());
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    store: Arc<CellStore>,
+    shutdown: Arc<AtomicBool>,
+    last_activity: Arc<Mutex<Instant>>,
+) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                touch(&last_activity);
+                let started = Instant::now();
+                let (response, stop) = dispatch(&store, trimmed);
+                store
+                    .registry()
+                    .add("serve.host.busy_us", started.elapsed().as_micros() as u64);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if stop {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Route one request line; returns the response and whether the server
+/// should stop. Clock-free — time metering stays in the caller.
+fn dispatch(store: &Arc<CellStore>, line: &str) -> (String, bool) {
+    store.registry().add("serve.net.lines", 1);
+    match proto::parse_line(line) {
+        Err(detail) => {
+            store.registry().add("serve.errors.malformed", 1);
+            (proto::malformed_response(&detail), false)
+        }
+        Ok(proto::Op::Ping) => (proto::pong_response(), false),
+        Ok(proto::Op::Stats) => (
+            proto::stats_response(&store.registry().snapshot(), store.cached_cells()),
+            false,
+        ),
+        Ok(proto::Op::Shutdown) => (proto::shutdown_response(), true),
+        Ok(proto::Op::Cell(request)) => match store.get(&request) {
+            Ok(resp) => (proto::cell_response(&resp), false),
+            Err(err) => (proto::error_response(&err), false),
+        },
+    }
+}

@@ -1,0 +1,425 @@
+//! The [`CellStore`]: cache, single-flight batching, and admission
+//! control behind one `get` call — the clock-free heart of the serving
+//! layer.
+//!
+//! Request flow:
+//!
+//! 1. **Validate** — malformed requests are rejected before touching any
+//!    shared state.
+//! 2. **Memory, then disk** — a hit returns the cached bytes untouched.
+//! 3. **Single-flight** — concurrent misses on the same key coalesce
+//!    onto one in-flight simulation: the first caller becomes the leader
+//!    and submits the cell to the shared [`pvs_core::ThreadPool`];
+//!    followers wait on the leader's flight and receive the same `Arc`'d
+//!    bytes. N identical in-flight requests cost exactly one simulation.
+//! 4. **Admission control** — distinct in-flight simulations are capped
+//!    at `max_pending`; a miss arriving at the cap is answered
+//!    `overloaded` immediately instead of growing an unbounded backlog.
+//!    Cache hits (and followers of existing flights) are never rejected:
+//!    the cap bounds *new work*, not traffic.
+//!
+//! Because a cell is a pure function of its key (the workspace's
+//! determinism invariant), serving a cached body and recomputing it are
+//! observably identical — byte-for-byte. The store records every
+//! decision into a [`pvs_obs::Registry`] under `serve.*` names.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+use pvs_core::engine::Engine;
+use pvs_core::ThreadPool;
+use pvs_obs::{Recorder, Registry};
+use pvs_report::json::perf_report;
+
+use crate::cache::{ShardedCache, DEFAULT_SHARDS};
+use crate::workload::{Request, RequestError};
+
+/// Knobs for one store.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Worker threads for the simulation pool.
+    pub threads: usize,
+    /// Cache shard count.
+    pub shards: usize,
+    /// Maximum distinct in-flight simulations before misses are
+    /// rejected `overloaded`. `0` rejects every miss (useful in tests
+    /// and as a drain mode); hits always serve.
+    pub max_pending: usize,
+    /// On-disk spill directory (`None` = memory only).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            threads: pvs_core::pool::default_threads(),
+            shards: DEFAULT_SHARDS,
+            max_pending: 64,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Where a served body came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// In-memory cache hit.
+    Memory,
+    /// Disk-spill hit (now promoted to memory).
+    Disk,
+    /// This request led the simulation.
+    Computed,
+    /// This request coalesced onto another request's simulation.
+    Batched,
+}
+
+impl CellSource {
+    /// Wire spelling (the response `source` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellSource::Memory => "memory",
+            CellSource::Disk => "disk",
+            CellSource::Computed => "computed",
+            CellSource::Batched => "batched",
+        }
+    }
+}
+
+/// A successfully served cell.
+#[derive(Debug, Clone)]
+pub struct CellResponse {
+    /// Content address (16 hex digits).
+    pub key: String,
+    /// The rendered model report — byte-identical to
+    /// `pvs_report::json::perf_report` over a direct engine run.
+    pub body: Arc<str>,
+    /// How the store satisfied the request.
+    pub source: CellSource,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request failed validation.
+    BadRequest(RequestError),
+    /// Admission control: too many distinct simulations in flight.
+    Overloaded {
+        /// Distinct in-flight simulations at rejection time.
+        pending: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The simulation panicked (a bug, not a client error); the flight
+    /// is failed so followers are not stranded.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ServeError::Overloaded { pending, max } => {
+                write!(f, "overloaded: {pending} simulations in flight (max {max})")
+            }
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+/// One in-flight simulation that any number of requests may wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Result<Arc<str>, String>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn fulfill(&self, result: Result<Arc<str>, String>) {
+        // INFALLIBLE: slot holders only move a value — no user code
+        // runs under the lock.
+        *self.slot.lock().expect("flight slot poisoned") = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<str>, String> {
+        // INFALLIBLE: see `fulfill`.
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            match &*slot {
+                Some(result) => return result.clone(),
+                // INFALLIBLE: waiting repoisons only on a panicked holder.
+                None => slot = self.done.wait(slot).expect("flight wait"),
+            }
+        }
+    }
+}
+
+/// The serving core. Share it across connection handlers with an `Arc`.
+pub struct CellStore {
+    cache: ShardedCache,
+    pool: ThreadPool,
+    flights: Mutex<BTreeMap<String, Arc<Flight>>>,
+    max_pending: usize,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for CellStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellStore")
+            .field("max_pending", &self.max_pending)
+            .field("cached_cells", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CellStore {
+    /// Build a store from options.
+    pub fn new(options: StoreOptions) -> Self {
+        Self {
+            cache: ShardedCache::new(options.shards, options.spill_dir),
+            pool: ThreadPool::new(options.threads),
+            flights: Mutex::new(BTreeMap::new()),
+            max_pending: options.max_pending,
+            registry: Arc::new(Registry::new()),
+        }
+    }
+
+    /// The store's observability registry (`serve.*` counters/gauges).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// In-memory cache entries.
+    pub fn cached_cells(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn lock_flights(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Flight>>> {
+        // INFALLIBLE: flight-map holders only update the map and gauges.
+        self.flights.lock().expect("flight map poisoned")
+    }
+
+    /// Serve one request. Blocks the calling thread until the body is
+    /// available (or the request is rejected); concurrency comes from
+    /// calling this from many connection threads at once.
+    pub fn get(self: &Arc<Self>, request: &Request) -> Result<CellResponse, ServeError> {
+        self.registry.add("serve.requests", 1);
+        let resolved = match request.resolve() {
+            Ok(r) => r,
+            Err(e) => {
+                self.registry.add("serve.errors.bad_request", 1);
+                return Err(ServeError::BadRequest(e));
+            }
+        };
+        let key = request.key_hash();
+
+        if let Some(body) = self.cache.get_memory(&key) {
+            self.registry.add("serve.cache.hits", 1);
+            return Ok(CellResponse { key, body, source: CellSource::Memory });
+        }
+        if let Some(body) = self.cache.get_disk(&key) {
+            self.registry.add("serve.cache.disk_hits", 1);
+            return Ok(CellResponse { key, body, source: CellSource::Disk });
+        }
+
+        // Miss. Join an existing flight, or lead a new one.
+        let (flight, leader) = {
+            let mut flights = self.lock_flights();
+            // Double-check under the flight lock: a flight that completed
+            // between the cache probe above and this lock has already
+            // populated the cache, and must not be recomputed.
+            if let Some(body) = self.cache.get_memory(&key) {
+                self.registry.add("serve.cache.hits", 1);
+                return Ok(CellResponse { key, body, source: CellSource::Memory });
+            }
+            match flights.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    if flights.len() >= self.max_pending {
+                        let pending = flights.len();
+                        self.registry.add("serve.queue.rejected", 1);
+                        return Err(ServeError::Overloaded { pending, max: self.max_pending });
+                    }
+                    let flight = Arc::new(Flight::default());
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    self.registry.gauge_set("serve.queue.depth", flights.len() as u64);
+                    self.registry.gauge_max("serve.queue.peak_depth", flights.len() as u64);
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            self.registry.add("serve.cache.misses", 1);
+            let store = Arc::clone(self);
+            let flight_for_job = Arc::clone(&flight);
+            let job_key = key.clone();
+            self.pool.spawn(move || {
+                let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.registry.add("serve.sim.runs", 1);
+                    let mut engine = Engine::new(resolved.machine);
+                    if let Some(adversity) = resolved.adversity {
+                        engine = engine.with_adversity(adversity);
+                    }
+                    let report = engine.run(&resolved.phases, resolved.procs);
+                    let body: Arc<str> = perf_report(&report).into();
+                    if store.cache.insert(&job_key, Arc::clone(&body)).is_err() {
+                        store.registry.add("serve.spill.errors", 1);
+                    }
+                    body
+                }));
+                let result = computed.map_err(|_| "simulation panicked".to_string());
+                if result.is_err() {
+                    store.registry.add("serve.errors.internal", 1);
+                }
+                flight_for_job.fulfill(result);
+                let mut flights = store.lock_flights();
+                flights.remove(&job_key);
+                store.registry.gauge_set("serve.queue.depth", flights.len() as u64);
+            });
+        } else {
+            self.registry.add("serve.cache.batched_misses", 1);
+        }
+
+        match flight.wait() {
+            Ok(body) => Ok(CellResponse {
+                key,
+                body,
+                source: if leader { CellSource::Computed } else { CellSource::Batched },
+            }),
+            Err(msg) => Err(ServeError::Internal(msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvs_core::engine::{run_sweep, SweepJob};
+
+    fn store(options: StoreOptions) -> Arc<CellStore> {
+        Arc::new(CellStore::new(options))
+    }
+
+    fn lbmhd() -> Request {
+        Request::cell("LBMHD", "8192x8192", "ES", 64)
+    }
+
+    #[test]
+    fn miss_then_hit_serves_identical_bytes() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        let first = s.get(&lbmhd()).unwrap();
+        assert_eq!(first.source, CellSource::Computed);
+        let second = s.get(&lbmhd()).unwrap();
+        assert_eq!(second.source, CellSource::Memory);
+        assert_eq!(first.body, second.body);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 1);
+        assert_eq!(s.registry().counter("serve.cache.hits"), 1);
+    }
+
+    #[test]
+    fn served_body_matches_direct_run_sweep_byte_for_byte() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        let req = Request::cell("CACTUS", "250x64x64", "X1", 64);
+        let served = s.get(&req).unwrap();
+        let resolved = req.resolve().unwrap();
+        let direct = run_sweep(vec![SweepJob {
+            machine: resolved.machine,
+            phases: resolved.phases,
+            procs: resolved.procs,
+        }]);
+        assert_eq!(*served.body, perf_report(&direct[0]));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_cost_one_simulation() {
+        let s = store(StoreOptions { threads: 4, ..Default::default() });
+        let n = 8;
+        let bodies: Vec<Arc<str>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || s.get(&lbmhd()).unwrap().body)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(bodies.windows(2).all(|w| w[0] == w[1]));
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("serve.sim.runs"), Some(1), "{snap:?}");
+        assert_eq!(snap.counter("serve.cache.misses"), Some(1));
+        // Every non-leader either batched onto the flight or arrived
+        // after completion and hit the cache.
+        let batched = snap.counter("serve.cache.batched_misses").unwrap_or(0);
+        let hits = snap.counter("serve.cache.hits").unwrap_or(0);
+        assert_eq!(batched + hits, n - 1, "{snap:?}");
+    }
+
+    #[test]
+    fn zero_max_pending_rejects_misses_but_serves_hits() {
+        let warm = store(StoreOptions { threads: 2, ..Default::default() });
+        let body = warm.get(&lbmhd()).unwrap().body;
+
+        let s = store(StoreOptions { threads: 2, max_pending: 0, ..Default::default() });
+        match s.get(&lbmhd()) {
+            Err(ServeError::Overloaded { pending: 0, max: 0 }) => {}
+            other => panic!("expected overload, got {other:?}"),
+        }
+        assert_eq!(s.registry().counter("serve.queue.rejected"), 1);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 0);
+
+        // Pre-seed the cache through the spill-free insert path and
+        // confirm hits still serve at max_pending = 0.
+        s.cache.insert(&lbmhd().key_hash(), Arc::clone(&body)).unwrap();
+        let hit = s.get(&lbmhd()).unwrap();
+        assert_eq!(hit.source, CellSource::Memory);
+        assert_eq!(hit.body, body);
+    }
+
+    #[test]
+    fn bad_requests_never_touch_the_cache_or_pool() {
+        let s = store(StoreOptions { threads: 1, ..Default::default() });
+        let err = s.get(&Request::cell("LINPACK", "x", "ES", 64)).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        assert_eq!(s.registry().counter("serve.errors.bad_request"), 1);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 0);
+        assert_eq!(s.cached_cells(), 0);
+    }
+
+    #[test]
+    fn disk_spill_survives_a_store_restart() {
+        let dir = std::env::temp_dir().join(format!("pvs_serve_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || StoreOptions {
+            threads: 2,
+            spill_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let first = store(opts());
+        let body = first.get(&lbmhd()).unwrap().body;
+        drop(first);
+
+        let second = store(opts());
+        let served = second.get(&lbmhd()).unwrap();
+        assert_eq!(served.source, CellSource::Disk);
+        assert_eq!(served.body, body);
+        assert_eq!(second.registry().counter("serve.sim.runs"), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_and_healthy_cells_are_distinct_entries() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        let healthy = s.get(&lbmhd()).unwrap();
+        let mut faulty_req = lbmhd();
+        faulty_req.faults = Some(crate::workload::FaultSpec { seed: 3, events: 8 });
+        let faulty = s.get(&faulty_req).unwrap();
+        assert_ne!(healthy.key, faulty.key);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 2);
+        // Damage must actually change the model output.
+        assert_ne!(healthy.body, faulty.body);
+        // And the faulty cell is itself deterministic.
+        assert_eq!(s.get(&faulty_req).unwrap().body, faulty.body);
+    }
+}

@@ -1,0 +1,318 @@
+//! Request model: what a client may ask for, strict validation, and the
+//! canonical key that makes responses content-addressable.
+//!
+//! A request names a sweep cell — `(app, config, machine, procs)` plus an
+//! optional seeded fault plan — and every field is validated against a
+//! closed vocabulary before any work happens. Validation is what makes
+//! the cache safe: only requests that resolve to a well-defined
+//! simulation are ever keyed, so a cache entry can always be regenerated
+//! from its key alone.
+//!
+//! The canonical key is a `field=value` byte string over the *normalized*
+//! request (fault defaults applied, no optional-field ambiguity), hashed
+//! with [`pvs_core::hash::fnv1a_hex`]. Two requests that mean the same
+//! cell always canonicalize to the same bytes, so N clients asking the
+//! same question share one cache line and one simulation.
+
+use pvs_cactus::perf::{CactusVariant, CactusWorkload};
+use pvs_core::machine::Machine;
+use pvs_core::phase::Phase;
+use pvs_core::{platforms, Adversity};
+use pvs_fault::FaultPlan;
+use pvs_gtc::perf::{GtcVariant, GtcWorkload};
+use pvs_lbmhd::perf::LbmhdWorkload;
+use pvs_paratec::perf::ParatecWorkload;
+
+/// The applications the serving layer answers for, with their legal
+/// problem-size labels (the paper's Table 3–6 configurations).
+pub const APP_CONFIGS: [(&str, [&str; 2]); 4] = [
+    ("LBMHD", ["4096x4096", "8192x8192"]),
+    ("PARATEC", ["432 atom", "686 atom"]),
+    ("CACTUS", ["80x80x80", "250x64x64"]),
+    ("GTC", ["10 part/cell", "100 part/cell"]),
+];
+
+/// Largest processor count a request may ask for (the paper's largest
+/// published runs stop at 1024; 4096 leaves headroom for scaling
+/// questions without letting a client request an absurd simulation).
+pub const MAX_PROCS: usize = 4096;
+
+/// Number of fault events a seeded plan injects when the request does
+/// not say (matches the chaos harness's light-damage scenarios).
+pub const DEFAULT_FAULT_EVENTS: usize = 4;
+
+/// Simulated-time horizon over which random fault plans scatter their
+/// events (1 simulated second — longer than any cell of the grid).
+const FAULT_HORIZON_PS: u64 = 1_000_000_000_000;
+
+/// A seeded fault plan attached to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Plan seed; every downstream random decision derives from it.
+    pub seed: u64,
+    /// Number of injected events.
+    pub events: usize,
+}
+
+/// One validated-on-construction cell request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Application name (`LBMHD`, `PARATEC`, `CACTUS`, `GTC`).
+    pub app: String,
+    /// Problem-size label exactly as the paper's tables spell it.
+    pub config: String,
+    /// Machine name (`Power3`, `Power4`, `Altix`, `ES`, `X1`).
+    pub machine: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Optional seeded fault plan (engine-level adversity).
+    pub faults: Option<FaultSpec>,
+}
+
+/// Why a request cannot be served. Every variant is a client error: the
+/// server returns it as a `bad_request` response and computes nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Application name not in the study.
+    UnknownApp(String),
+    /// Config label not published for this application.
+    UnknownConfig {
+        /// The (valid) application.
+        app: String,
+        /// The unrecognized problem-size label.
+        config: String,
+    },
+    /// Machine name not in the study.
+    UnknownMachine(String),
+    /// Processor count outside `1..=MAX_PROCS`.
+    BadProcs(usize),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownApp(app) => {
+                write!(f, "unknown app {app:?} (expected LBMHD, PARATEC, CACTUS, or GTC)")
+            }
+            RequestError::UnknownConfig { app, config } => {
+                write!(f, "unknown config {config:?} for {app}")
+            }
+            RequestError::UnknownMachine(m) => {
+                write!(f, "unknown machine {m:?} (expected Power3, Power4, Altix, ES, or X1)")
+            }
+            RequestError::BadProcs(p) => {
+                write!(f, "procs {p} out of range (expected 1..={MAX_PROCS})")
+            }
+        }
+    }
+}
+
+/// A request resolved into everything the engine needs: validation has
+/// already happened, so running this cell cannot fail.
+#[derive(Debug, Clone)]
+pub struct ResolvedCell {
+    /// The machine model.
+    pub machine: Machine,
+    /// The application's phase stream for this cell.
+    pub phases: Vec<Phase>,
+    /// Processor count.
+    pub procs: usize,
+    /// Engine-level damage compiled from the fault plan (`None` when the
+    /// request is healthy).
+    pub adversity: Option<Adversity>,
+}
+
+impl Request {
+    /// A healthy (fault-free) cell request.
+    pub fn cell(app: &str, config: &str, machine: &str, procs: usize) -> Self {
+        Self {
+            app: app.to_string(),
+            config: config.to_string(),
+            machine: machine.to_string(),
+            procs,
+            faults: None,
+        }
+    }
+
+    /// The canonical byte string this request hashes under. Stable
+    /// across processes and releases: `field=value` pairs joined by `|`,
+    /// fault defaults already applied.
+    pub fn canonical_key(&self) -> String {
+        let faults = match self.faults {
+            None => "none".to_string(),
+            Some(FaultSpec { seed, events }) => format!("{seed}:{events}"),
+        };
+        format!(
+            "app={}|config={}|machine={}|procs={}|faults={faults}",
+            self.app, self.config, self.machine, self.procs
+        )
+    }
+
+    /// Content address: FNV-1a 64 of [`Request::canonical_key`], as 16
+    /// hex digits. Cache shards, spill filenames, and response `key`
+    /// fields all use this form.
+    pub fn key_hash(&self) -> String {
+        pvs_core::hash::fnv1a_hex(self.canonical_key().as_bytes())
+    }
+
+    /// Validate every field and build the cell the engine will run.
+    pub fn resolve(&self) -> Result<ResolvedCell, RequestError> {
+        if self.procs < 1 || self.procs > MAX_PROCS {
+            return Err(RequestError::BadProcs(self.procs));
+        }
+        let machine = platforms::by_name(&self.machine)
+            .ok_or_else(|| RequestError::UnknownMachine(self.machine.clone()))?;
+        let configs = APP_CONFIGS
+            .iter()
+            .find(|(app, _)| *app == self.app)
+            .map(|(_, configs)| configs)
+            .ok_or_else(|| RequestError::UnknownApp(self.app.clone()))?;
+        if !configs.contains(&self.config.as_str()) {
+            return Err(RequestError::UnknownConfig {
+                app: self.app.clone(),
+                config: self.config.clone(),
+            });
+        }
+        let phases = match self.app.as_str() {
+            "LBMHD" => {
+                let grid = if self.config == "4096x4096" { 4096 } else { 8192 };
+                LbmhdWorkload::new(grid, self.procs).phases()
+            }
+            "PARATEC" => {
+                if self.config == "432 atom" {
+                    ParatecWorkload::si432(self.procs).phases()
+                } else {
+                    ParatecWorkload::si686(self.procs).phases()
+                }
+            }
+            "CACTUS" => {
+                let w = if self.config == "80x80x80" {
+                    CactusWorkload::small(self.procs)
+                } else {
+                    CactusWorkload::large(self.procs)
+                };
+                w.phases(CactusVariant::for_machine(&self.machine))
+            }
+            // The config check above admits only the four apps.
+            _ => GtcWorkload::new(
+                if self.config == "10 part/cell" { 10 } else { 100 },
+                self.procs,
+            )
+            .phases(GtcVariant::for_machine(&self.machine)),
+        };
+        let adversity = self.faults.map(|f| {
+            let mut adversity =
+                FaultPlan::random(f.seed, FAULT_HORIZON_PS, f.events, self.procs, 16)
+                    .compile_all()
+                    .adversity;
+            // Hard link failures are only reroutable on the 2D torus
+            // (the X1); the network builder rejects them on crossbars
+            // and fat-trees, whose routes are unique. Downgrade each to
+            // a severe derate of the same link there, so one seeded
+            // fault request means the same *severity* on every machine.
+            if !matches!(machine.topology, pvs_netsim::TopologyKind::Torus2D) {
+                let mut net = std::mem::take(&mut adversity.net);
+                for link in std::mem::take(&mut net.failed_links) {
+                    net = net.degrade_link(link, 0.25);
+                }
+                adversity.net = net;
+            }
+            adversity
+        });
+        Ok(ResolvedCell {
+            machine,
+            phases,
+            procs: self.procs,
+            adversity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_key_is_stable_and_injective_over_fields() {
+        let r = Request::cell("LBMHD", "8192x8192", "ES", 64);
+        assert_eq!(
+            r.canonical_key(),
+            "app=LBMHD|config=8192x8192|machine=ES|procs=64|faults=none"
+        );
+        let mut faulty = r.clone();
+        faulty.faults = Some(FaultSpec { seed: 7, events: 4 });
+        assert_eq!(
+            faulty.canonical_key(),
+            "app=LBMHD|config=8192x8192|machine=ES|procs=64|faults=7:4"
+        );
+        assert_ne!(r.key_hash(), faulty.key_hash());
+        assert_ne!(
+            Request::cell("LBMHD", "8192x8192", "ES", 64).key_hash(),
+            Request::cell("LBMHD", "8192x8192", "ES", 65).key_hash()
+        );
+    }
+
+    #[test]
+    fn key_hash_is_process_independent() {
+        // Pinned digest: must never change across builds, or every spill
+        // directory in the field silently invalidates.
+        assert_eq!(
+            Request::cell("LBMHD", "8192x8192", "ES", 64).key_hash(),
+            pvs_core::hash::fnv1a_hex(
+                b"app=LBMHD|config=8192x8192|machine=ES|procs=64|faults=none"
+            )
+        );
+    }
+
+    #[test]
+    fn every_published_cell_resolves() {
+        for (app, configs) in APP_CONFIGS {
+            for config in configs {
+                for machine in ["Power3", "Power4", "Altix", "ES", "X1"] {
+                    let r = Request::cell(app, config, machine, 64);
+                    let cell = r.resolve().unwrap_or_else(|e| panic!("{app}/{config}/{machine}: {e}"));
+                    assert!(!cell.phases.is_empty(), "{app} has phases");
+                    assert!(cell.adversity.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected_with_specific_errors() {
+        assert!(matches!(
+            Request::cell("LINPACK", "8192x8192", "ES", 64).resolve(),
+            Err(RequestError::UnknownApp(_))
+        ));
+        assert!(matches!(
+            Request::cell("LBMHD", "432 atom", "ES", 64).resolve(),
+            Err(RequestError::UnknownConfig { .. })
+        ));
+        assert!(matches!(
+            Request::cell("LBMHD", "8192x8192", "BlueGene", 64).resolve(),
+            Err(RequestError::UnknownMachine(_))
+        ));
+        assert!(matches!(
+            Request::cell("LBMHD", "8192x8192", "ES", 0).resolve(),
+            Err(RequestError::BadProcs(0))
+        ));
+        assert!(matches!(
+            Request::cell("LBMHD", "8192x8192", "ES", MAX_PROCS + 1).resolve(),
+            Err(RequestError::BadProcs(_))
+        ));
+    }
+
+    #[test]
+    fn faulted_requests_compile_adversity() {
+        let mut r = Request::cell("GTC", "100 part/cell", "X1", 64);
+        r.faults = Some(FaultSpec { seed: 42, events: 6 });
+        let cell = r.resolve().unwrap();
+        assert!(cell.adversity.is_some());
+        // Same seed, same damage: resolve twice and compare.
+        let again = r.resolve().unwrap();
+        assert_eq!(
+            format!("{:?}", cell.adversity),
+            format!("{:?}", again.adversity)
+        );
+    }
+}

@@ -25,4 +25,5 @@ pub use pvs_netsim as netsim;
 pub use pvs_obs as obs;
 pub use pvs_paratec as paratec;
 pub use pvs_report as report;
+pub use pvs_serve as serve;
 pub use pvs_vectorsim as vectorsim;
