@@ -9,10 +9,11 @@
 
 use crate::json::{parse, Value};
 
-/// Schema identifier the current writer emits.
-pub const SCHEMA_V2: &str = "pvs-bench/profile-v2";
+/// Schema identifier the current writer emits (canonical spelling in
+/// `pvs_core::schema`).
+pub const SCHEMA_V2: &str = pvs_core::schema::PROFILE_V2;
 /// The original compact schema, still readable.
-pub const SCHEMA_V1: &str = "pvs-bench/profile-v1";
+pub const SCHEMA_V1: &str = pvs_core::schema::PROFILE_V1;
 
 /// Model-side metrics of one cell (pure functions of the cell identity —
 /// deterministic across hosts and thread counts).

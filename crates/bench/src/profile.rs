@@ -195,7 +195,7 @@ impl ProfileOutput {
             },
         ));
         JsonObject::new()
-            .string("schema", "pvs-bench/profile-v2")
+            .string("schema", pvs_core::schema::PROFILE_V2)
             .boolean("observed", self.options.observe)
             .number("sweep_threads", self.options.threads as f64)
             .number("host_samples_per_cell", self.options.host_samples as f64)

@@ -211,6 +211,9 @@ fn timed_request(stream: &mut TcpStream, cell: usize, line: &str) -> RequestSamp
 pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io::Result<LoadRun> {
     assert!(!cells.is_empty(), "load run needs at least one cell");
     let lines: Vec<String> = cells.iter().map(request_line).collect();
+    // LOCK ORDER: 65 — per-run sample slots, written one statement at a
+    // time by the load workers (client side; never nested with the
+    // server's locks, which live in another process in real use).
     let results: Mutex<Vec<Option<RequestSample>>> = Mutex::new(vec![None; options.requests]);
     let started = Instant::now();
 
@@ -427,7 +430,7 @@ pub fn bench_serve_doc(
 
     pretty(
         &JsonObject::new()
-            .string("schema", "pvs-bench/profile-v2")
+            .string("schema", pvs_core::schema::PROFILE_V2)
             .raw("load", load)
             .raw("harness", array(harness_entries))
             .raw("cells", cell_docs)

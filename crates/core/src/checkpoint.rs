@@ -23,11 +23,13 @@ use pvs_vectorsim::metrics::VectorMetrics;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Version tag on the first line of a serialized [`RunCheckpoint`].
-pub const RUN_CHECKPOINT_VERSION: &str = "pvs-core/checkpoint-v1";
+/// Version tag on the first line of a serialized [`RunCheckpoint`]
+/// (the canonical spelling lives in [`crate::schema`]).
+pub const RUN_CHECKPOINT_VERSION: &str = crate::schema::RUN_CHECKPOINT_V1;
 
-/// Version tag on the first line of a serialized [`SweepCheckpoint`].
-pub const SWEEP_CHECKPOINT_VERSION: &str = "pvs-core/sweep-checkpoint-v1";
+/// Version tag on the first line of a serialized [`SweepCheckpoint`]
+/// (the canonical spelling lives in [`crate::schema`]).
+pub const SWEEP_CHECKPOINT_VERSION: &str = crate::schema::SWEEP_CHECKPOINT_V1;
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())

@@ -57,6 +57,7 @@ pub mod platforms;
 pub mod pool;
 pub mod report;
 pub mod rng;
+pub mod schema;
 
 pub use adversity::Adversity;
 pub use checkpoint::{RunCheckpoint, SweepCheckpoint};

@@ -34,6 +34,9 @@ struct Queue {
 }
 
 struct Shared {
+    // LOCK ORDER: 40 — the pool's job queue. Jobs themselves run with
+    // no guard held (`worker_loop` drops it before invoking), so queue
+    // holders only touch the VecDeque and the condvar.
     queue: Mutex<Queue>,
     /// Signalled when a job is pushed or shutdown begins.
     work_ready: Condvar,
@@ -209,6 +212,9 @@ impl ThreadPool {
             return Vec::new();
         }
         struct Batch<R> {
+            // LOCK ORDER: 50 — per-`map` result slots, taken by workers
+            // after the user closure returns (queue guard long since
+            // dropped) and by the submitter while waiting on `done`.
             slots: Mutex<BatchSlots<R>>,
             done: Condvar,
         }

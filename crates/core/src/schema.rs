@@ -1,0 +1,50 @@
+//! The schema registry: every on-disk format version string in one
+//! place.
+//!
+//! Writer/reader drift between format versions is invisible until a
+//! reader rejects (or worse, misparses) a document some writer produced.
+//! This module is the single point of truth for every schema identifier
+//! the workspace writes or reads; `pvs-lint`'s PVS015 pass enforces that
+//! no other file spells one of these identifiers as a string literal, so
+//! a version bump is one edit here plus the compiler finding every
+//! consumer.
+//!
+//! Identifiers are `<producer>/<format>-v<N>`. Version bumps append a
+//! new const (readers keep accepting old versions where compat matters —
+//! see `pvs_analyze::profiledoc`); they never mutate an existing one.
+
+/// `BENCH_*.json` profile documents, current writer schema
+/// (pretty-printed, stable key order).
+pub const PROFILE_V2: &str = "pvs-bench/profile-v2";
+
+/// The original compact single-line profile schema, still readable by
+/// `pvs_analyze::profiledoc`.
+pub const PROFILE_V1: &str = "pvs-bench/profile-v1";
+
+/// Version tag on the first line of a serialized engine
+/// [`crate::checkpoint::RunCheckpoint`].
+pub const RUN_CHECKPOINT_V1: &str = "pvs-core/checkpoint-v1";
+
+/// Version tag on the first line of a serialized
+/// [`crate::checkpoint::SweepCheckpoint`].
+pub const SWEEP_CHECKPOINT_V1: &str = "pvs-core/sweep-checkpoint-v1";
+
+/// Every registered schema identifier, for registry-wide checks
+/// (`pvs-lint` PVS015 walks this list).
+pub const ALL: [&str; 4] = [PROFILE_V2, PROFILE_V1, RUN_CHECKPOINT_V1, SWEEP_CHECKPOINT_V1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_are_unique_and_well_formed() {
+        for (i, id) in ALL.iter().enumerate() {
+            let (producer, format) = id.split_once('/').expect("producer/format");
+            assert!(producer.starts_with("pvs"), "{id}");
+            let (_, version) = format.rsplit_once("-v").expect("versioned");
+            assert!(version.parse::<u32>().is_ok(), "{id}");
+            assert!(!ALL[..i].contains(id), "duplicate {id}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! PVS013 clean fixture: declared tiers, monotone nesting, justified
+//! holds, and early release via `drop`.
+
+use std::sync::Mutex;
+
+struct State {
+    // LOCK ORDER: 10 — outermost; taken first on every path
+    first: Mutex<u32>,
+    // LOCK ORDER: 20 — only ever nested under `first`
+    second: Mutex<u32>,
+}
+
+fn nested(s: &State) {
+    let first = s.first.lock().expect("first");
+    let second = s.second.lock().expect("second");
+    drop(second);
+    drop(first);
+}
+
+fn sequential(s: &State) {
+    // Taking the higher tier alone, releasing, then the lower one is
+    // fine — only *nesting* is ordered.
+    let second = s.second.lock().expect("second");
+    drop(second);
+    let first = s.first.lock().expect("first");
+    drop(first);
+}
+
+fn scoped(s: &State) {
+    {
+        let second = s.second.lock().expect("second");
+        let _ = second;
+    }
+    let first = s.first.lock().expect("first");
+    drop(first);
+}
+
+fn justified(s: &State, tx: &std::sync::mpsc::Sender<u32>) {
+    let first = s.first.lock().expect("first");
+    // LOCK OK: bounded notification channel drained by a dedicated
+    // receiver thread — the send cannot block on the guarded state.
+    tx.send(1).ok();
+    drop(first);
+}
+
+fn temporary(s: &State) -> u32 {
+    *s.first.lock().expect("first")
+}

@@ -1,0 +1,40 @@
+//! PVS013 violation fixture: one breach of each lock-discipline rule.
+
+use std::sync::Mutex;
+
+struct State {
+    // LOCK ORDER: 10
+    first: Mutex<u32>,
+    // LOCK ORDER: 20
+    second: Mutex<u32>,
+    undeclared: Mutex<u32>,
+}
+
+fn forward(s: &State) {
+    let first = s.first.lock().expect("first");
+    let second = s.second.lock().expect("second");
+    drop(second);
+    drop(first);
+}
+
+fn backward(s: &State) {
+    // Opposite nesting: a tier inversion, and together with `forward`
+    // a two-lock acquisition cycle.
+    let second = s.second.lock().expect("second");
+    let first = s.first.lock().expect("first");
+    drop(first);
+    drop(second);
+}
+
+fn reentrant(s: &State) {
+    let once = s.first.lock().expect("first");
+    let twice = s.first.lock().expect("first again");
+    drop(twice);
+    drop(once);
+}
+
+fn held_across_send(s: &State, tx: &std::sync::mpsc::Sender<u32>) {
+    let first = s.first.lock().expect("first");
+    tx.send(1).ok();
+    drop(first);
+}

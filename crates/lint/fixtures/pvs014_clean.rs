@@ -1,0 +1,37 @@
+//! PVS014 clean fixture: every read has a writer, every library write
+//! has a documentation row, wildcards bridge formatted names.
+//
+// DOCUMENTED: fixture.clean.total
+// DOCUMENTED: fixture.worker.*.tasks
+
+struct Registry;
+
+impl Registry {
+    fn add(&self, _name: &str, _value: u64) {}
+    fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+}
+
+fn emit(r: &Registry, i: usize) {
+    r.add("fixture.clean.total", 1);
+    r.add(&format!("fixture.worker.{i}.tasks"), 1);
+}
+
+fn read(r: &Registry) {
+    let _ = r.counter("fixture.clean.total");
+    // The wildcard emission above covers any concrete worker index.
+    let _ = r.counter("fixture.worker.0.tasks");
+    // `test.`-prefixed names are scratch space, exempt on both sides.
+    let _ = r.counter("test.scratch.value");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_names_need_no_documentation() {
+        let r = super::Registry;
+        r.add("only.in.tests", 1);
+        let _ = r.counter("only.in.tests");
+    }
+}

@@ -1,0 +1,30 @@
+//! PVS014 violation fixture: counter-registry breaches on both sides.
+//
+// DOCUMENTED: fixture.documented.total
+
+struct Registry;
+
+impl Registry {
+    fn add(&self, _name: &str, _value: u64) {}
+    fn gauge_set(&self, _name: &str, _value: u64) {}
+    fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+    fn gauge(&self, _name: &str) -> u64 {
+        0
+    }
+}
+
+fn emit(r: &Registry) {
+    r.add("fixture.documented.total", 1);
+    r.add("fixture.undocumented.count", 1);
+    r.gauge_set("fixture.orphan.depth", 2);
+}
+
+fn read(r: &Registry) {
+    // Matched by the write above — fine.
+    let _ = r.counter("fixture.documented.total");
+    // Nothing anywhere emits these two: silent zeros forever.
+    let _ = r.counter("fixture.never.emitted");
+    let _ = r.gauge("fixture.gauge.missing");
+}

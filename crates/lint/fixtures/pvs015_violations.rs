@@ -1,0 +1,12 @@
+//! PVS015 violation fixture: canonical schema ids spelled as literals
+//! outside the `pvs_core::schema` registry.
+
+const LOCAL_COPY: &str = "pvs-bench/profile-v2";
+
+fn is_known(schema: &str) -> bool {
+    schema == "pvs-bench/profile-v1" || schema == LOCAL_COPY
+}
+
+fn checkpoint_header() -> String {
+    format!("{}\nmachine ES\n", "pvs-core/checkpoint-v1")
+}

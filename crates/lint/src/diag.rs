@@ -61,11 +61,20 @@ pub enum LintCode {
     Pvs011,
     /// `unwrap()`/`expect()` on a `Result` in simulator library code.
     Pvs012,
+    /// Lock discipline: undeclared `Mutex`, acquisition-order inversion
+    /// or cycle, or a guard held across a blocking hazard.
+    Pvs013,
+    /// Counter registry: consumed-but-never-emitted recorder name
+    /// (error) or emitted-but-undocumented name (warning).
+    Pvs014,
+    /// Schema registry: a canonical schema version string spelled as a
+    /// literal outside `pvs_core::schema`.
+    Pvs015,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub fn all() -> [LintCode; 12] {
+    pub fn all() -> [LintCode; 15] {
         [
             LintCode::Pvs001,
             LintCode::Pvs002,
@@ -79,6 +88,9 @@ impl LintCode {
             LintCode::Pvs010,
             LintCode::Pvs011,
             LintCode::Pvs012,
+            LintCode::Pvs013,
+            LintCode::Pvs014,
+            LintCode::Pvs015,
         ]
     }
 
@@ -97,6 +109,9 @@ impl LintCode {
             LintCode::Pvs010 => "PVS010",
             LintCode::Pvs011 => "PVS011",
             LintCode::Pvs012 => "PVS012",
+            LintCode::Pvs013 => "PVS013",
+            LintCode::Pvs014 => "PVS014",
+            LintCode::Pvs015 => "PVS015",
         }
     }
 
@@ -129,6 +144,9 @@ impl LintCode {
             LintCode::Pvs010 => "kernel predicted AVL below half the hardware vector length",
             LintCode::Pvs011 => "recorder counter name literal is not lowercase `snake.dotted`",
             LintCode::Pvs012 => "`unwrap()`/`expect()` on a Result in simulator library code",
+            LintCode::Pvs013 => "lock discipline: undeclared Mutex, order inversion/cycle, or guard held across a blocking hazard",
+            LintCode::Pvs014 => "counter registry: consumed-but-never-emitted (error) or emitted-but-undocumented (warning) recorder name",
+            LintCode::Pvs015 => "schema registry: canonical version string spelled outside `pvs_core::schema`",
         }
     }
 
@@ -274,6 +292,68 @@ impl LintCode {
                  `recv()`, `send(..)`, `join()`, `wait(..)`, `spawn(..)`,\n\
                  `parse()`, ...), so it cannot misfire on Option accessors."
             }
+            LintCode::Pvs013 => {
+                "PVS013: lock discipline across the workspace's Mutex population.\n\
+                 \n\
+                 The serving layer nests locks (serve's flight map holds its\n\
+                 guard while touching a cache shard and the obs registry), so\n\
+                 deadlock-freedom is now a whole-program property, not a\n\
+                 per-file one. The lint's cross-file fact base records every\n\
+                 `Mutex` declaration, tracks guard liveness through each\n\
+                 function, and resolves calls made while a guard is held to\n\
+                 the locks those callees may acquire. Four rules:\n\
+                 \n\
+                 * every `Mutex` field or binding must declare its place in\n\
+                   the acquisition order with a `// LOCK ORDER: <tier>`\n\
+                   comment (same line or the three lines above);\n\
+                 * while holding a lock, only locks with a *strictly higher*\n\
+                   tier may be acquired — an inversion is a lock-order cycle\n\
+                   waiting for its second thread;\n\
+                 * the observed acquisition graph must be acyclic;\n\
+                 * a held guard must not cross a blocking hazard — pool\n\
+                   dispatch (`spawn`), `catch_unwind`, a channel send/recv,\n\
+                   or file/TCP I/O — unless a `// LOCK OK:` comment justifies\n\
+                   it. Condvar waits are exempt: waiting releases the guard.\n\
+                 \n\
+                 The pass is heuristic (guard liveness is brace-scoped, call\n\
+                 resolution is by name with common std method names excluded)\n\
+                 and false-positive lean; the real serve/obs/pool graph is\n\
+                 pinned by unit tests."
+            }
+            LintCode::Pvs014 => {
+                "PVS014: the counter-name registry must stay closed.\n\
+                 \n\
+                 Recorder names (`serve.cache.hits`, `pool.tasks_executed`,\n\
+                 ...) form one namespace that emitters (engine, pool, serve),\n\
+                 consumers (pvs-analyze, the stats endpoint, tests), the\n\
+                 committed baselines, and the README counter table all join\n\
+                 on — and the join is stringly typed, so a renamed or\n\
+                 misspelled name fails silently as a zero. The fact base\n\
+                 collects every name literal written to a Recorder (including\n\
+                 `add_many` batches, `entries.push((..))`, `record_to` tuple\n\
+                 arrays, and `format!` templates, which match as wildcard\n\
+                 patterns) and every name read back (`.counter(\"..\")`,\n\
+                 `.gauge(\"..\")`). A name consumed by non-test code that no\n\
+                 emitter can produce is an error; a name emitted by library\n\
+                 code but absent from the README's counter table is a\n\
+                 warning. Names under the `test.` prefix and single-segment\n\
+                 names are out of scope."
+            }
+            LintCode::Pvs015 => {
+                "PVS015: schema version strings come from `pvs_core::schema`.\n\
+                 \n\
+                 Every on-disk format in the workspace is versioned by a\n\
+                 leading schema identifier (`pvs-bench/profile-v2`,\n\
+                 `pvs-core/checkpoint-v1`, ...). Writer and reader must agree\n\
+                 on the exact bytes, so each identifier has one canonical\n\
+                 spelling: a const in `pvs_core::schema`. Any other file that\n\
+                 spells a registered identifier as a string literal (exact\n\
+                 match, outside `#[cfg(test)]` regions) is one silent\n\
+                 version-bump away from writer/reader drift — reference the\n\
+                 const instead. Prose mentions in comments and doc strings\n\
+                 are fine; deliberately-unknown versions in tests\n\
+                 (`profile-v99`) never match."
+            }
         }
     }
 }
@@ -305,6 +385,18 @@ impl Diagnostic {
     pub fn new(code: LintCode, file: impl Into<String>, line: usize, message: String) -> Self {
         Diagnostic {
             severity: code.severity(),
+            code,
+            file: file.into(),
+            line,
+            message,
+        }
+    }
+
+    /// Build an advisory finding regardless of the code's default
+    /// severity (PVS014's emitted-but-undocumented arm).
+    pub fn warning(code: LintCode, file: impl Into<String>, line: usize, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
             code,
             file: file.into(),
             line,

@@ -1,6 +1,6 @@
 //! `pvs-lint`: in-tree static analysis for the PVS workspace.
 //!
-//! Two pass families share one diagnostic engine ([`diag`]):
+//! Three pass families share one diagnostic engine ([`diag`]):
 //!
 //! * **Invariant lints** keep the properties the rest of the test suite
 //!   *assumes* true by construction: the offline std-only build
@@ -11,15 +11,24 @@
 //!   registered kernel descriptor's static vectorization story against
 //!   the dynamic pipeline model — the reproduction's analogue of
 //!   comparing compiler listing files against hardware counters.
+//! * **Cross-file lints** run in two passes: [`facts`] scans every file
+//!   into a workspace fact base (lock acquisitions with guard liveness,
+//!   Recorder counter names written and read, schema-version literals),
+//!   then [`locks`] (PVS013, the lock-order graph) and [`names`]
+//!   (PVS014 counter registry, PVS015 schema registry) join the facts
+//!   across crate boundaries.
 //!
-//! The `pvs-lint` binary (`cargo run -p pvs-lint`) drives both families
+//! The `pvs-lint` binary (`cargo run -p pvs-lint`) drives all families
 //! over the whole workspace; `tests/lint_clean.rs` wires the same entry
 //! point into tier-1. Run `pvs-lint --explain PVS00x` for the rationale
 //! behind any code.
 
 pub mod diag;
+pub mod facts;
+pub mod locks;
 pub mod manifest;
 pub mod model;
+pub mod names;
 pub mod scan;
 pub mod source;
 
@@ -87,6 +96,23 @@ pub fn source_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// Test-tree sources (`crates/*/tests` plus the root `tests/`): out of
+/// scope for the invariant passes, but their *name facts* still feed
+/// PVS014 — a counter emitted only by a test satisfies a test's read of
+/// it, and test consumption of library counters is checked too.
+pub fn test_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        members.sort();
+        for member in members {
+            rust_files_under(&member.join("tests"), &mut out);
+        }
+    }
+    rust_files_under(&root.join("tests"), &mut out);
+    out
+}
+
 /// Crate name for a workspace-relative source path
 /// (`crates/core/src/…` → `core`; the facade's `src/…` → `pvs`).
 fn crate_of(rel: &Path) -> &str {
@@ -98,6 +124,37 @@ fn crate_of(rel: &Path) -> &str {
             .unwrap_or("pvs"),
         _ => "pvs",
     }
+}
+
+/// Build the workspace fact base (pass 1 of the cross-file lints):
+/// library sources in full, test trees for name facts only.
+pub fn workspace_facts(root: &Path) -> facts::WorkspaceFacts {
+    let mut fact_files = Vec::new();
+    for (paths, is_test) in [(source_files(root), false), (test_files(root), true)] {
+        for path in paths {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel_str = rel.display().to_string();
+            if let Ok(text) = fs::read_to_string(&path) {
+                fact_files.push(facts::FileFacts::parse(
+                    crate_of(rel),
+                    &rel_str,
+                    &text,
+                    is_test,
+                ));
+            }
+        }
+    }
+    facts::WorkspaceFacts::build(fact_files)
+}
+
+/// The canonical documented-counter table: README rows (backtick
+/// tokens, `<placeholder>` segments normalized to `*`) plus any
+/// `// DOCUMENTED:` directives in the scanned sources.
+fn documented_counters(root: &Path, ws: &facts::WorkspaceFacts) -> std::collections::BTreeSet<String> {
+    let mut documented =
+        names::documented_names(&fs::read_to_string(root.join("README.md")).unwrap_or_default());
+    documented.extend(ws.files.iter().flat_map(|f| f.documented.iter().cloned()));
+    documented
 }
 
 /// Run every lint pass over the workspace at `root`.
@@ -124,6 +181,11 @@ pub fn lint_workspace(root: &Path) -> LintReport {
             )),
         }
     }
+
+    let ws = workspace_facts(root);
+    diagnostics.extend(locks::check(&ws));
+    diagnostics.extend(names::check_counters(&ws, &documented_counters(root, &ws)));
+    diagnostics.extend(names::check_schemas(&ws));
 
     let (model_diags, kernels_checked) = model::check_registered_kernels();
     diagnostics.extend(model_diags);
@@ -177,6 +239,35 @@ mod tests {
         assert_eq!(crate_of(Path::new("crates/bench/src/harness.rs")), "bench");
         assert_eq!(crate_of(Path::new("crates/core/src/engine.rs")), "core");
         assert_eq!(crate_of(Path::new("src/lib.rs")), "pvs");
+    }
+
+    #[test]
+    fn serve_lock_order_graph_is_pinned() {
+        // The real workspace's observed acquisition edges. Serve's
+        // request path is the only place one workspace lock nests under
+        // another: `CellStore::get` consults the cache shards and the
+        // obs registry while holding the flight map. If this test
+        // fails, the cross-crate locking structure changed — update the
+        // `LOCK ORDER` tiers (and this list) deliberately.
+        let ws = workspace_facts(&workspace_root());
+        let graph = locks::lock_graph(&ws);
+        assert_eq!(
+            graph,
+            vec![
+                ("serve.flights".to_string(), "obs.inner".to_string()),
+                ("serve.flights".to_string(), "serve.shards".to_string()),
+            ],
+            "observed lock-order graph changed"
+        );
+        let tiers: Vec<(String, Option<u32>)> = ws
+            .locks
+            .iter()
+            .map(|l| (l.id.clone(), l.tier))
+            .collect();
+        assert!(
+            ws.locks.len() >= 8 && tiers.iter().all(|(_, t)| t.is_some()),
+            "every workspace Mutex must declare a LOCK ORDER tier: {tiers:?}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p pvs-lint              # human-readable findings
 //! cargo run -p pvs-lint -- --json    # machine-readable report
+//! cargo run -p pvs-lint -- --codes PVS013,PVS014   # filter by code
 //! cargo run -p pvs-lint -- --explain PVS003
 //! cargo run -p pvs-lint -- --root /path/to/checkout
 //! ```
@@ -40,11 +41,12 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 fn usage() -> &'static str {
-    "usage: pvs-lint [--json] [--root DIR] [--explain PVS00N]\n\
+    "usage: pvs-lint [--json] [--root DIR] [--codes PVS0xx,PVS0yy] [--explain PVS00N]\n\
      \n\
      Walks every workspace manifest, Rust source file, and registered\n\
-     kernel descriptor, and reports invariant violations. Exit 0 when\n\
-     clean (warnings allowed), 1 on errors, 2 on usage errors.\n\
+     kernel descriptor, and reports invariant violations. --codes keeps\n\
+     only the listed codes (comma-separated). Exit 0 when clean\n\
+     (warnings allowed), 1 on errors, 2 on usage errors.\n\
      \n\
      Lint codes:"
 }
@@ -59,11 +61,33 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut explain: Option<String> = None;
+    let mut codes: Option<Vec<LintCode>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--codes" => match args.next() {
+                Some(list) => {
+                    let mut wanted = Vec::new();
+                    for name in list.split(',').filter(|s| !s.is_empty()) {
+                        match LintCode::parse(name.trim()) {
+                            Some(code) => wanted.push(code),
+                            None => {
+                                eprintln!("pvs-lint: unknown lint code `{name}`; known codes:");
+                                print_code_table();
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    codes = Some(wanted);
+                }
+                None => {
+                    eprintln!("pvs-lint: --codes needs a comma-separated list\n\n{}", usage());
+                    print_code_table();
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => {
@@ -124,7 +148,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = lint_workspace(&root);
+    let mut report = lint_workspace(&root);
+    if let Some(wanted) = &codes {
+        report.diagnostics.retain(|d| wanted.contains(&d.code));
+    }
     let (errors, warnings) = report.counts();
 
     if json {

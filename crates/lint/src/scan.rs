@@ -311,6 +311,55 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_block_comments_track_depth_across_lines() {
+        // Depth must survive multiple open/close transitions spanning
+        // lines: /* /* /* ... */ */ keeps commenting until the third
+        // close.
+        let src = "a(); /* one /* two /* three\n\
+                   still /* four */ three again\n\
+                   */ two */ one */ b();\n\
+                   c();\n";
+        let lines = scan_source(src);
+        assert!(lines[0].code.contains("a();"));
+        assert!(!lines[0].code.contains("three"));
+        assert!(!lines[1].code.contains("still"), "{:?}", lines[1].code);
+        assert!(lines[1].comment.contains("four"));
+        assert!(!lines[2].code.contains("two"), "{:?}", lines[2].code);
+        assert!(lines[2].code.contains("b();"), "{:?}", lines[2].code);
+        assert!(lines[3].code.contains("c();"));
+    }
+
+    #[test]
+    fn inner_doc_comments_are_comments() {
+        // `//!` and `/*!` are doc comments: their text must land in the
+        // comment channel, never the code channel — an `unsafe` word in
+        // a crate-level doc must not trip PVS004.
+        let src = "//! crate docs mention unsafe here\n\
+                   /*! inner block doc\nwith unsafe too */ f();\n\
+                   /// outer doc with unsafe\n\
+                   g();\n";
+        let lines = scan_source(src);
+        assert!(lines[0].code.trim().is_empty(), "{:?}", lines[0].code);
+        assert!(lines[0].comment.contains("unsafe"));
+        assert!(!lines[1].code.contains("inner"), "{:?}", lines[1].code);
+        assert!(!lines[2].code.contains("unsafe"), "{:?}", lines[2].code);
+        assert!(lines[2].code.contains("f();"));
+        assert!(lines[3].code.trim().is_empty());
+        assert!(lines[4].code.contains("g();"));
+    }
+
+    #[test]
+    fn line_comment_inside_block_comment_does_not_end_it() {
+        // A `//` inside a block comment must not switch state; the
+        // block close on the next line still applies.
+        let src = "/* block // line-ish\nstill comment */ h();\n";
+        let lines = scan_source(src);
+        assert!(!lines[0].code.contains("line"));
+        assert!(!lines[1].code.contains("still"));
+        assert!(lines[1].code.contains("h();"));
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let lines = code_of("fn f<'a>(x: &'a str) -> &'a str { x }\n");
         assert!(lines[0].contains("str"));

@@ -9,20 +9,40 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use pvs_lint::diag::{sort_diagnostics, Diagnostic};
+use pvs_lint::facts::{FileFacts, WorkspaceFacts};
 use pvs_lint::manifest::{check_lockfile_text, check_manifest_text};
 use pvs_lint::source::{check_source, SourceContext};
+use pvs_lint::{locks, names};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
 }
 
-/// Run the pass family a fixture's extension selects.
+/// Run the pass family a fixture's name/extension selects. The
+/// cross-file codes (PVS013–PVS015) treat the fixture as a one-file
+/// workspace; PVS014 fixtures document their names with `// DOCUMENTED:`
+/// directives in place of the README table.
 fn findings_for(name: &str) -> Vec<Diagnostic> {
     let text = fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
     let mut diags = if name.ends_with(".toml") {
         check_manifest_text(name, &text)
     } else if name.ends_with(".lock") {
         check_lockfile_text(name, &text)
+    } else if name.starts_with("pvs013") || name.starts_with("pvs014") || name.starts_with("pvs015")
+    {
+        let ws = WorkspaceFacts::build(vec![FileFacts::parse("fixture", name, &text, false)]);
+        if name.starts_with("pvs013") {
+            locks::check(&ws)
+        } else if name.starts_with("pvs014") {
+            let docs = ws
+                .files
+                .iter()
+                .flat_map(|f| f.documented.iter().cloned())
+                .collect();
+            names::check_counters(&ws, &docs)
+        } else {
+            names::check_schemas(&ws)
+        }
     } else {
         check_source(
             SourceContext {
@@ -60,7 +80,7 @@ fn assert_matches_golden(fixture: &str) {
     );
 }
 
-const VIOLATION_FIXTURES: [&str; 9] = [
+const VIOLATION_FIXTURES: [&str; 12] = [
     "pvs001_violations.toml",
     "pvs002_violations.lock",
     "pvs003_violations.rs",
@@ -70,9 +90,12 @@ const VIOLATION_FIXTURES: [&str; 9] = [
     "pvs007_violations.rs",
     "pvs011_violations.rs",
     "pvs012_violations.rs",
+    "pvs013_violations.rs",
+    "pvs014_violations.rs",
+    "pvs015_violations.rs",
 ];
 
-const CLEAN_FIXTURES: [&str; 9] = [
+const CLEAN_FIXTURES: [&str; 12] = [
     "pvs001_clean.toml",
     "pvs002_clean.lock",
     "pvs003_clean.rs",
@@ -82,6 +105,9 @@ const CLEAN_FIXTURES: [&str; 9] = [
     "pvs007_clean.rs",
     "pvs011_clean.rs",
     "pvs012_clean.rs",
+    "pvs013_clean.rs",
+    "pvs014_clean.rs",
+    "pvs015_clean.rs",
 ];
 
 #[test]

@@ -47,6 +47,9 @@ struct Inner {
 /// Thread-safe recorder that stores everything it is handed.
 #[derive(Debug, Default)]
 pub struct Registry {
+    // LOCK ORDER: 30 — innermost of the cross-crate request path:
+    // recorder calls are made under serve's flight map (tier 10), and
+    // registry holders call nothing but BTreeMap/TraceBuffer methods.
     inner: Mutex<Inner>,
 }
 
@@ -56,7 +59,7 @@ impl Registry {
         Self::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
         // INFALLIBLE: registry holders only update plain maps and
         // counters — no user code runs while the lock is held.
         self.inner.lock().expect("obs registry poisoned")
@@ -64,17 +67,17 @@ impl Registry {
 
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.lock().counters.get(name).copied().unwrap_or(0)
+        self.lock_inner().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Current value of a gauge (0 if never touched).
     pub fn gauge(&self, name: &str) -> u64 {
-        self.lock().gauges.get(name).copied().unwrap_or(0)
+        self.lock_inner().gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Sorted copy of all counters and gauges.
     pub fn snapshot(&self) -> Snapshot {
-        let inner = self.lock();
+        let inner = self.lock_inner();
         Snapshot {
             counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
@@ -83,18 +86,18 @@ impl Registry {
 
     /// Copy of the span trace recorded so far.
     pub fn trace(&self) -> TraceBuffer {
-        self.lock().trace.clone()
+        self.lock_inner().trace.clone()
     }
 
     /// JSONL rendering of the span trace (see [`TraceBuffer::to_jsonl`]).
     pub fn trace_jsonl(&self) -> String {
-        self.lock().trace.to_jsonl()
+        self.lock_inner().trace.to_jsonl()
     }
 }
 
 impl Recorder for Registry {
     fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_inner();
         match inner.counters.get_mut(name) {
             Some(v) => *v = v.saturating_add(delta),
             None => {
@@ -104,11 +107,11 @@ impl Recorder for Registry {
     }
 
     fn gauge_set(&self, name: &str, value: u64) {
-        self.lock().gauges.insert(name.to_string(), value);
+        self.lock_inner().gauges.insert(name.to_string(), value);
     }
 
     fn gauge_max(&self, name: &str, value: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_inner();
         match inner.gauges.get_mut(name) {
             Some(v) => *v = (*v).max(value),
             None => {
@@ -118,15 +121,15 @@ impl Recorder for Registry {
     }
 
     fn span_begin(&self, name: &str, parent: Option<SpanId>, begin_ticks: u64) -> SpanId {
-        self.lock().trace.begin(name, parent, begin_ticks)
+        self.lock_inner().trace.begin(name, parent, begin_ticks)
     }
 
     fn span_end(&self, id: SpanId, end_ticks: u64) {
-        self.lock().trace.end(id, end_ticks);
+        self.lock_inner().trace.end(id, end_ticks);
     }
 
     fn add_many(&self, entries: &[(&str, u64)]) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_inner();
         for (name, delta) in entries {
             match inner.counters.get_mut(*name) {
                 Some(v) => *v = v.saturating_add(*delta),
@@ -138,14 +141,14 @@ impl Recorder for Registry {
     }
 
     fn span(&self, name: &str, parent: Option<SpanId>, begin_ticks: u64, end_ticks: u64) -> SpanId {
-        let mut inner = self.lock();
+        let mut inner = self.lock_inner();
         let id = inner.trace.begin(name, parent, begin_ticks);
         inner.trace.end(id, end_ticks);
         id
     }
 
     fn span_many(&self, spans: &[crate::span::SpanRecord<'_>]) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_inner();
         let mut ids: Vec<SpanId> = Vec::with_capacity(spans.len());
         for (i, s) in spans.iter().enumerate() {
             let parent = s.parent.filter(|&p| p < i).map(|p| ids[p]);
@@ -210,7 +213,7 @@ mod tests {
         assert_eq!(snap.counter("serve.cache.hits"), Some(4));
         assert_eq!(snap.counter("serve.cache.misses"), None);
         assert_eq!(snap.gauge("serve.queue.depth"), Some(2));
-        assert_eq!(snap.gauge("serve.queue.peak"), None);
+        assert_eq!(snap.gauge("test.absent.gauge"), None);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// Sharded `key → rendered response` store with optional disk spill.
 #[derive(Debug)]
 pub struct ShardedCache {
+    // LOCK ORDER: 20 — taken under the flight map (tier 10) on the
+    // request path; shard holders never take another lock (at most one
+    // shard guard is ever live).
     shards: Vec<Mutex<BTreeMap<String, Arc<str>>>>,
     spill_dir: Option<PathBuf>,
 }
@@ -48,7 +51,7 @@ impl ShardedCache {
 
     /// Total entries across shards (memory only).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).len()).sum()
+        self.shards.iter().map(|s| self.lock_shard(s).len()).sum()
     }
 
     /// Whether the in-memory cache holds nothing.
@@ -56,7 +59,7 @@ impl ShardedCache {
         self.len() == 0
     }
 
-    fn lock<'a>(
+    fn lock_shard<'a>(
         &self,
         shard: &'a Mutex<BTreeMap<String, Arc<str>>>,
     ) -> std::sync::MutexGuard<'a, BTreeMap<String, Arc<str>>> {
@@ -76,7 +79,7 @@ impl ShardedCache {
 
     /// Memory lookup only.
     pub fn get_memory(&self, key: &str) -> Option<Arc<str>> {
-        self.lock(self.shard_of(key)).get(key).cloned()
+        self.lock_shard(self.shard_of(key)).get(key).cloned()
     }
 
     /// Disk lookup: on a spill hit the entry is promoted into memory so
@@ -84,7 +87,7 @@ impl ShardedCache {
     pub fn get_disk(&self, key: &str) -> Option<Arc<str>> {
         let path = self.spill_path(key)?;
         let body: Arc<str> = std::fs::read_to_string(path).ok()?.into();
-        self.lock(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
+        self.lock_shard(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
         Some(body)
     }
 
@@ -93,7 +96,7 @@ impl ShardedCache {
     /// already happened, so serving continues degraded rather than not
     /// at all.
     pub fn insert(&self, key: &str, body: Arc<str>) -> std::io::Result<()> {
-        self.lock(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
+        self.lock_shard(self.shard_of(key)).insert(key.to_string(), Arc::clone(&body));
         match self.spill_path(key) {
             None => Ok(()),
             Some(path) => write_atomic(&path, &body),

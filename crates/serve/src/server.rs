@@ -75,6 +75,9 @@ impl Server {
         let addr = listener.local_addr()?;
         let store = Arc::new(CellStore::new(options.store));
         let shutdown = Arc::new(AtomicBool::new(false));
+        // LOCK ORDER: 60 — idle-timeout timestamp; touched only as a
+        // statement temporary from the accept loop and handlers, never
+        // nested with (or under) any other lock.
         let last_activity = Arc::new(Mutex::new(Instant::now()));
 
         let accept_store = Arc::clone(&store);

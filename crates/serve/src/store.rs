@@ -130,6 +130,9 @@ impl std::fmt::Display for ServeError {
 /// One in-flight simulation that any number of requests may wait on.
 #[derive(Debug, Default)]
 struct Flight {
+    // LOCK ORDER: 15 — leaf under the flight map: `fulfill`/`wait` take
+    // it with no other serve lock held, and flight-map holders never
+    // reach into a slot.
     slot: Mutex<Option<Result<Arc<str>, String>>>,
     done: Condvar,
 }
@@ -159,6 +162,9 @@ impl Flight {
 pub struct CellStore {
     cache: ShardedCache,
     pool: ThreadPool,
+    // LOCK ORDER: 10 — outermost serve lock: `get` consults the cache
+    // shards (tier 20) and the registry (tier 30) under it, so it must
+    // sit below both in the order.
     flights: Mutex<BTreeMap<String, Arc<Flight>>>,
     max_pending: usize,
     registry: Arc<Registry>,
