@@ -9,8 +9,9 @@
 //! Flags: `--addr A` (bind address, port 0 for ephemeral), `--threads N`
 //! (simulation pool), `--shards N` (cache shards), `--max-pending N`
 //! (admission cap on distinct in-flight simulations), `--spill-dir PATH`
-//! (on-disk cache), `--idle-timeout-ms N` (exit after N ms without
-//! traffic; default runs until a client sends `{"op":"shutdown"}`).
+//! (on-disk cache), `--max-connections N` (cap on live connection
+//! threads), `--idle-timeout-ms N` (exit after N ms without traffic;
+//! default runs until a client sends `{"op":"shutdown"}`).
 //!
 //! Exit codes (the shared `pvs_bench::cli` convention): 0 clean
 //! shutdown, 2 malformed usage, 6 the bind failed.
@@ -21,7 +22,7 @@ use pvs_bench::cli::exit;
 use pvs_serve::{Server, ServerOptions};
 
 const USAGE: &str = "serve [--addr A] [--threads N] [--shards N] [--max-pending N] \
-                     [--spill-dir PATH] [--idle-timeout-ms N]";
+                     [--spill-dir PATH] [--max-connections N] [--idle-timeout-ms N]";
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -59,6 +60,9 @@ fn parse_options() -> ServerOptions {
             "--shards" => options.store.shards = numeric("--shards").max(1),
             "--max-pending" => options.store.max_pending = numeric("--max-pending"),
             "--spill-dir" => options.store.spill_dir = Some(value("--spill-dir").into()),
+            "--max-connections" => {
+                options.max_connections = numeric("--max-connections").max(1);
+            }
             "--idle-timeout-ms" => {
                 options.idle_timeout =
                     Some(Duration::from_millis(numeric("--idle-timeout-ms") as u64));

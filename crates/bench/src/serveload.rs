@@ -174,8 +174,11 @@ fn source_of(response: &str) -> (bool, String) {
 }
 
 fn exchange(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
+    // Body and newline go out in one write: split across two, Nagle +
+    // delayed ACK can park the newline for tens of milliseconds on
+    // non-loopback links, polluting the latency samples with transport
+    // artifacts (and stalling the server mid-line).
+    stream.write_all(format!("{line}\n").as_bytes())?;
     stream.flush()?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut response = String::new();
@@ -186,6 +189,8 @@ fn exchange(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
 fn connect(addr: &str) -> std::io::Result<TcpStream> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    // Measurement client: never let Nagle defer a request.
+    stream.set_nodelay(true)?;
     Ok(stream)
 }
 

@@ -158,7 +158,7 @@ const COMMENT_WINDOW: usize = 3;
 
 /// Blocking operations a held guard must not cross. Condvar waits are
 /// deliberately absent: waiting *releases* the guard.
-const HAZARD_MARKERS: [(&str, &str); 17] = [
+const HAZARD_MARKERS: [(&str, &str); 18] = [
     (".spawn(", "pool/thread dispatch"),
     ("thread::spawn(", "thread spawn"),
     ("catch_unwind", "catch_unwind"),
@@ -168,6 +168,7 @@ const HAZARD_MARKERS: [(&str, &str); 17] = [
     (".recv_timeout(", "channel receive"),
     (".write_all(", "stream I/O"),
     (".read_line(", "stream I/O"),
+    (".fill_buf(", "stream I/O"),
     (".read_to_string(", "stream I/O"),
     (".read_to_end(", "stream I/O"),
     (".flush()", "stream I/O"),

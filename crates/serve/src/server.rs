@@ -13,7 +13,11 @@
 //! Shape: one nonblocking accept loop on a background thread, one
 //! thread per connection reading newline-delimited requests. Sockets
 //! carry a short read timeout so connection threads poll the shutdown
-//! flag instead of blocking forever on a silent client.
+//! flag instead of blocking forever on a silent client; a partial line
+//! accumulated before such a timeout is kept and resumed, never
+//! discarded. Two caps bound a hostile client: request lines longer
+//! than `MAX_LINE_BYTES` close the connection, and connects past
+//! `ServerOptions::max_connections` live threads are shed at accept.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,6 +38,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(5);
 /// the shutdown flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
+/// Hard bound on one request line. A real request is a few hundred
+/// bytes; a client past this cap is broken or hostile and its
+/// connection is closed (`serve.errors.oversized`).
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -44,6 +53,9 @@ pub struct ServerOptions {
     /// Exit after this long with no connections or requests
     /// (`None` = run until `shutdown`).
     pub idle_timeout: Option<Duration>,
+    /// Cap on live connection threads; connects past it are accepted
+    /// and immediately closed (`serve.net.rejected`).
+    pub max_connections: usize,
 }
 
 impl Default for ServerOptions {
@@ -52,6 +64,7 @@ impl Default for ServerOptions {
             addr: "127.0.0.1:0".to_string(),
             store: StoreOptions::default(),
             idle_timeout: None,
+            max_connections: 256,
         }
     }
 }
@@ -89,6 +102,7 @@ impl Server {
                 accept_shutdown,
                 last_activity,
                 options.idle_timeout,
+                options.max_connections.max(1),
             )
         });
 
@@ -143,12 +157,19 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     last_activity: Arc<Mutex<Instant>>,
     idle_timeout: Option<Duration>,
+    max_connections: usize,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 touch(&last_activity);
+                connections.retain(|h| !h.is_finished());
+                if connections.len() >= max_connections {
+                    store.registry().add("serve.net.rejected", 1);
+                    drop(stream);
+                    continue;
+                }
                 store.registry().add("serve.net.connections", 1);
                 let store = Arc::clone(&store);
                 let shutdown = Arc::clone(&shutdown);
@@ -178,6 +199,62 @@ fn accept_loop(
     }
 }
 
+/// What one bounded line read produced.
+enum LineRead {
+    /// A newline-terminated request (or the EOF-terminated tail) is in
+    /// the buffer.
+    Complete,
+    /// The stream closed with nothing buffered.
+    Closed,
+    /// The read timed out mid-line; the partial bytes stay buffered and
+    /// the next call resumes them.
+    Stalled,
+    /// The accumulated line exceeded `MAX_LINE_BYTES`.
+    Oversized,
+}
+
+/// Read one newline-terminated request into `line`, resuming any
+/// partial line left by an earlier read timeout. `BufRead::read_line`
+/// cannot be used here: on `WouldBlock`/`TimedOut` it has already
+/// appended the bytes it consumed, so a caller that clears the buffer
+/// each iteration silently drops the first half of any request whose
+/// client stalls mid-line for longer than `READ_TIMEOUT`.
+fn read_request_line(reader: &mut impl BufRead, line: &mut Vec<u8>) -> std::io::Result<LineRead> {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::Stalled);
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF: an unterminated tail still dispatches, matching
+            // `read_line`'s end-of-stream semantics.
+            return Ok(if line.is_empty() {
+                LineRead::Closed
+            } else {
+                LineRead::Complete
+            });
+        }
+        let (take, complete) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if line.len() > MAX_LINE_BYTES {
+            return Ok(LineRead::Oversized);
+        }
+        if complete {
+            return Ok(LineRead::Complete);
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     store: Arc<CellStore>,
@@ -192,14 +269,27 @@ fn serve_connection(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
+        match read_request_line(&mut reader, &mut line) {
+            Ok(LineRead::Closed) => return,
+            Ok(LineRead::Stalled) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(LineRead::Oversized) => {
+                store.registry().add("serve.errors.oversized", 1);
+                return;
+            }
+            Ok(LineRead::Complete) => {
+                // Invalid UTF-8 becomes replacement characters and falls
+                // through to a malformed-request response rather than a
+                // silent close.
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
                 if trimmed.is_empty() {
+                    line.clear();
                     continue;
                 }
                 touch(&last_activity);
@@ -208,6 +298,10 @@ fn serve_connection(
                 store
                     .registry()
                     .add("serve.host.busy_us", started.elapsed().as_micros() as u64);
+                // A simulation can outlast idle_timeout; mark the server
+                // live again when dispatch completes so the idle check
+                // measures true idleness, not time spent computing.
+                touch(&last_activity);
                 if writer
                     .write_all(response.as_bytes())
                     .and_then(|()| writer.write_all(b"\n"))
@@ -220,14 +314,7 @@ fn serve_connection(
                     shutdown.store(true, Ordering::SeqCst);
                     return;
                 }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
+                line.clear();
             }
             Err(_) => return,
         }
@@ -253,5 +340,83 @@ fn dispatch(store: &Arc<CellStore>, line: &str) -> (String, bool) {
             Ok(resp) => (proto::cell_response(&resp), false),
             Err(err) => (proto::error_response(&err), false),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::io::Read;
+
+    /// Scripted reader: each step yields bytes or a simulated read
+    /// timeout (`None`); an exhausted script reads as EOF.
+    struct Script(VecDeque<Option<Vec<u8>>>);
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.pop_front() {
+                Some(Some(bytes)) => {
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(None) => Err(std::io::ErrorKind::WouldBlock.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    fn reader(steps: Vec<Option<&str>>) -> BufReader<Script> {
+        BufReader::new(Script(
+            steps
+                .into_iter()
+                .map(|s| s.map(|s| s.as_bytes().to_vec()))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn partial_line_survives_a_read_timeout() {
+        let mut r = reader(vec![Some("{\"op\":"), None, Some("\"ping\"}\n")]);
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_request_line(&mut r, &mut line).unwrap(),
+            LineRead::Stalled
+        ));
+        assert_eq!(line, b"{\"op\":");
+        assert!(matches!(
+            read_request_line(&mut r, &mut line).unwrap(),
+            LineRead::Complete
+        ));
+        assert_eq!(line, b"{\"op\":\"ping\"}\n");
+    }
+
+    #[test]
+    fn eof_terminated_tail_completes_then_stream_reads_closed() {
+        let mut r = reader(vec![Some("{\"op\":\"ping\"}")]);
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_request_line(&mut r, &mut line).unwrap(),
+            LineRead::Complete
+        ));
+        assert_eq!(line, b"{\"op\":\"ping\"}");
+        line.clear();
+        assert!(matches!(
+            read_request_line(&mut r, &mut line).unwrap(),
+            LineRead::Closed
+        ));
+    }
+
+    #[test]
+    fn newline_free_stream_is_rejected_at_the_length_cap() {
+        let chunk = "x".repeat(4096);
+        let steps: Vec<Option<&str>> = (0..17).map(|_| Some(chunk.as_str())).collect();
+        let mut r = reader(steps);
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_request_line(&mut r, &mut line).unwrap(),
+            LineRead::Oversized
+        ));
+        assert!(line.len() <= MAX_LINE_BYTES + 4096);
     }
 }

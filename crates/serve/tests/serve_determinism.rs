@@ -36,8 +36,7 @@ fn direct_body(request: &Request) -> String {
 
 /// One request/response exchange on an existing connection.
 fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
-    stream.write_all(line.as_bytes()).unwrap();
-    stream.write_all(b"\n").unwrap();
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
     stream.flush().unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut response = String::new();
@@ -226,4 +225,70 @@ fn idle_server_times_out_and_exits() {
     })
     .unwrap();
     server.wait();
+}
+
+#[test]
+fn request_stalled_mid_line_survives_the_read_timeout() {
+    // A client that pauses mid-line for longer than the server's 50ms
+    // socket read timeout must not lose the bytes it already sent: the
+    // server keeps the partial line and resumes it.
+    let server = Server::start(ServerOptions::default()).unwrap();
+    let mut stream = connect(&server);
+    let (head, tail) = r#"{"op":"ping"}"#.split_at(6);
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    stream.write_all(tail.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert_eq!(response.trim_end(), r#"{"ok":true,"pong":true}"#);
+}
+
+#[test]
+fn oversized_request_line_closes_the_connection() {
+    let server = Server::start(ServerOptions::default()).unwrap();
+    let mut stream = connect(&server);
+    // Well past the 64 KiB line cap, no newline anywhere. The server
+    // may reset mid-write, so write errors are expected and ignored.
+    let _ = stream.write_all(&vec![b'x'; 128 * 1024]);
+    let _ = stream.flush();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    // Clean close (0 bytes) or reset — never a response line.
+    match reader.read_line(&mut response) {
+        Ok(n) => assert_eq!(n, 0, "unexpected response: {response}"),
+        Err(_) => {}
+    }
+    assert_eq!(
+        server.store().registry().counter("serve.errors.oversized"),
+        1
+    );
+}
+
+#[test]
+fn connection_cap_sheds_excess_clients_but_keeps_existing_ones() {
+    let server = Server::start(ServerOptions {
+        max_connections: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut first = connect(&server);
+    assert!(roundtrip(&mut first, r#"{"op":"ping"}"#).contains("pong"));
+
+    // `first` still holds the one slot: the second connect is accepted
+    // and immediately closed without a response.
+    let second = connect(&server);
+    let mut reader = BufReader::new(second.try_clone().unwrap());
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(n) => assert_eq!(n, 0, "unexpected response: {response}"),
+        Err(_) => {}
+    }
+    assert_eq!(server.store().registry().counter("serve.net.rejected"), 1);
+
+    // The surviving connection is unaffected.
+    assert!(roundtrip(&mut first, r#"{"op":"ping"}"#).contains("pong"));
 }
