@@ -69,7 +69,7 @@ pub fn kind_label(kind: &FaultKind) -> &'static str {
 pub fn covered_kinds(scenarios: &[ChaosScenario]) -> BTreeSet<&'static str> {
     scenarios
         .iter()
-        .flat_map(|s| s.plan.events().iter().map(|e| kind_label(&e.kind)))
+        .flat_map(|s| s.plan.events().map(|e| kind_label(&e.kind)))
         .collect()
 }
 

@@ -16,6 +16,7 @@ pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod profile;
+pub mod rankscale;
 pub mod serveload;
 pub mod tablegen;
 

@@ -44,6 +44,7 @@ const FIG9: &str = env!("CARGO_BIN_EXE_fig9");
 const TABLE3: &str = env!("CARGO_BIN_EXE_table3");
 const SERVE: &str = env!("CARGO_BIN_EXE_serve");
 const SERVE_LOAD: &str = env!("CARGO_BIN_EXE_serve_load");
+const RANKSCALE: &str = env!("CARGO_BIN_EXE_rankscale");
 
 /// The smallest valid profile document: known schema, zero cells.
 const EMPTY_DOC: &str = "{\"schema\": \"pvs-bench/profile-v2\", \"cells\": []}";
@@ -167,6 +168,27 @@ fn chaos_unwritable_out_exits_6_fast_and_writes_nothing() {
     let out = run(CHAOS, &["--smoke", "--out", under.to_str().unwrap()]);
     assert_exit(&out, 6, "--out under a file");
     assert_no_panic(&out, "chaos on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rankscale_usage_errors_exit_2() {
+    let out = run(RANKSCALE, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    let out = run(RANKSCALE, &["--threads", "0"]);
+    assert_exit(&out, 2, "zero --threads");
+}
+
+#[test]
+fn rankscale_unwritable_out_exits_6_fast_and_writes_nothing() {
+    let dir = scratch_dir("rankscale_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("mpisim.json");
+    let out = run(RANKSCALE, &["--smoke", "--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file");
+    assert_no_panic(&out, "rankscale on unwritable --out");
     assert!(!under.exists(), "no partial document");
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -48,6 +48,7 @@ pub mod grid;
 pub mod halo;
 pub mod icn;
 pub mod perf;
+pub mod scale;
 pub mod rhs;
 pub mod solver;
 

@@ -49,6 +49,7 @@
 pub mod adversity;
 pub mod checkpoint;
 pub mod engine;
+pub mod event;
 pub mod hash;
 pub mod kernel;
 pub mod machine;
@@ -62,6 +63,7 @@ pub mod schema;
 pub use adversity::Adversity;
 pub use checkpoint::{RunCheckpoint, SweepCheckpoint};
 pub use engine::{run_sweep, run_sweep_resumed, run_sweep_threads, Engine, RunOutcome, SweepJob};
+pub use event::{EventQueue, Scheduled};
 pub use hash::{fnv1a, fnv1a_hex, Fnv1a};
 pub use kernel::{KernelDescriptor, MachineKind, StaticPrediction};
 pub use machine::{CpuClass, Machine};

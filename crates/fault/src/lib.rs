@@ -41,7 +41,7 @@
 //! assert_eq!(late.adversity.failed_banks, vec![3]);
 //! ```
 
-use pvs_core::{Adversity, Pcg32, SplitMix64};
+use pvs_core::{Adversity, EventQueue, Pcg32, SplitMix64};
 use pvs_mpisim::FaultSpec;
 use pvs_netsim::LinkFaults;
 
@@ -113,7 +113,9 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// A seeded, time-sorted schedule of fault events.
+/// A seeded, time-sorted schedule of fault events, kept on the shared
+/// simulated-time event core ([`pvs_core::EventQueue`]) that also
+/// drives mpisim's event-driven runtime.
 ///
 /// The seed flows into every downstream random decision (message-drop
 /// draws in `pvs-mpisim` derive their seed from it), so the plan fully
@@ -121,7 +123,7 @@ pub struct FaultEvent {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    events: Vec<FaultEvent>,
+    events: EventQueue<FaultKind>,
 }
 
 /// The damage state active at one compile horizon, ready to hand to each
@@ -143,7 +145,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            events: Vec::new(),
+            events: EventQueue::new(),
         }
     }
 
@@ -165,14 +167,17 @@ impl FaultPlan {
         if let FaultKind::WorkerLoss { after_tasks, .. } = kind {
             assert!(after_tasks >= 1, "a worker claims at least one task");
         }
-        let pos = self.events.partition_point(|e| e.at_ps <= at_ps);
-        self.events.insert(pos, FaultEvent { at_ps, kind });
+        self.events.push(at_ps, kind);
         self
     }
 
-    /// The scheduled events, sorted by onset time.
-    pub fn events(&self) -> &[FaultEvent] {
-        &self.events
+    /// The scheduled events, sorted by onset time (insertion order among
+    /// equal timestamps).
+    pub fn events(&self) -> impl Iterator<Item = FaultEvent> + '_ {
+        self.events.iter().map(|e| FaultEvent {
+            at_ps: e.at_ps,
+            kind: e.payload,
+        })
     }
 
     /// Generate `n_events` faults at seeded-random times in
@@ -222,7 +227,7 @@ impl FaultPlan {
             .with_seed(SplitMix64::new(self.seed).next_u64());
         let mut retirements = Vec::new();
         for e in self.events.iter().take_while(|e| e.at_ps <= horizon_ps) {
-            match e.kind {
+            match e.payload {
                 FaultKind::LinkFailure { link } => net = net.fail_link(link),
                 FaultKind::LinkDegrade { link, factor } => net = net.degrade_link(link, factor),
                 FaultKind::PortLoss { port } => net = net.lose_port(port),
@@ -283,7 +288,7 @@ mod tests {
 
     #[test]
     fn events_sort_by_onset_time() {
-        let times: Vec<u64> = busy_plan(1).events().iter().map(|e| e.at_ps).collect();
+        let times: Vec<u64> = busy_plan(1).events().map(|e| e.at_ps).collect();
         assert_eq!(times, vec![1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000, 8_000]);
     }
 
@@ -339,8 +344,9 @@ mod tests {
         let c = FaultPlan::random(13, 1_000_000, 16, 64, 32);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a.events().len(), 16);
-        assert!(a.events().windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+        assert_eq!(a.events().count(), 16);
+        let times: Vec<u64> = a.events().map(|e| e.at_ps).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
         // Generated degrade factors stay in the legal range by construction;
         // compiling must therefore never panic.
         let _ = a.compile_all();

@@ -49,6 +49,7 @@ pub mod field;
 pub mod grid2d;
 pub mod particles;
 pub mod perf;
+pub mod scale;
 pub mod push;
 pub mod shift;
 pub mod sim;

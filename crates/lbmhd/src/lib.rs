@@ -53,6 +53,7 @@ pub mod lattice;
 pub mod octagonal;
 pub mod parallel;
 pub mod perf;
+pub mod scale;
 pub mod solver;
 pub mod stream;
 

@@ -12,15 +12,24 @@
 //! and holds handles to every other rank's window.
 
 use crate::comm::Comm;
+use crate::tags::{self, ctag};
 use std::sync::{Arc, RwLock};
 
 /// A co-array: one window of `len` doubles per rank, remotely accessible.
+#[derive(Debug, Clone)]
 pub struct CoArray {
     rank: usize,
     windows: Vec<Arc<RwLock<Vec<f64>>>>,
 }
 
 impl CoArray {
+    /// Assemble a co-array from pre-gathered windows (the event-driven
+    /// runtime creates every rank's window centrally in its scheduler
+    /// instead of ring-circulating handles).
+    pub(crate) fn from_windows(rank: usize, windows: Vec<Arc<RwLock<Vec<f64>>>>) -> Self {
+        Self { rank, windows }
+    }
+
     /// Collectively create a co-array with `len` elements per image.
     /// Must be called by every rank of `comm` (it allgathers the window
     /// handles).
@@ -35,11 +44,11 @@ impl CoArray {
         for step in 0..size.saturating_sub(1) {
             let to = (rank + 1) % size;
             let from = (rank + size - 1) % size;
-            let tag = 0xCAF_0000 + step as u64;
+            let tag = ctag(tags::NS_CAF, step as u64);
             // Frame the origin rank in the tag stream: send origin first.
-            comm.send(to, tag, vec![travelling.0 as f64]);
+            comm.send_raw(to, tag, vec![travelling.0 as f64]);
             comm.send_window(to, tag, travelling.1);
-            let origin = comm.recv(from, tag)[0] as usize;
+            let origin = comm.recv_raw(from, tag)[0] as usize;
             let w = comm.recv_window(from, tag);
             windows[origin] = Some(w.clone());
             travelling = (origin, w);

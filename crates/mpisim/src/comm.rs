@@ -1,5 +1,12 @@
 //! Two-sided communication: ranks, typed messages, collectives.
+//!
+//! Collectives compute **canonical, rank-order results**: every rank
+//! folds contributions in rank order 0..P, so all ranks return bitwise
+//! identical values even for non-associative floating-point sums. Their
+//! internal messages ride the reserved collective tag namespace
+//! ([`crate::tags`]); application tags must keep the top bit clear.
 
+use crate::tags::{self, assert_user_tag, ctag};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, RwLock};
@@ -88,24 +95,39 @@ impl Comm {
         self.stats
     }
 
-    /// Send `data` to rank `dst` with a matching `tag`.
+    /// Send `data` to rank `dst` with a matching `tag`. The tag must
+    /// keep [`tags::COLLECTIVE_BIT`] clear — the top bit is reserved for
+    /// the runtime's collectives.
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        assert_user_tag(tag);
+        self.send_raw(dst, tag, data);
+    }
+
+    /// Tag-unchecked send used by the collectives (their tags carry the
+    /// reserved bit on purpose).
+    pub(crate) fn send_raw(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += (data.len() * 8) as u64;
-        self.senders[dst]
-            .send(Packet {
-                src: self.rank,
-                tag,
-                payload: Payload::Data(data),
-            })
-            // INFALLIBLE: receivers outlive every sender (failed
-            // ranks' receivers are parked, not dropped, in run_faulty).
-            .expect("receiver alive");
+        // A rank that already returned has dropped its receiver; the
+        // packet could never be read, so dropping it preserves the
+        // buffered-and-never-matched semantics of a live endpoint.
+        let _ = self.senders[dst].send(Packet {
+            src: self.rank,
+            tag,
+            payload: Payload::Data(data),
+        });
     }
 
     /// Blocking receive of a message from `src` with `tag`. Messages from
     /// other sources/tags arriving first are buffered and matched later.
+    /// Like [`Comm::send`], the tag must stay in user space.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        assert_user_tag(tag);
+        self.recv_raw(src, tag)
+    }
+
+    /// Tag-unchecked receive used by the collectives.
+    pub(crate) fn recv_raw(&mut self, src: usize, tag: u64) -> Vec<f64> {
         // Check the buffer first.
         if let Some(pos) = self
             .pending
@@ -171,27 +193,21 @@ impl Comm {
     /// was dropped, so the receiver's faulty-mode receive unblocks with a
     /// timeout instead of deadlocking.
     pub(crate) fn send_lost(&mut self, dst: usize, tag: u64, expired_at_ps: u64) {
-        self.senders[dst]
-            .send(Packet {
-                src: self.rank,
-                tag,
-                payload: Payload::Lost { expired_at_ps },
-            })
-            // INFALLIBLE: receivers outlive every sender (failed
-            // ranks' receivers are parked, not dropped, in run_faulty).
-            .expect("receiver alive");
+        // See `send_raw`: a finished receiver makes the tombstone moot.
+        let _ = self.senders[dst].send(Packet {
+            src: self.rank,
+            tag,
+            payload: Payload::Lost { expired_at_ps },
+        });
     }
 
     pub(crate) fn send_window(&mut self, dst: usize, tag: u64, w: Arc<RwLock<Vec<f64>>>) {
-        self.senders[dst]
-            .send(Packet {
-                src: self.rank,
-                tag,
-                payload: Payload::Window(w),
-            })
-            // INFALLIBLE: receivers outlive every sender (failed
-            // ranks' receivers are parked, not dropped, in run_faulty).
-            .expect("receiver alive");
+        // See `send_raw`: a finished receiver makes the handle moot.
+        let _ = self.senders[dst].send(Packet {
+            src: self.rank,
+            tag,
+            payload: Payload::Window(w),
+        });
     }
 
     pub(crate) fn recv_window(&mut self, src: usize, tag: u64) -> Arc<RwLock<Vec<f64>>> {
@@ -227,6 +243,7 @@ impl Comm {
     /// like [`Comm::recv`] (the applications' real MPI counterparts post
     /// `irecv`s before computing on the interior).
     pub fn irecv(&mut self, src: usize, tag: u64) -> RecvRequest {
+        assert_user_tag(tag);
         RecvRequest { src, tag }
     }
 
@@ -242,11 +259,12 @@ impl Comm {
 
     /// Combined send + receive with the same partner (halo exchanges).
     pub fn sendrecv(&mut self, partner: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+        assert_user_tag(tag);
         if partner == self.rank {
             return data;
         }
-        self.send(partner, tag, data);
-        self.recv(partner, tag)
+        self.send_raw(partner, tag, data);
+        self.recv_raw(partner, tag)
     }
 
     /// Synchronize all ranks (dissemination barrier).
@@ -256,8 +274,9 @@ impl Comm {
         while dist < self.size {
             let to = (self.rank + dist) % self.size;
             let from = (self.rank + self.size - dist) % self.size;
-            self.send(to, u64::MAX - round, Vec::new());
-            let _ = self.recv(from, u64::MAX - round);
+            let tag = ctag(tags::NS_BARRIER, round);
+            self.send_raw(to, tag, Vec::new());
+            let _ = self.recv_raw(from, tag);
             dist *= 2;
             round += 1;
         }
@@ -265,23 +284,16 @@ impl Comm {
 
     /// Element-wise sum allreduce.
     ///
-    /// Implemented as a gather-to-all ring: every rank forwards the packet
-    /// it received while folding each rank's original contribution exactly
-    /// once — correct for any communicator size.
+    /// Implemented as a gather-to-all ring, but folded in **canonical
+    /// rank order**: the packet received at step `s` from the ring
+    /// predecessor originated at rank `(me − s − 1) mod P`, so each rank
+    /// can index every contribution by its origin and reduce them as
+    /// x₀ + x₁ + … + x_{P−1}. Every rank therefore returns the bitwise
+    /// identical vector even though floating-point addition is not
+    /// associative — ring position no longer leaks into the result.
     pub fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
-        let mut acc = data.to_vec();
-        let mut travelling = data.to_vec();
-        for step in 0..self.size.saturating_sub(1) {
-            let to = (self.rank + 1) % self.size;
-            let from = (self.rank + self.size - 1) % self.size;
-            let tag = 0xA11B_0000 + step as u64;
-            self.send(to, tag, travelling);
-            travelling = self.recv(from, tag);
-            for (a, b) in acc.iter_mut().zip(&travelling) {
-                *a += *b;
-            }
-        }
-        acc
+        let contribs = self.ring_contributions(tags::NS_ALLREDUCE_SUM, data);
+        fold_sum_in_rank_order(&contribs)
     }
 
     /// Scalar sum allreduce.
@@ -289,23 +301,39 @@ impl Comm {
         self.allreduce_sum(&[x])[0]
     }
 
-    /// Max allreduce for a scalar.
+    /// Max allreduce for a scalar, folded in canonical rank order like
+    /// [`Comm::allreduce_sum`] (max is order-sensitive for NaN inputs).
     pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
-        let mut acc = x;
-        let mut travelling = vec![x];
+        let contribs = self.ring_contributions(tags::NS_ALLREDUCE_MAX, &[x]);
+        contribs
+            .iter()
+            .skip(1)
+            .fold(contribs[0][0], |acc, c| acc.max(c[0]))
+    }
+
+    /// The shared gather phase of the ring allreduces: circulate every
+    /// rank's contribution and return them indexed by origin rank.
+    fn ring_contributions(&mut self, ns: u64, data: &[f64]) -> Vec<Vec<f64>> {
+        let mut contribs: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+        let mut travelling = data.to_vec();
+        contribs[self.rank] = data.to_vec();
         for step in 0..self.size.saturating_sub(1) {
             let to = (self.rank + 1) % self.size;
             let from = (self.rank + self.size - 1) % self.size;
-            let tag = 0xA11C_0000 + step as u64;
-            self.send(to, tag, travelling);
-            travelling = self.recv(from, tag);
-            acc = acc.max(travelling[0]);
+            let tag = ctag(ns, step as u64);
+            self.send_raw(to, tag, travelling);
+            travelling = self.recv_raw(from, tag);
+            // At step s the predecessor hands over the contribution that
+            // originated s+1 positions behind us on the ring.
+            let origin = (self.rank + self.size - step - 1) % self.size;
+            contribs[origin] = travelling.clone();
         }
-        acc
+        contribs
     }
 
     /// Gather each rank's `data` on every rank (allgather), concatenated in
-    /// rank order.
+    /// rank order (the output is canonical by construction: slot `i` holds
+    /// exactly the bytes rank `i` contributed).
     pub fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.size];
         out[self.rank] = data.to_vec();
@@ -313,11 +341,11 @@ impl Comm {
         for step in 0..self.size.saturating_sub(1) {
             let to = (self.rank + 1) % self.size;
             let from = (self.rank + self.size - 1) % self.size;
-            let tag = 0xA11D_0000 + step as u64;
+            let tag = ctag(tags::NS_ALLGATHER, step as u64);
             let mut framed = vec![travelling.0 as f64];
             framed.extend_from_slice(&travelling.1);
-            self.send(to, tag, framed);
-            let incoming = self.recv(from, tag);
+            self.send_raw(to, tag, framed);
+            let incoming = self.recv_raw(from, tag);
             let origin = incoming[0] as usize;
             let body = incoming[1..].to_vec();
             out[origin] = body.clone();
@@ -326,18 +354,31 @@ impl Comm {
         out
     }
 
-    /// Broadcast `data` from `root` to all ranks.
-    pub fn broadcast(&mut self, root: usize, data: Vec<f64>) -> Vec<f64> {
-        if self.rank == root {
-            for dst in 0..self.size {
-                if dst != root {
-                    self.send(dst, 0xB0AD_CA57, data.clone());
-                }
+    /// Broadcast `data` from `root` to all ranks over a binomial tree:
+    /// log₂(P) rounds instead of the old O(P) serial send loop at the
+    /// root. Non-root ranks receive from their tree parent and forward to
+    /// their children (MPICH's relative-rank/mask schedule).
+    pub fn broadcast(&mut self, root: usize, mut data: Vec<f64>) -> Vec<f64> {
+        let relative = (self.rank + self.size - root) % self.size;
+        let tag = ctag(tags::NS_BCAST, 0);
+        let mut mask = 1usize;
+        while mask < self.size {
+            if relative & mask != 0 {
+                let src = (self.rank + self.size - mask) % self.size;
+                data = self.recv_raw(src, tag);
+                break;
             }
-            data
-        } else {
-            self.recv(root, 0xB0AD_CA57)
+            mask <<= 1;
         }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < self.size {
+                let dst = (self.rank + mask) % self.size;
+                self.send_raw(dst, tag, data.clone());
+            }
+            mask >>= 1;
+        }
+        data
     }
 
     /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns what
@@ -351,12 +392,24 @@ impl Comm {
         for round in 1..self.size {
             let dst = (self.rank + round) % self.size;
             let src = (self.rank + self.size - round) % self.size;
-            let tag = 0xA2A_0000 + round as u64;
-            self.send(dst, tag, std::mem::take(&mut sends[dst]));
-            out[src] = self.recv(src, tag);
+            let tag = ctag(tags::NS_ALLTOALL, round as u64);
+            self.send_raw(dst, tag, std::mem::take(&mut sends[dst]));
+            out[src] = self.recv_raw(src, tag);
         }
         out
     }
+}
+
+/// Left-fold per-rank contributions as x₀ + x₁ + … + x_{P−1} — the
+/// canonical reduction order shared by both runtimes.
+pub(crate) fn fold_sum_in_rank_order(contribs: &[Vec<f64>]) -> Vec<f64> {
+    let mut acc = contribs[0].clone();
+    for c in &contribs[1..] {
+        for (a, b) in acc.iter_mut().zip(c) {
+            *a += *b;
+        }
+    }
+    acc
 }
 
 /// Launch `nranks` threads, each running `f` with its own [`Comm`]
@@ -568,6 +621,104 @@ mod tests {
             results[0],
             (vec![vec![7.0]], vec![vec![1.5]], vec![2.0])
         );
+    }
+
+    /// The non-associative probe: 1e16 + 1.0 − 1e16 is 0.0 summed left
+    /// to right but 1.0 if the 1.0 survives a different grouping, so any
+    /// rank folding in ring-arrival order instead of rank order shows up
+    /// as a bitwise mismatch.
+    fn probe(rank: usize) -> f64 {
+        [1e16, 1.0, -1e16][rank % 3]
+    }
+
+    #[test]
+    fn allreduce_sum_is_bit_identical_across_ranks() {
+        for n in [2usize, 3, 7, 8] {
+            let results = run(n, |mut c| c.allreduce_sum(&[probe(c.rank()), 0.1]));
+            let canonical: f64 = (1..n).fold(probe(0), |acc, r| acc + probe(r));
+            let canonical_tail: f64 = (1..n).fold(0.1, |acc, _| acc + 0.1);
+            for r in &results {
+                assert_eq!(
+                    r[0].to_bits(),
+                    canonical.to_bits(),
+                    "n={n}: ranks must fold in canonical order 0..P"
+                );
+                assert_eq!(r[1].to_bits(), canonical_tail.to_bits());
+            }
+            let bits: Vec<Vec<u64>> = results
+                .iter()
+                .map(|v| v.iter().map(|x| x.to_bits()).collect())
+                .collect();
+            assert!(bits.windows(2).all(|w| w[0] == w[1]), "n={n}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn allgather_is_bit_identical_across_ranks() {
+        for n in [2usize, 3, 7, 8] {
+            let results = run(n, |mut c| c.allgather(&[probe(c.rank())]));
+            for r in &results {
+                assert_eq!(r, &results[0], "n={n}: slot i holds rank i's bits");
+            }
+            for (i, slot) in results[0].iter().enumerate() {
+                assert_eq!(slot[0].to_bits(), probe(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn user_tags_no_longer_collide_with_collectives() {
+        // Regression: 0xB0AD_CA57 was the broadcast wire tag; an app
+        // message carrying it mis-matched into a concurrent broadcast.
+        // With the reserved namespace both flows coexist.
+        let results = run(4, |mut c| {
+            let me = c.rank();
+            if me == 0 {
+                c.send(1, 0xB0AD_CA57, vec![99.0]);
+            }
+            let cast = c.broadcast(0, if me == 0 { vec![7.0] } else { Vec::new() });
+            let user = if me == 1 { c.recv(0, 0xB0AD_CA57)[0] } else { 0.0 };
+            (cast, user)
+        });
+        for (r, (cast, user)) in results.iter().enumerate() {
+            assert_eq!(cast, &vec![7.0], "rank {r}");
+            if r == 1 {
+                assert_eq!(*user, 99.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved collective bit")]
+    fn reserved_tags_are_rejected_on_send() {
+        let (s, r) = channel();
+        let mut c = Comm::endpoint(0, 1, vec![s], r);
+        c.send(0, crate::tags::COLLECTIVE_BIT | 5, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved collective bit")]
+    fn reserved_tags_are_rejected_on_irecv() {
+        let (s, r) = channel();
+        let mut c = Comm::endpoint(0, 1, vec![s], r);
+        let _ = c.irecv(0, crate::tags::COLLECTIVE_BIT);
+    }
+
+    #[test]
+    fn broadcast_uses_a_binomial_tree() {
+        // Total messages stay at P−1, but no single rank sends them all:
+        // the root's fan-out is log2(P), not P−1.
+        let stats = run(8, |mut c| {
+            c.broadcast(0, vec![1.0; 4]);
+            c.stats()
+        });
+        let total: u64 = stats.iter().map(|s| s.messages_sent).sum();
+        assert_eq!(total, 7);
+        assert_eq!(stats[0].messages_sent, 3, "root sends log2(8) messages");
+        assert_eq!(stats[0].bytes_sent, 3 * 32);
+        // Interior nodes forward: rank 4 feeds ranks 5, 6.
+        assert_eq!(stats[4].messages_sent, 2);
+        assert_eq!(stats[7].messages_sent, 0, "leaves only receive");
     }
 
     #[test]

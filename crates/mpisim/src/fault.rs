@@ -29,9 +29,26 @@
 //! Retry/drop/timeout counters accumulate in [`FaultStats`] per rank and
 //! report into `pvs-obs` via [`FaultStats::record_to`].
 
-use crate::comm::{Comm, CommStats};
+use crate::comm::{fold_sum_in_rank_order, Comm, CommStats};
+use crate::tags::{self, assert_user_tag, ctag};
 use pvs_core::SplitMix64;
 use std::sync::mpsc::channel;
+
+/// Simulated backoff before retry `attempt` (0-based): `base << attempt`,
+/// saturating at `u64::MAX` instead of overflowing — a large configured
+/// `max_attempts` used to panic in debug and silently wrap in release.
+pub fn retry_backoff_ps(base_backoff_ps: u64, attempt: u32) -> u64 {
+    match 1u64.checked_shl(attempt) {
+        Some(factor) => base_backoff_ps.saturating_mul(factor),
+        None => {
+            if base_backoff_ps == 0 {
+                0
+            } else {
+                u64::MAX
+            }
+        }
+    }
+}
 
 /// What to break, and how hard. Healthy by default.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +215,31 @@ impl std::fmt::Display for FaultError {
     }
 }
 
+/// One deterministic per-mille draw for a message coordinate. Seeded
+/// hashing via [`SplitMix64`] so the decision depends on every field but
+/// on no global state — a free function shared by the thread-backed
+/// runtime and the event-driven scheduler, which must reproduce the same
+/// decisions bit-for-bit.
+fn fault_draw(seed: u64, kind: u64, src: usize, dst: usize, tag: u64, attempt: u32) -> u32 {
+    let mut h = SplitMix64::new(seed ^ kind).next_u64();
+    for v in [src as u64, dst as u64, tag, attempt as u64] {
+        h = SplitMix64::new(h ^ v).next_u64();
+    }
+    (h % 1000) as u32
+}
+
+/// Whether send attempt `attempt` of `(src, dst, tag)` is lost.
+pub(crate) fn attempt_lost(spec: &FaultSpec, src: usize, dst: usize, tag: u64, attempt: u32) -> bool {
+    spec.drop_per_mille > 0
+        && fault_draw(spec.seed, 0xD209_D209, src, dst, tag, attempt) < spec.drop_per_mille
+}
+
+/// Whether the delivered message `(src, dst, tag)` is delayed.
+pub(crate) fn message_delayed(spec: &FaultSpec, src: usize, dst: usize, tag: u64) -> bool {
+    spec.delay_per_mille > 0
+        && fault_draw(spec.seed, 0xDE1A_DE1A, src, dst, tag, 0) < spec.delay_per_mille
+}
+
 /// A rank endpoint with fault injection on every send.
 ///
 /// Wraps the healthy [`Comm`]; all decisions are deterministic functions
@@ -245,36 +287,25 @@ impl FaultyComm {
         self.clock_ps
     }
 
-    /// One deterministic per-mille draw for a message coordinate. Seeded
-    /// hashing via [`SplitMix64`] so the decision depends on every field
-    /// but on no global state.
-    fn draw(&self, kind: u64, dst: usize, tag: u64, attempt: u32) -> u32 {
-        let mut h = SplitMix64::new(self.spec.seed ^ kind).next_u64();
-        for v in [
-            self.rank() as u64,
-            dst as u64,
-            tag,
-            attempt as u64,
-        ] {
-            h = SplitMix64::new(h ^ v).next_u64();
-        }
-        (h % 1000) as u32
-    }
-
     fn attempt_lost(&self, dst: usize, tag: u64, attempt: u32) -> bool {
-        self.spec.drop_per_mille > 0
-            && self.draw(0xD209_D209, dst, tag, attempt) < self.spec.drop_per_mille
+        attempt_lost(&self.spec, self.rank(), dst, tag, attempt)
     }
 
     fn message_delayed(&self, dst: usize, tag: u64) -> bool {
-        self.spec.delay_per_mille > 0
-            && self.draw(0xDE1A_DE1A, dst, tag, 0) < self.spec.delay_per_mille
+        message_delayed(&self.spec, self.rank(), dst, tag)
     }
 
     /// Send `data` to rank `dst`, retrying dropped attempts with
     /// exponential backoff. On timeout a tombstone is delivered so the
-    /// receiver unblocks with the same [`FaultError::Timeout`].
+    /// receiver unblocks with the same [`FaultError::Timeout`]. The tag
+    /// must keep [`tags::COLLECTIVE_BIT`] clear.
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) -> Result<(), FaultError> {
+        assert_user_tag(tag);
+        self.send_raw(dst, tag, data)
+    }
+
+    /// Tag-unchecked faulty send used by the survivor collectives.
+    fn send_raw(&mut self, dst: usize, tag: u64, data: Vec<f64>) -> Result<(), FaultError> {
         if !self.alive(dst) {
             return Err(FaultError::RankFailed { rank: dst });
         }
@@ -283,9 +314,9 @@ impl FaultyComm {
         if dst != self.rank() {
             while attempt < self.spec.max_attempts && self.attempt_lost(dst, tag, attempt) {
                 self.stats.drops += 1;
-                let backoff = self.spec.base_backoff_ps << attempt;
-                self.stats.backoff_ps += backoff;
-                self.clock_ps += backoff;
+                let backoff = retry_backoff_ps(self.spec.base_backoff_ps, attempt);
+                self.stats.backoff_ps = self.stats.backoff_ps.saturating_add(backoff);
+                self.clock_ps = self.clock_ps.saturating_add(backoff);
                 attempt += 1;
             }
             if attempt == self.spec.max_attempts {
@@ -306,7 +337,7 @@ impl FaultyComm {
             }
         }
         self.stats.delivered += 1;
-        self.inner.send(dst, tag, data);
+        self.inner.send_raw(dst, tag, data);
         Ok(())
     }
 
@@ -314,6 +345,12 @@ impl FaultyComm {
     /// sender's timeout (with the sender's deterministic expiry time) if
     /// every attempt of the matching message was dropped.
     pub fn recv(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, FaultError> {
+        assert_user_tag(tag);
+        self.recv_raw(src, tag)
+    }
+
+    /// Tag-unchecked faulty receive used by the survivor collectives.
+    fn recv_raw(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, FaultError> {
         if !self.alive(src) {
             return Err(FaultError::RankFailed { rank: src });
         }
@@ -330,11 +367,12 @@ impl FaultyComm {
 
     /// Combined send + receive with the same partner.
     pub fn sendrecv(&mut self, partner: usize, tag: u64, data: Vec<f64>) -> Result<Vec<f64>, FaultError> {
+        assert_user_tag(tag);
         if partner == self.rank() {
             return Ok(data);
         }
-        self.send(partner, tag, data)?;
-        self.recv(partner, tag)
+        self.send_raw(partner, tag, data)?;
+        self.recv_raw(partner, tag)
     }
 
     /// Index of this rank within the survivor list. Panics if called from
@@ -357,33 +395,38 @@ impl FaultyComm {
         while dist < n {
             let to = survivors[(me + dist) % n];
             let from = survivors[(me + n - dist) % n];
-            self.send(to, 0xFA17_BA00 + round, Vec::new())?;
-            self.recv(from, 0xFA17_BA00 + round)?;
+            let tag = ctag(tags::NS_FAULTY_BARRIER, round);
+            self.send_raw(to, tag, Vec::new())?;
+            self.recv_raw(from, tag)?;
             dist *= 2;
             round += 1;
         }
         Ok(())
     }
 
-    /// Element-wise sum allreduce over the surviving ranks (gather-to-all
-    /// ring, folding each survivor's contribution exactly once).
+    /// Element-wise sum allreduce over the surviving ranks: a
+    /// gather-to-all ring folded in **canonical survivor order** (the
+    /// packet received at step `s` originated at
+    /// `survivors[(me − s − 1) mod n]`), so every survivor returns the
+    /// bitwise identical result regardless of ring position — same fix as
+    /// [`Comm::allreduce_sum`].
     pub fn allreduce_sum(&mut self, data: &[f64]) -> Result<Vec<f64>, FaultError> {
         let survivors = self.alive_ranks();
         let n = survivors.len();
         let me = self.survivor_index(&survivors);
-        let mut acc = data.to_vec();
+        let mut contribs: Vec<Vec<f64>> = vec![Vec::new(); n];
+        contribs[me] = data.to_vec();
         let mut travelling = data.to_vec();
         for step in 0..n.saturating_sub(1) {
             let to = survivors[(me + 1) % n];
             let from = survivors[(me + n - 1) % n];
-            let tag = 0xFA17_A100 + step as u64;
-            self.send(to, tag, travelling)?;
-            travelling = self.recv(from, tag)?;
-            for (a, b) in acc.iter_mut().zip(&travelling) {
-                *a += *b;
-            }
+            let tag = ctag(tags::NS_FAULTY_ALLREDUCE, step as u64);
+            self.send_raw(to, tag, travelling)?;
+            travelling = self.recv_raw(from, tag)?;
+            let origin = (me + n - step - 1) % n;
+            contribs[origin] = travelling.clone();
         }
-        Ok(acc)
+        Ok(fold_sum_in_rank_order(&contribs))
     }
 
     /// Scalar sum allreduce over the surviving ranks.
@@ -688,6 +731,84 @@ mod tests {
             reg.counter("mpisim.fault.drops")
         );
         assert_eq!(reg.counter("mpisim.fault.timeouts"), 0);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_at_the_shift_boundary() {
+        // In range: plain doubling.
+        assert_eq!(retry_backoff_ps(1_000, 0), 1_000);
+        assert_eq!(retry_backoff_ps(1_000, 10), 1_024_000);
+        // Attempt 63 is the last representable power of two; a base > 1
+        // saturates the multiply instead of wrapping.
+        assert_eq!(retry_backoff_ps(1, 63), 1u64 << 63);
+        assert_eq!(retry_backoff_ps(3, 63), u64::MAX);
+        // Attempt >= 64 used to be the overflow panic (debug) / silent
+        // wrap to tiny values (release); now it pins at the ceiling.
+        assert_eq!(retry_backoff_ps(1, 64), u64::MAX);
+        assert_eq!(retry_backoff_ps(1_000_000_000, 200), u64::MAX);
+        // Zero base backs off by nothing no matter the attempt count.
+        assert_eq!(retry_backoff_ps(0, 64), 0);
+        assert_eq!(retry_backoff_ps(0, 3), 0);
+    }
+
+    #[test]
+    fn huge_max_attempts_saturates_instead_of_overflowing() {
+        // 100% drop with max_attempts far past the shift width: before
+        // the fix this panicked (debug) at attempt 64. Now the clock and
+        // backoff accounting pin at u64::MAX and the timeout surfaces.
+        let spec = FaultSpec {
+            drop_per_mille: 1000,
+            max_attempts: 80,
+            ..FaultSpec::healthy().with_seed(21)
+        };
+        let outcomes = run_faulty(2, spec, |c| {
+            if c.rank() == 0 {
+                Some(c.send(1, 1, vec![1.0]).expect_err("all dropped"))
+            } else {
+                let _ = c.recv(0, 1).expect_err("tombstone");
+                None
+            }
+        });
+        let e = (*outcomes[0].value().expect("completed")).expect("sender err");
+        match e {
+            FaultError::Timeout { attempts, expired_at_ps, .. } => {
+                assert_eq!(attempts, 80);
+                assert_eq!(expired_at_ps, u64::MAX, "clock saturates");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let s = outcomes[0].faults().expect("completed");
+        assert_eq!(s.backoff_ps, u64::MAX, "accumulated backoff saturates");
+    }
+
+    #[test]
+    fn survivor_allreduce_is_bit_identical_across_ranks() {
+        // Non-associative contributions over survivors {0, 2, 3}: every
+        // survivor must fold in canonical survivor order and return the
+        // same bits.
+        let contrib = |rank: usize| [1e16, 1.0, -1e16, 0.1][rank % 4];
+        let spec = FaultSpec::healthy().fail_rank(1);
+        let outcomes = run_faulty(4, spec, |c| {
+            c.allreduce_sum(&[contrib(c.rank())]).expect("healthy links")
+        });
+        let canonical = ((1e16 + -1e16) + 0.1) as f64;
+        for r in [0usize, 2, 3] {
+            let v = outcomes[r].value().expect("survivor");
+            assert_eq!(v[0].to_bits(), canonical.to_bits(), "rank {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved collective bit")]
+    fn reserved_tags_are_rejected_in_faulty_mode() {
+        let (s, r) = channel();
+        let mut fc = FaultyComm {
+            inner: Comm::endpoint(0, 1, vec![s], r),
+            spec: FaultSpec::healthy(),
+            stats: FaultStats::default(),
+            clock_ps: 0,
+        };
+        let _ = fc.send(0, tags::COLLECTIVE_BIT | 1, vec![1.0]);
     }
 
     #[test]

@@ -20,7 +20,21 @@
 //! * [`fault`]: deterministic message-level fault injection — seeded
 //!   drop/delay decisions, exponential backoff in simulated picoseconds,
 //!   timeouts, rank failure with survivor-only collectives, and retry
-//!   counters reported through `pvs-obs`.
+//!   counters reported through `pvs-obs`;
+//! * [`event`]: the event-driven runtime (v2) — virtual ranks as
+//!   continuation-style [`RankProgram`]s multiplexed on the shared
+//!   `pvs_core::ThreadPool`, scheduled by the simulated-picosecond
+//!   event core, bit-identical to the thread-backed runtime and able to
+//!   simulate 10⁵+ ranks without 10⁵ OS threads;
+//! * [`tags`]: the collective tag namespace — the top tag bit is
+//!   reserved so user traffic can never collide with a collective's
+//!   internal messages.
+//!
+//! Two runtimes, one semantics: [`run`] spawns a thread per rank (v1,
+//! natural closures, bounded P), [`EventSim`]/[`run_events`] schedules
+//! parked continuations (v2, explicit state machines, P bounded by
+//! memory). The conformance suite pins them bit-identical on values and
+//! traffic statistics for every collective.
 //!
 //! ## Example
 //!
@@ -35,9 +49,18 @@
 pub mod caf;
 pub mod cart;
 pub mod comm;
+pub mod event;
 pub mod fault;
+pub mod tags;
 
 pub use caf::CoArray;
 pub use cart::{Cart2d, Cart3d};
 pub use comm::{run, Comm, CommStats, RecvRequest};
-pub use fault::{run_faulty, FaultError, FaultSpec, FaultStats, FaultyComm, RankOutcome};
+pub use event::{
+    run_events, EventSim, Op, RankCtx, RankProgram, Reply, ScriptProgram, SimReport, SimStats,
+    Step,
+};
+pub use fault::{
+    retry_backoff_ps, run_faulty, FaultError, FaultSpec, FaultStats, FaultyComm, RankOutcome,
+};
+pub use tags::{is_user_tag, COLLECTIVE_BIT};

@@ -52,6 +52,7 @@ pub mod density;
 pub mod hamiltonian;
 pub mod layout;
 pub mod perf;
+pub mod scale;
 pub mod solver;
 
 pub use basis::PwBasis;
