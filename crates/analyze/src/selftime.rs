@@ -1,0 +1,167 @@
+//! Harness stage ranking from a `BENCH_selfperf.json` document.
+//!
+//! The selfperf document is a `pvs-bench/profile-v2` file whose cells
+//! describe the harness itself: `app = "HARNESS"`, `config = <stage>`,
+//! `machine = "host"`, with the stage's histogram summary carried as
+//! `bench.self.*` counters. This module turns those cells into a
+//! self-time ranking — which harness stage the sweep actually spends its
+//! wall-clock in — so `selfperf --analyze` (and `profile` under
+//! `PVS_SELF_PROFILE=1`) can print the table without re-measuring.
+
+use crate::profiledoc::ProfileDoc;
+
+/// One ranked stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRank {
+    /// Stage name (`bench.hist.*`).
+    pub stage: String,
+    /// Histogram sample count.
+    pub samples: u64,
+    /// Total self-time across all samples, microseconds.
+    pub total_us: u64,
+    /// Median sample, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile sample, microseconds.
+    pub p99_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    /// This stage's share of the summed self-time, percent.
+    pub share_pct: f64,
+}
+
+/// Rank the document's harness stages by total self-time, heaviest
+/// first (ties broken by stage name for a deterministic table). Cells
+/// that are not harness stages — a mixed document is legal — are
+/// ignored.
+pub fn rank_stages(doc: &ProfileDoc) -> Vec<StageRank> {
+    let mut ranks: Vec<StageRank> = doc
+        .cells
+        .iter()
+        .filter(|c| c.app == "HARNESS")
+        .map(|c| StageRank {
+            stage: c.config.clone(),
+            samples: c.counter("bench.self.count"),
+            total_us: c.counter("bench.self.sum_us"),
+            p50_us: c.counter("bench.self.p50_us"),
+            p99_us: c.counter("bench.self.p99_us"),
+            max_us: c.counter("bench.self.max_us"),
+            share_pct: 0.0,
+        })
+        .collect();
+    let total: u64 = ranks.iter().map(|r| r.total_us).sum();
+    if total > 0 {
+        for r in &mut ranks {
+            r.share_pct = 100.0 * r.total_us as f64 / total as f64;
+        }
+    }
+    ranks.sort_by(|a, b| {
+        b.total_us
+            .cmp(&a.total_us)
+            .then_with(|| a.stage.cmp(&b.stage))
+    });
+    ranks
+}
+
+/// Render the ranking as a fixed-width text table.
+pub fn render_table(ranks: &[StageRank]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>12} {:>9} {:>9} {:>9} {:>7}\n",
+        "stage", "samples", "total_us", "p50_us", "p99_us", "max_us", "share"
+    ));
+    for r in ranks {
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>12} {:>9} {:>9} {:>9} {:>6.1}%\n",
+            r.stage, r.samples, r.total_us, r.p50_us, r.p99_us, r.max_us, r.share_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiledoc::{load, ProfileCell, ProfileDoc};
+
+    fn stage_cell(stage: &str, sum: u64, count: u64) -> ProfileCell {
+        ProfileCell {
+            app: "HARNESS".into(),
+            config: stage.into(),
+            machine: "host".into(),
+            procs: count as usize,
+            counters: vec![
+                ("bench.self.count".into(), count),
+                ("bench.self.sum_us".into(), sum),
+                ("bench.self.p50_us".into(), sum / count.max(1)),
+                ("bench.self.p99_us".into(), sum),
+                ("bench.self.max_us".into(), sum),
+            ],
+            ..ProfileCell::default()
+        }
+    }
+
+    fn doc(cells: Vec<ProfileCell>) -> ProfileDoc {
+        ProfileDoc {
+            schema: crate::profiledoc::SCHEMA_V2.into(),
+            observed: true,
+            cells,
+        }
+    }
+
+    #[test]
+    fn stages_rank_by_total_self_time_descending() {
+        let d = doc(vec![
+            stage_cell("bench.hist.netsim_halo_us", 100, 10),
+            stage_cell("bench.hist.engine_run_us", 900, 10),
+            stage_cell("bench.hist.memsim_gather_us", 100, 10),
+        ]);
+        let ranks = rank_stages(&d);
+        assert_eq!(ranks[0].stage, "bench.hist.engine_run_us");
+        assert!((ranks[0].share_pct - 900.0 / 11.0).abs() < 1e-9);
+        // Equal totals fall back to name order, so the table is stable.
+        assert_eq!(ranks[1].stage, "bench.hist.memsim_gather_us");
+        assert_eq!(ranks[2].stage, "bench.hist.netsim_halo_us");
+        let share: f64 = ranks.iter().map(|r| r.share_pct).sum();
+        assert!((share - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_harness_cells_are_ignored() {
+        let mut sweep = stage_cell("8192x8192", 500, 5);
+        sweep.app = "LBMHD".into();
+        sweep.machine = "Power3".into();
+        let d = doc(vec![sweep, stage_cell("bench.hist.pool_task_us", 10, 1)]);
+        let ranks = rank_stages(&d);
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].stage, "bench.hist.pool_task_us");
+        assert_eq!(ranks[0].share_pct, 100.0);
+    }
+
+    #[test]
+    fn empty_document_ranks_to_nothing() {
+        assert!(rank_stages(&doc(vec![])).is_empty());
+        let table = render_table(&[]);
+        assert_eq!(table.lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn ranking_loads_from_document_json() {
+        let text = concat!(
+            "{\"schema\":\"pvs-bench/profile-v2\",\"observed\":true,\"cells\":[",
+            "{\"app\":\"HARNESS\",\"config\":\"bench.hist.engine_run_us\",",
+            "\"machine\":\"host\",\"procs\":6,",
+            "\"model\":{\"time_s\":0.0,\"comm_s\":0.0,\"gflops_per_p\":0.0},",
+            "\"host_wall\":{\"median_s\":0.001,\"samples\":6,\"all_s\":[]},",
+            "\"counters\":[{\"name\":\"bench.self.count\",\"value\":6},",
+            "{\"name\":\"bench.self.sum_us\",\"value\":6000}],\"gauges\":[]}",
+            "]}"
+        );
+        let ranks = rank_stages(&load(text).unwrap());
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].samples, 6);
+        assert_eq!(ranks[0].total_us, 6000);
+        let table = render_table(&ranks);
+        assert!(table.contains("bench.hist.engine_run_us"));
+        assert!(table.contains("100.0%"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Profile the harness itself — wall-clock histograms per pipeline
+//! stage — and write the `BENCH_selfperf.json` baseline.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin selfperf               # BENCH_selfperf.json
+//! cargo run --release -p pvs-bench --bin selfperf -- --smoke    # CI subset
+//! cargo run --release -p pvs-bench --bin selfperf -- --check-identity
+//! ```
+//!
+//! Flags: `--smoke` (6-cell subset, one round, written under
+//! `target/`), `--rounds N` (passes over the cell set, default 3),
+//! `--out PATH` (override the output path), `--check-identity` (prove a
+//! fully observed, stage-wrapped engine run renders bitwise-identically
+//! to a bare one, then report the interleaved A/B overhead against the
+//! ≤5% budget).
+//!
+//! The document reuses the `pvs-bench/profile-v2` schema: one cell per
+//! stage with `procs` carrying the sample count, so `compare
+//! BENCH_selfperf.json NEW.json` gates the stage list and sample counts
+//! exactly while the microsecond axes stay advisory until `--host-tol`.
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
+//! 1 identity violated, 2 malformed usage, 6 unwritable output.
+
+use pvs_bench::cli::{self, exit};
+use pvs_bench::profile::{paper_cells, smoke_cells};
+use pvs_bench::selfperf::{
+    check_model_identity, measure_stage_overhead, run_selfperf, HostProfiler, SelfperfOptions,
+};
+use pvs_core::report::fmt_pct_signed;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: selfperf [--smoke] [--rounds N] [--out PATH] [--check-identity]";
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(exit::USAGE);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut check = false;
+    let mut rounds: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(exit::OK);
+            }
+            "--smoke" => smoke = true,
+            "--check-identity" => check = true,
+            "--rounds" => {
+                rounds = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage_exit("--rounds needs a positive integer")),
+                );
+                i += 1;
+            }
+            "--out" => {
+                out = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| usage_exit("--out needs a value")),
+                );
+                i += 1;
+            }
+            other => usage_exit(&format!("unrecognized argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let cells = if smoke { smoke_cells() } else { paper_cells() };
+    let options = SelfperfOptions {
+        rounds: rounds.unwrap_or(if smoke { 1 } else { 3 }),
+        ..SelfperfOptions::default()
+    };
+    let out_path = out.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_selfperf_smoke.json".to_string()
+        } else {
+            "BENCH_selfperf.json".to_string()
+        }
+    });
+
+    // Fail fast on unwritable destinations — before the sweep runs.
+    if let Err(e) = cli::probe_writable(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(exit::WRITE);
+    }
+
+    let profiler = Arc::new(HostProfiler::new(true));
+    let run = run_selfperf(&profiler, &cells, options);
+    println!(
+        "{} stages over {} cells × {} rounds on {} threads, total self-time {:.3e}s",
+        run.stages.len(),
+        cells.len(),
+        run.options.rounds,
+        run.options.threads,
+        run.total_s()
+    );
+
+    // Rank through the same reader `compare` and offline analysis use —
+    // what gets ranked is exactly what the file will say.
+    let json = run.to_json();
+    match pvs_analyze::profiledoc::load(&json) {
+        Ok(doc) => {
+            print!(
+                "{}",
+                pvs_analyze::selftime::render_table(&pvs_analyze::selftime::rank_stages(&doc))
+            );
+        }
+        Err(e) => {
+            eprintln!("error: selfperf document does not round-trip: {e}");
+            std::process::exit(exit::FAILURE);
+        }
+    }
+
+    if check {
+        match check_model_identity(&cells) {
+            Ok(()) => println!("identity: stage-wrapped observed runs render bitwise-identically"),
+            Err(bad) => {
+                eprintln!("FAILURE: profiler perturbed the model for:");
+                for key in bad {
+                    eprintln!("  {key}");
+                }
+                std::process::exit(exit::FAILURE);
+            }
+        }
+        let rounds = if smoke { 3 } else { 9 };
+        let (armed, plain) = measure_stage_overhead(&cells, rounds);
+        let pct = 100.0 * (armed / plain - 1.0);
+        println!(
+            "overhead: armed {armed:.3e}s vs disarmed {plain:.3e}s \
+             ({rounds} interleaved rounds, min per arm): {} (budget ≤5%)",
+            fmt_pct_signed(pct)
+        );
+    }
+
+    match cli::write_atomic(&out_path, &(json + "\n")) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    }
+}

@@ -12,22 +12,29 @@
 //! `--requests N`; `--connections C` (closed loop, default 4) or
 //! `--rate R` (open loop, Poisson arrivals at R req/s); `--seed S`;
 //! `--smoke` (16 requests over 4 cells); `--check-identity` (verify
-//! every served cell byte-matches a direct engine run); `--out PATH`
-//! (write the profile-v2 document, probed first, written atomically).
+//! every served cell byte-matches a direct engine run); `--stats-every N`
+//! (poll the server's live telemetry plane during the run, printing one
+//! snapshot line per N completed requests and validating each response
+//! against the versioned snapshot schema); `--out PATH` (write the
+//! profile-v2 document, probed first, written atomically).
 //!
 //! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
 //! 1 a request failed or identity was violated, 2 malformed usage,
 //! 6 `--out` cannot be written.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
 use pvs_bench::cli::{self, exit};
 use pvs_bench::serveload::{
-    bench_serve_doc, check_identity, fetch_cell_body, fetch_stats, paper_serve_cells, percentile,
-    run_load, ArrivalMode, LoadOptions,
+    bench_serve_doc, check_identity, fetch_cell_body, fetch_stats, paper_serve_cells, run_load,
+    ArrivalMode, LoadOptions,
 };
 use pvs_serve::{Request, Server, ServerOptions};
 
 const USAGE: &str = "serve_load [--inline | --addr A] [--requests N] [--connections C | --rate R] \
-                     [--seed S] [--smoke] [--check-identity] [--out PATH]";
+                     [--seed S] [--smoke] [--check-identity] [--stats-every N] [--out PATH]";
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -40,6 +47,7 @@ struct Cli {
     inline: bool,
     smoke: bool,
     check: bool,
+    stats_every: Option<usize>,
     out: Option<String>,
     options: LoadOptions,
 }
@@ -51,6 +59,7 @@ fn parse_cli() -> Cli {
         inline: false,
         smoke: false,
         check: false,
+        stats_every: None,
         out: None,
         options: LoadOptions::default(),
     };
@@ -111,6 +120,15 @@ fn parse_cli() -> Cli {
                 cli.options.mode = ArrivalMode::Open { rate_rps: r };
                 i += 2;
             }
+            "--stats-every" => {
+                let n = value("--stats-every")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_exit("--stats-every needs a positive integer"));
+                cli.stats_every = Some(n);
+                i += 2;
+            }
             "--seed" => {
                 cli.options.seed = value("--seed")
                     .parse::<u64>()
@@ -131,6 +149,53 @@ fn parse_cli() -> Cli {
         usage_exit("--requests needs a positive integer");
     }
     cli
+}
+
+/// Poll the live telemetry plane while the load run is in flight.
+///
+/// Every ~20ms the poller fetches a cumulative `stats` snapshot,
+/// validates it against the versioned snapshot schema, and prints one
+/// progress line each time `serve.requests` crosses the next multiple
+/// of `every`. Returns the number of snapshots taken, or an error if
+/// any response failed schema validation (connection errors are
+/// tolerated — the server may still be binding or already gone).
+fn spawn_stats_poller(
+    addr: String,
+    every: usize,
+    done: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<Result<usize, String>> {
+    std::thread::spawn(move || {
+        let mut snapshots = 0usize;
+        let mut reported = 0u64;
+        while !done.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+            let body = match fetch_stats(&addr) {
+                Ok(body) => body,
+                Err(_) => continue,
+            };
+            let doc = pvs_analyze::json::parse(&body)
+                .map_err(|e| format!("stats response is not JSON: {e:?}"))?;
+            if doc.str("schema") != Some(pvs_core::schema::SNAPSHOT_V1) {
+                return Err(format!(
+                    "stats response is not a {} document: {}",
+                    pvs_core::schema::SNAPSHOT_V1,
+                    body.chars().take(120).collect::<String>()
+                ));
+            }
+            snapshots += 1;
+            let served = doc
+                .get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0) as u64;
+            let uptime = doc.num("uptime_s").unwrap_or(0.0) as u64;
+            while served >= reported + every as u64 {
+                reported += every as u64;
+                println!("stats: {reported} requests served  (uptime {uptime}s)");
+            }
+        }
+        Ok(snapshots)
+    })
 }
 
 fn cells_for(smoke: bool) -> Vec<Request> {
@@ -174,6 +239,11 @@ fn main() {
         (None, None) => unreachable!("parse_cli guarantees a target"),
     };
 
+    let poll_done = Arc::new(AtomicBool::new(false));
+    let poller = cli
+        .stats_every
+        .map(|every| spawn_stats_poller(addr.clone(), every, Arc::clone(&poll_done)));
+
     let run = match run_load(&addr, &cells, &cli.options) {
         Ok(run) => run,
         Err(e) => {
@@ -182,7 +252,18 @@ fn main() {
         }
     };
 
-    let sorted = run.sorted_latencies_s();
+    poll_done.store(true, Ordering::Relaxed);
+    if let Some(handle) = poller {
+        match handle.join().expect("stats poller panicked") {
+            Ok(snapshots) => println!("stats: polled {snapshots} live snapshots"),
+            Err(e) => {
+                eprintln!("FAILURE: live telemetry check failed: {e}");
+                std::process::exit(exit::FAILURE);
+            }
+        }
+    }
+
+    let lat = run.latency_hist_us().summary();
     println!(
         "{} requests in {:.3}s  ({:.1} req/s)",
         run.samples.len(),
@@ -190,10 +271,8 @@ fn main() {
         run.throughput_rps()
     );
     println!(
-        "latency p50 {:.0}us  p90 {:.0}us  p99 {:.0}us",
-        percentile(&sorted, 50.0) * 1e6,
-        percentile(&sorted, 90.0) * 1e6,
-        percentile(&sorted, 99.0) * 1e6
+        "latency p50 {}us  p90 {}us  p99 {}us",
+        lat.p50, lat.p90, lat.p99
     );
     for (source, count) in run.source_counts() {
         println!("  {source:<12} {count}");

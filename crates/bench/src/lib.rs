@@ -17,6 +17,7 @@ pub mod figures;
 pub mod harness;
 pub mod profile;
 pub mod rankscale;
+pub mod selfperf;
 pub mod serveload;
 pub mod tablegen;
 

@@ -12,6 +12,7 @@
 //! `pvs-bench`.
 
 use crate::harness::time_samples;
+use crate::selfperf::{HostProfiler, STAGE_ENGINE, STAGE_POOL};
 use crate::tablegen::{app_phases, machine_by_name};
 use pvs_core::engine::Engine;
 use pvs_core::pool::ThreadPool;
@@ -220,21 +221,42 @@ fn cell_engine(cell: &SweepCell, observe: bool) -> (Engine, Option<Arc<Registry>
 
 /// Run the sweep: the simulated pass fans out across `options.threads`
 /// workers; the host-timing pass then walks the cells serially.
+///
+/// Honors `PVS_SELF_PROFILE=1`: when set, the harness's own stage
+/// timings land in a fresh [`HostProfiler`] (which this entry point then
+/// drops — use [`run_profile_with`] to keep it). Armed or not, every
+/// model axis of the document is untouched — the profiler only ever
+/// times around the engine, never inside it — and when unset the stage
+/// wrappers are pure passthroughs.
 pub fn run_profile(cells: Vec<SweepCell>, options: ProfileOptions) -> ProfileOutput {
+    run_profile_with(cells, options, &Arc::new(HostProfiler::from_env()))
+}
+
+/// [`run_profile`] with an explicit self-profiler: the pool task body is
+/// attributed to `bench.hist.pool_task_us` (timed inside the worker) and
+/// each host-timing engine run to `bench.hist.engine_run_us`.
+pub fn run_profile_with(
+    cells: Vec<SweepCell>,
+    options: ProfileOptions,
+    profiler: &Arc<HostProfiler>,
+) -> ProfileOutput {
     // Pass 1 (parallel): the instrumented simulated runs. Each cell owns
     // its registry, so per-cell counters are thread-count independent.
     let pool = ThreadPool::new(options.threads);
     let observe = options.observe;
+    let prof = Arc::clone(profiler);
     let simulated: Vec<(SweepCell, PerfReport, Snapshot, TraceBuffer)> =
         pool.map(cells, move |cell| {
-            let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
-            let (engine, reg) = cell_engine(&cell, observe);
-            let report = engine.run(&phases, cell.procs);
-            let (snapshot, trace) = match reg {
-                Some(reg) => (reg.snapshot(), reg.trace()),
-                None => (Snapshot::default(), TraceBuffer::new()),
-            };
-            (cell, report, snapshot, trace)
+            prof.stage(STAGE_POOL, || {
+                let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
+                let (engine, reg) = cell_engine(&cell, observe);
+                let report = engine.run(&phases, cell.procs);
+                let (snapshot, trace) = match reg {
+                    Some(reg) => (reg.snapshot(), reg.trace()),
+                    None => (Snapshot::default(), TraceBuffer::new()),
+                };
+                (cell, report, snapshot, trace)
+            })
         });
     let harness_reg = Registry::new();
     pool.record_to(&harness_reg);
@@ -248,7 +270,9 @@ pub fn run_profile(cells: Vec<SweepCell>, options: ProfileOptions) -> ProfileOut
             let phases = app_phases(cell.app, cell.config, cell.machine, cell.procs);
             let (engine, _reg) = cell_engine(&cell, observe);
             let host_secs = time_samples(options.host_samples, || {
-                std::hint::black_box(engine.run(&phases, cell.procs))
+                profiler.stage(STAGE_ENGINE, || {
+                    std::hint::black_box(engine.run(&phases, cell.procs));
+                })
             });
             let span_events = trace.events().len();
             CellProfile {
@@ -417,6 +441,69 @@ mod tests {
         for (a, b) in serial.cells.iter().zip(&parallel.cells) {
             assert_eq!(a.snapshot, b.snapshot, "{} {}", a.cell.app, a.cell.machine);
             assert_eq!(a.span_events, b.span_events);
+        }
+    }
+
+    #[test]
+    fn hist_buckets_are_thread_count_independent_and_nonempty() {
+        // `record_many` batches land atomically under one registry lock,
+        // so the exact bucket contents — not just the summaries — must
+        // match at any worker count.
+        let serial = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                threads: 1,
+                ..quick_options()
+            },
+        );
+        let parallel = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                threads: 8,
+                ..quick_options()
+            },
+        );
+        let buckets = |c: &CellProfile| -> Vec<(String, Vec<(u64, u64)>)> {
+            c.snapshot
+                .hists
+                .iter()
+                .map(|(name, h)| (name.clone(), h.nonzero_buckets()))
+                .collect()
+        };
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            let (ba, bb) = (buckets(a), buckets(b));
+            assert_eq!(ba, bb, "{} {}", a.cell.app, a.cell.machine);
+            assert!(
+                ba.iter().any(|(_, nz)| !nz.is_empty()),
+                "{} {} has populated model histograms",
+                a.cell.app,
+                a.cell.machine
+            );
+        }
+    }
+
+    #[test]
+    fn observed_model_is_bitwise_identical_to_unobserved() {
+        // The histogram wiring rides the same recorder gate as every
+        // counter: with a recorder attached the *rendered* model report
+        // must still match the `--no-obs` arm byte for byte.
+        let observed = run_profile(smoke_cells(), quick_options());
+        let plain = run_profile(
+            smoke_cells(),
+            ProfileOptions {
+                observe: false,
+                ..quick_options()
+            },
+        );
+        for (a, b) in observed.cells.iter().zip(&plain.cells) {
+            assert!(!a.snapshot.hists.is_empty(), "observed arm has histograms");
+            assert_eq!(
+                pvs_report::json::perf_report(&a.report),
+                pvs_report::json::perf_report(&b.report),
+                "{} {}",
+                a.cell.app,
+                a.cell.machine
+            );
         }
     }
 

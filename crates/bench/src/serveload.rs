@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use pvs_core::engine::{run_sweep_threads, SweepJob};
 use pvs_core::rng::Pcg32;
+use pvs_obs::Histogram;
 use pvs_report::json::{array, number, pretty, JsonObject};
 use pvs_serve::Request;
 
@@ -129,6 +130,19 @@ impl LoadRun {
         v
     }
 
+    /// Histogram of successful request latencies in whole microseconds —
+    /// the same [`pvs_obs::Histogram`] the server uses for
+    /// `serve.hist.busy_us`, so client-side and server-side quantiles
+    /// share one nearest-rank definition. Values below 64us are exact;
+    /// larger ones resolve to ~3.1% (one sub-bucket).
+    pub fn latency_hist_us(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in self.samples.iter().filter(|s| s.ok) {
+            h.record((s.latency_s * 1e6) as u64);
+        }
+        h
+    }
+
     /// How many responses carried each `source` tag, sorted by tag.
     pub fn source_counts(&self) -> Vec<(String, usize)> {
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
@@ -137,15 +151,6 @@ impl LoadRun {
         }
         counts.into_iter().collect()
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn request_line(request: &Request) -> String {
@@ -362,7 +367,9 @@ pub fn check_identity(addr: &str, cells: &[Request]) -> Result<(), Vec<String>> 
 /// Render the run as a `pvs-bench/profile-v2` document: one cell per
 /// distinct request (model = served bytes, host_wall = that cell's
 /// request latencies), the server's `serve.*` registry in `harness`,
-/// and the load aggregates in a `load` object.
+/// the load aggregates in a `load` object, and — when the server
+/// answered a versioned snapshot — its final stats document verbatim in
+/// a `server` member.
 pub fn bench_serve_doc(
     cells: &[Request],
     bodies: &[String],
@@ -411,7 +418,7 @@ pub fn bench_serve_doc(
         }
     }
 
-    let sorted = run.sorted_latencies_s();
+    let lat = run.latency_hist_us().summary();
     let mode = match options.mode {
         ArrivalMode::Closed { connections } => JsonObject::new()
             .string("mode", "closed")
@@ -428,19 +435,26 @@ pub fn bench_serve_doc(
         .number("seed", options.seed as f64)
         .number("wall_s", run.wall_s)
         .number("throughput_rps", run.throughput_rps())
-        .number("latency_p50_us", percentile(&sorted, 50.0) * 1e6)
-        .number("latency_p90_us", percentile(&sorted, 90.0) * 1e6)
-        .number("latency_p99_us", percentile(&sorted, 99.0) * 1e6)
+        .number("latency_p50_us", lat.p50 as f64)
+        .number("latency_p90_us", lat.p90 as f64)
+        .number("latency_p99_us", lat.p99 as f64)
         .render();
 
-    pretty(
-        &JsonObject::new()
-            .string("schema", pvs_core::schema::PROFILE_V2)
-            .raw("load", load)
-            .raw("harness", array(harness_entries))
-            .raw("cells", cell_docs)
-            .render(),
-    )
+    let mut doc = JsonObject::new()
+        .string("schema", pvs_core::schema::PROFILE_V2)
+        .raw("load", load)
+        .raw("harness", array(harness_entries));
+    // The server's final snapshot document, embedded verbatim when it is
+    // the versioned `pvs-obs/snapshot-v1` line (older servers answered
+    // an unversioned stats dump; their runs simply omit the member).
+    if pvs_analyze::json::parse(server_stats)
+        .ok()
+        .and_then(|d| d.str("schema").map(|s| s == pvs_core::schema::SNAPSHOT_V1))
+        .unwrap_or(false)
+    {
+        doc = doc.raw("server", server_stats.to_string());
+    }
+    pretty(&doc.raw("cells", cell_docs).render())
 }
 
 #[cfg(test)]
@@ -448,15 +462,53 @@ mod tests {
     use super::*;
     use pvs_serve::{Server, ServerOptions};
 
+    fn run_of_us(lats_us: &[u64]) -> LoadRun {
+        let samples = lats_us
+            .iter()
+            .map(|&us| RequestSample {
+                cell: 0,
+                latency_s: us as f64 / 1e6,
+                source: "memory".to_string(),
+                ok: true,
+            })
+            .collect();
+        LoadRun { samples, wall_s: 1.0 }
+    }
+
     #[test]
-    fn percentile_is_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 50.0), 2.0);
-        assert_eq!(percentile(&v, 90.0), 4.0);
-        assert_eq!(percentile(&v, 99.0), 4.0);
-        assert_eq!(percentile(&v, 25.0), 1.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    fn latency_hist_is_nearest_rank_on_even_counts() {
+        // 4 samples: rank(50) = 2 — the lower-middle sample, per the
+        // nearest-rank definition shared with the server's histograms.
+        let h = run_of_us(&[10, 20, 30, 40]).latency_hist_us();
+        assert_eq!(h.percentile(50), 20);
+        assert_eq!(h.percentile(90), 40);
+        assert_eq!(h.percentile(99), 40);
+        assert_eq!(run_of_us(&[]).latency_hist_us().percentile(50), 0);
+        assert_eq!(run_of_us(&[7]).latency_hist_us().percentile(99), 7);
+    }
+
+    #[test]
+    fn latency_hist_is_nearest_rank_on_odd_counts() {
+        // 5 samples: rank(50) = 3 — the true median.
+        let h = run_of_us(&[1, 2, 3, 4, 5]).latency_hist_us();
+        assert_eq!(h.percentile(50), 3);
+        assert_eq!(h.percentile(90), 5);
+    }
+
+    #[test]
+    fn latency_hist_keeps_sub_64us_values_exact_and_skips_failures() {
+        let mut run = run_of_us(&[7, 63]);
+        run.samples.push(RequestSample {
+            cell: 0,
+            latency_s: 9.9,
+            source: "io: refused".to_string(),
+            ok: false,
+        });
+        let h = run.latency_hist_us();
+        assert_eq!(h.count(), 2, "failed requests never pollute latency");
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.sum(), 70);
     }
 
     #[test]
@@ -501,6 +553,10 @@ mod tests {
         assert_eq!(parsed.cells.len(), 2);
         assert!(doc.contains("serve.cache.hits"), "harness carries serve counters");
         assert!(doc.contains("throughput_rps"));
+        // The final server snapshot rides along verbatim.
+        assert!(doc.contains("\"server\""), "{doc}");
+        assert!(doc.contains("\"uptime_s\""), "{doc}");
+        assert!(doc.contains("serve.hist.busy_us"), "{doc}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ const TABLE3: &str = env!("CARGO_BIN_EXE_table3");
 const SERVE: &str = env!("CARGO_BIN_EXE_serve");
 const SERVE_LOAD: &str = env!("CARGO_BIN_EXE_serve_load");
 const RANKSCALE: &str = env!("CARGO_BIN_EXE_rankscale");
+const SELFPERF: &str = env!("CARGO_BIN_EXE_selfperf");
 
 /// The smallest valid profile document: known schema, zero cells.
 const EMPTY_DOC: &str = "{\"schema\": \"pvs-bench/profile-v2\", \"cells\": []}";
@@ -227,6 +228,30 @@ fn serve_usage_errors_exit_2() {
     assert_exit(&out, 2, "non-numeric --max-pending");
     let out = run(SERVE, &["--help"]);
     assert_exit(&out, 0, "--help answers cleanly");
+}
+
+#[test]
+fn selfperf_usage_errors_exit_2() {
+    let out = run(SELFPERF, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    assert_no_panic(&out, "selfperf on unknown flag");
+    let out = run(SELFPERF, &["--rounds", "zero"]);
+    assert_exit(&out, 2, "non-numeric --rounds");
+    let out = run(SELFPERF, &["--rounds", "0"]);
+    assert_exit(&out, 2, "zero --rounds is a usage error");
+}
+
+#[test]
+fn selfperf_unwritable_out_exits_6_fast_and_writes_nothing() {
+    let dir = scratch_dir("selfperf_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("BENCH_selfperf.json");
+    let out = run(SELFPERF, &["--smoke", "--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file fails before any sweep");
+    assert_no_panic(&out, "selfperf on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

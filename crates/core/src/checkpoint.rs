@@ -162,6 +162,9 @@ impl RunCheckpoint {
             f64_hex(t.loop_seconds),
             f64_hex(t.comm_seconds),
         );
+        for (name, value, count) in &t.hist_samples {
+            let _ = writeln!(out, "hs {value} {count} {name}");
+        }
         for (name, begin, end) in &s.phase_spans {
             let _ = writeln!(out, "span {} {} {name}", f64_hex(*begin), f64_hex(*end));
         }
@@ -207,7 +210,7 @@ impl RunCheckpoint {
         if tt.len() != 16 {
             return Err(format!("tally line needs 16 fields, got {}", tt.len()));
         }
-        let tally = RunTally {
+        let mut tally = RunTally {
             loop_phases: parse_num(tt[0], "loop_phases")?,
             comm_phases: parse_num(tt[1], "comm_phases")?,
             comm_repetitions: parse_num(tt[2], "comm_repetitions")?,
@@ -224,6 +227,7 @@ impl RunCheckpoint {
             loop_bytes: f64_from_hex(tt[13])?,
             loop_seconds: f64_from_hex(tt[14])?,
             comm_seconds: f64_from_hex(tt[15])?,
+            hist_samples: Vec::new(),
         };
 
         let mut phase_spans = Vec::new();
@@ -235,7 +239,13 @@ impl RunCheckpoint {
             if line == "end" {
                 break;
             }
-            if let Some(rest) = line.strip_prefix("span ") {
+            if let Some(rest) = line.strip_prefix("hs ") {
+                let mut f = rest.splitn(3, ' ');
+                let value = parse_num(f.next().ok_or("hs line: missing value")?, "hs value")?;
+                let count = parse_num(f.next().ok_or("hs line: missing count")?, "hs count")?;
+                let name = f.next().ok_or("hs line: missing name")?.to_string();
+                tally.hist_samples.push((name, value, count));
+            } else if let Some(rest) = line.strip_prefix("span ") {
                 let mut f = rest.splitn(3, ' ');
                 let begin = f64_from_hex(f.next().ok_or("span line: missing begin")?)?;
                 let end = f64_from_hex(f.next().ok_or("span line: missing end")?)?;

@@ -52,6 +52,11 @@ struct LoopOutcome {
     strips: u64,
     bank_accesses: u64,
     bank_stall_cycles: u64,
+    /// `(strip_length, strips)` pairs from the vector unit (empty slots
+    /// are zero-count).
+    strip_lens: [(u64, u64); 2],
+    /// `(queue_depth, accesses)` pairs from the bank replay.
+    bank_depths: Vec<(u64, u64)>,
 }
 
 /// Per-run counter totals, accumulated locally during the phase walk and
@@ -77,6 +82,13 @@ pub(crate) struct RunTally {
     pub(crate) net_bisection_bytes: u64,
     pub(crate) net_links_used: u64,
     pub(crate) net_peak_link_bytes: u64,
+    /// Weighted histogram samples `(name, value, count)` accumulated
+    /// across phases and flushed as one `record_many` batch. All values
+    /// are simulated units (bytes, hops, queue depths, strip lengths) —
+    /// pure functions of `(app, machine, procs)` like every counter
+    /// above. Order is the phase walk order, but histograms are
+    /// order-independent, so the flushed state is too.
+    pub(crate) hist_samples: Vec<(String, u64, u64)>,
 }
 
 impl RunTally {
@@ -120,6 +132,14 @@ impl RunTally {
         r.add_many(&entries);
         if self.comm_phases > 0 {
             r.gauge_max("netsim.link.peak_bytes", self.net_peak_link_bytes);
+        }
+        if !self.hist_samples.is_empty() {
+            let samples: Vec<(&str, u64, u64)> = self
+                .hist_samples
+                .iter()
+                .map(|(name, value, count)| (name.as_str(), *value, *count))
+                .collect();
+            r.record_many(&samples);
         }
     }
 }
@@ -326,6 +346,22 @@ impl Engine {
                         tally.strips += outcome.strips;
                         tally.bank_accesses += outcome.bank_accesses;
                         tally.bank_stall_cycles += outcome.bank_stall_cycles;
+                        for &(len, n) in &outcome.strip_lens {
+                            if n > 0 {
+                                tally.hist_samples.push((
+                                    "vectorsim.hist.strip_len".to_string(),
+                                    len,
+                                    n,
+                                ));
+                            }
+                        }
+                        for &(depth, n) in &outcome.bank_depths {
+                            tally.hist_samples.push((
+                                "memsim.hist.bank_queue_depth".to_string(),
+                                depth,
+                                n,
+                            ));
+                        }
                     }
                     state.breakdown.push(PhaseBreakdown {
                         name: l.name.to_string(),
@@ -355,6 +391,18 @@ impl Engine {
                         tally.net_links_used += stats.links_used();
                         tally.net_peak_link_bytes =
                             tally.net_peak_link_bytes.max(stats.peak_link_bytes());
+                        // Distributions, like the traffic counters,
+                        // describe one repetition of the pattern.
+                        for (&bytes, &n) in &stats.size_dist {
+                            tally
+                                .hist_samples
+                                .push(("netsim.hist.msg_bytes".to_string(), bytes, n));
+                        }
+                        for (&hops, &n) in &stats.hop_dist {
+                            tally
+                                .hist_samples
+                                .push(("netsim.hist.msg_hops".to_string(), hops, n));
+                        }
                     }
                     state.breakdown.push(PhaseBreakdown {
                         name: c.name.to_string(),
@@ -454,9 +502,14 @@ impl Engine {
             } => {
                 let vloop = vector_loop_from_phase(l);
                 let replay = self.bank_replay(l, banks);
-                let (bank_eff, bank_accesses, bank_stall_cycles) = match &replay {
-                    Some(mem) => (mem.efficiency(), mem.accesses, mem.stall_cycles),
-                    None => (1.0, 0, 0),
+                let (bank_eff, bank_accesses, bank_stall_cycles, bank_depths) = match &replay {
+                    Some(mem) => (
+                        mem.efficiency(),
+                        mem.accesses,
+                        mem.stall_cycles,
+                        mem.queue_depths(),
+                    ),
+                    None => (1.0, 0, 0, Vec::new()),
                 };
                 let env = MemoryEnv {
                     bytes_per_cycle: self.machine.bytes_per_cycle(),
@@ -469,6 +522,8 @@ impl Engine {
                     strips: result.strips,
                     bank_accesses,
                     bank_stall_cycles,
+                    strip_lens: result.strip_lens,
+                    bank_depths,
                 }
             }
             CpuClass::Superscalar {
@@ -494,6 +549,8 @@ impl Engine {
                     strips: 0,
                     bank_accesses: 0,
                     bank_stall_cycles: 0,
+                    strip_lens: [(0, 0); 2],
+                    bank_depths: Vec::new(),
                 }
             }
         }
@@ -1004,6 +1061,59 @@ mod tests {
         // Flop counter matches the analytic total.
         let flops = reg.counter("engine.loop.flops") as f64;
         assert!((flops - report.flops_per_p).abs() <= 1.0, "flops {flops}");
+    }
+
+    #[test]
+    fn observed_run_exports_model_histograms() {
+        let mut gather = Phase::loop_nest("deposit", 4096, 64)
+            .flops_per_iter(12.0)
+            .bytes_per_iter(48.0)
+            .pattern(AccessPattern::Indirect {
+                elem_bytes: 8,
+                reuse: 0.5,
+            })
+            .working_set(8 << 20)
+            .vector(VectorizationInfo::full());
+        if let Phase::Loop(l) = &mut gather {
+            l.vector.gather_hot_words = Some(4);
+        }
+        let phases = [
+            lbmhd_like(),
+            gather,
+            Phase::comm(
+                "halo",
+                CommPattern::Halo2d {
+                    px: 4,
+                    py: 4,
+                    bytes_edge: 100_000,
+                    bytes_corner: 1_000,
+                },
+            ),
+        ];
+        let reg = std::sync::Arc::new(pvs_obs::Registry::new());
+        Engine::new(platforms::earth_simulator())
+            .with_recorder(reg.clone())
+            .run(&phases, 16);
+        let snap = reg.snapshot();
+
+        // Strip lengths: counts sum to the strip counter, weighted sum to
+        // the element-slot total (strip length x strips = trip coverage).
+        let strips = snap.hist("vectorsim.hist.strip_len").unwrap();
+        assert_eq!(strips.count(), snap.counter("vectorsim.strips").unwrap());
+        assert!(strips.max() <= 256, "ES max VL bounds every strip");
+
+        // Message sizes: counts and sums tie out to the traffic counters.
+        let sizes = snap.hist("netsim.hist.msg_bytes").unwrap();
+        assert_eq!(sizes.count(), snap.counter("netsim.messages").unwrap());
+        assert_eq!(sizes.sum(), snap.counter("netsim.payload_bytes").unwrap());
+        let hops = snap.hist("netsim.hist.msg_hops").unwrap();
+        assert_eq!(hops.sum(), snap.counter("netsim.hops").unwrap());
+
+        // Bank queue depths: one sample per replayed access, and the hot
+        // gather must actually queue somewhere.
+        let depths = snap.hist("memsim.hist.bank_queue_depth").unwrap();
+        assert_eq!(depths.count(), snap.counter("memsim.bank.accesses").unwrap());
+        assert!(depths.max() > 0, "hot-word gather must conflict");
     }
 
     #[test]

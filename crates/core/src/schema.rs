@@ -29,9 +29,14 @@ pub const RUN_CHECKPOINT_V1: &str = "pvs-core/checkpoint-v1";
 /// [`crate::checkpoint::SweepCheckpoint`].
 pub const SWEEP_CHECKPOINT_V1: &str = "pvs-core/sweep-checkpoint-v1";
 
+/// Live telemetry snapshot served by `pvs-serve` (`stats`/`health`
+/// responses): counters, gauges, and histogram summaries.
+pub const SNAPSHOT_V1: &str = "pvs-obs/snapshot-v1";
+
 /// Every registered schema identifier, for registry-wide checks
 /// (`pvs-lint` PVS015 walks this list).
-pub const ALL: [&str; 4] = [PROFILE_V2, PROFILE_V1, RUN_CHECKPOINT_V1, SWEEP_CHECKPOINT_V1];
+pub const ALL: [&str; 5] =
+    [PROFILE_V2, PROFILE_V1, RUN_CHECKPOINT_V1, SWEEP_CHECKPOINT_V1, SNAPSHOT_V1];
 
 #[cfg(test)]
 mod tests {

@@ -9,6 +9,9 @@ fn flush(r: &dyn Recorder, i: usize, name: &str) {
     entries.push(("engine.loop.cycles", 5));
     r.add_many(&[("vectorsim.strips", 1), ("memsim.bank.stall_cycles", 2)]);
     r.add(&format!("pool.worker.{i}.tasks"), 1);
+    r.record("serve.hist.busy_us", 40);
+    r.record_n("netsim.hist.msg_bytes", 64, 2);
+    r.record_many(&[("memsim.hist.bank_queue_depth", 3, 1), ("mpisim.hist.batch_ranks", 8, 1)]);
     r.add(name, 1);
     // A plain tuple push is not a recorder write and carries no rules:
     labels.push(("Label", 1));

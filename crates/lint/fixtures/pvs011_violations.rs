@@ -10,4 +10,7 @@ fn flush(r: &dyn Recorder) {
     entries.push(("engine..cycles", 5));
     r.add_many(&[("ok.name", 1), ("bad name", 2)]);
     r.add_many(&entries);
+    r.record("histBusy", 7);
+    r.record_n("serve.hist.Busy", 7, 2);
+    r.record_many(&[("bench.hist.ok_us", 1, 1), ("benchHist", 2, 1)]);
 }

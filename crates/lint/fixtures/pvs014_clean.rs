@@ -3,12 +3,17 @@
 //
 // DOCUMENTED: fixture.clean.total
 // DOCUMENTED: fixture.worker.*.tasks
+// DOCUMENTED: fixture.hist.latency_us
 
 struct Registry;
 
 impl Registry {
     fn add(&self, _name: &str, _value: u64) {}
+    fn record(&self, _name: &str, _value: u64) {}
     fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+    fn hist(&self, _name: &str) -> u64 {
         0
     }
 }
@@ -16,12 +21,16 @@ impl Registry {
 fn emit(r: &Registry, i: usize) {
     r.add("fixture.clean.total", 1);
     r.add(&format!("fixture.worker.{i}.tasks"), 1);
+    // Histogram records are registry writes like any other.
+    r.record("fixture.hist.latency_us", 40);
 }
 
 fn read(r: &Registry) {
     let _ = r.counter("fixture.clean.total");
     // The wildcard emission above covers any concrete worker index.
     let _ = r.counter("fixture.worker.0.tasks");
+    // Histogram reads are matched by the `record` write above.
+    let _ = r.hist("fixture.hist.latency_us");
     // `test.`-prefixed names are scratch space, exempt on both sides.
     let _ = r.counter("test.scratch.value");
 }

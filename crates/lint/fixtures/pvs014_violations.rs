@@ -7,10 +7,14 @@ struct Registry;
 impl Registry {
     fn add(&self, _name: &str, _value: u64) {}
     fn gauge_set(&self, _name: &str, _value: u64) {}
+    fn record(&self, _name: &str, _value: u64) {}
     fn counter(&self, _name: &str) -> u64 {
         0
     }
     fn gauge(&self, _name: &str) -> u64 {
+        0
+    }
+    fn hist(&self, _name: &str) -> u64 {
         0
     }
 }
@@ -19,12 +23,14 @@ fn emit(r: &Registry) {
     r.add("fixture.documented.total", 1);
     r.add("fixture.undocumented.count", 1);
     r.gauge_set("fixture.orphan.depth", 2);
+    r.record("fixture.hist.undocumented_us", 3);
 }
 
 fn read(r: &Registry) {
     // Matched by the write above — fine.
     let _ = r.counter("fixture.documented.total");
-    // Nothing anywhere emits these two: silent zeros forever.
+    // Nothing anywhere emits these three: silent zeros forever.
     let _ = r.counter("fixture.never.emitted");
     let _ = r.gauge("fixture.gauge.missing");
+    let _ = r.hist("fixture.hist.never_recorded");
 }

@@ -390,8 +390,10 @@ impl FileFacts {
             let raw = self.raw.get(idx).cloned().unwrap_or_default();
             let in_test = idx >= cutoff;
 
-            // Consumption: `.counter("..")` / `.gauge("..")`.
-            for marker in [".counter(\"", ".gauge(\""] {
+            // Consumption: `.counter("..")` / `.gauge("..")` /
+            // `.hist("..")` — histogram reads join the same registry
+            // namespace as counter and gauge reads.
+            for marker in [".counter(\"", ".gauge(\"", ".hist(\""] {
                 for name in literals_after_marker(&code, &raw, marker) {
                     if is_counter_name(&name, false) && name != "test" {
                         self.consumed.push(NameFact {
@@ -404,8 +406,15 @@ impl FileFacts {
                 }
             }
 
-            // Emission: single-name Recorder writes.
-            for marker in [".add(\"", ".gauge_set(\"", ".gauge_max(\""] {
+            // Emission: single-name Recorder writes (histogram records
+            // included).
+            for marker in [
+                ".add(\"",
+                ".gauge_set(\"",
+                ".gauge_max(\"",
+                ".record(\"",
+                ".record_n(\"",
+            ] {
                 for name in literals_after_marker(&code, &raw, marker) {
                     if is_counter_name(&name, false) {
                         self.emitted.push(NameFact {
@@ -419,7 +428,13 @@ impl FileFacts {
             }
 
             // Emission: `format!` templates become wildcard patterns.
-            for marker in [".add(&format!(\"", ".gauge_set(&format!(\"", ".gauge_max(&format!(\""] {
+            for marker in [
+                ".add(&format!(\"",
+                ".gauge_set(&format!(\"",
+                ".gauge_max(&format!(\"",
+                ".record(&format!(\"",
+                ".record_n(&format!(\"",
+            ] {
                 for template in literals_after_marker(&code, &raw, marker) {
                     if let Some(pattern) = template_to_pattern(&template) {
                         self.emitted.push(NameFact {
@@ -432,18 +447,21 @@ impl FileFacts {
                 }
             }
 
-            // Emission: tuple batches. Context: `add_many(&[..])` spans,
-            // `entries.push((..))` (and its multi-line continuation),
-            // and `record_to` bodies (the tuple-array idiom).
+            // Emission: tuple batches. Context: `add_many(&[..])` and
+            // `record_many(&[..])` spans, literal-headed `.push(("..`
+            // tuples (and their multi-line continuation), and
+            // `record_to` bodies (the tuple-array idiom).
             let prev_continues = idx > 0
                 && self.lines[idx - 1].code.trim_end().ends_with("push((");
             let in_record_to = self.fn_of_line[idx]
                 .is_some_and(|f| self.fn_names[f] == "record_to");
-            if code.contains("add_many(&[") {
+            if code.contains("add_many(&[") || code.contains("record_many(&[") {
                 in_add_many_span = !code.contains("])");
             }
             let tuple_ctx = code.contains("add_many(&[(")
+                || code.contains("record_many(&[(")
                 || code.contains("entries.push((")
+                || code.contains(".push((\"")
                 || prev_continues
                 || in_record_to
                 || in_add_many_span;

@@ -360,8 +360,10 @@ fn is_dotted_counter_name(name: &str) -> bool {
 }
 
 /// The single-name Recorder write calls PVS011 checks when their first
-/// argument is a string literal.
-const RECORDER_WRITE_MARKERS: [&str; 3] = [".add(", ".gauge_set(", ".gauge_max("];
+/// argument is a string literal (histogram records included —
+/// `*.hist.*` names join the same namespace as counters and gauges).
+const RECORDER_WRITE_MARKERS: [&str; 5] =
+    [".add(", ".gauge_set(", ".gauge_max(", ".record(", ".record_n("];
 
 /// PVS011: counter/gauge name literals handed to the Recorder must be
 /// lowercase `snake.dotted` paths — the names are joined across the
@@ -398,8 +400,12 @@ fn pass_counter_names(
             }
         }
         // Batch idioms: every `("`-opened tuple on the line names a
-        // counter (`entries.push(("x", n))`, `add_many(&[("x", n), ..])`).
-        if code.contains("add_many(&[(") || code.contains("entries.push((") {
+        // counter (`entries.push(("x", n))`, `add_many(&[("x", n), ..])`,
+        // `record_many(&[("x", v, n), ..])`).
+        if code.contains("add_many(&[(")
+            || code.contains("record_many(&[(")
+            || code.contains("entries.push((")
+        {
             let mut start = 0;
             while let Some(pos) = code[start..].find("(\"") {
                 quote_cols.push(start + pos + 1);

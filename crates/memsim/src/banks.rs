@@ -55,6 +55,11 @@ pub struct BankedMemory {
     failed_banks: usize,
     /// Element accesses that hit a failed bank and were remapped.
     pub remapped_accesses: u64,
+    /// Accesses by bank-queue depth at arrival: `depth_counts[d]` is how
+    /// many accesses found `d` earlier accesses still occupying their
+    /// bank. Indexed rather than mapped because `access` is the
+    /// per-element hot path; grows lazily to the deepest queue seen.
+    depth_counts: Vec<u64>,
 }
 
 impl BankedMemory {
@@ -72,6 +77,7 @@ impl BankedMemory {
             failed: vec![false; config.num_banks],
             failed_banks: 0,
             remapped_accesses: 0,
+            depth_counts: Vec::new(),
         }
     }
 
@@ -131,6 +137,13 @@ impl BankedMemory {
         let bank = self.bank_of(addr);
         self.clock += 1; // one element issues per cycle when conflict-free
         let stall = self.busy_until[bank].saturating_sub(self.clock);
+        // Queue depth at arrival: how many bank-cycle slots of earlier
+        // work this access waits behind (0 when conflict-free).
+        let depth = stall.div_ceil(self.config.bank_cycle.max(1)) as usize;
+        if depth >= self.depth_counts.len() {
+            self.depth_counts.resize(depth + 1, 0);
+        }
+        self.depth_counts[depth] += 1;
         self.clock += stall;
         self.stall_cycles += stall;
         self.busy_until[bank] = self.clock + self.config.bank_cycle;
@@ -186,6 +199,28 @@ impl BankedMemory {
             r.add("memsim.bank.failed_banks", self.failed_banks as u64);
             r.add("memsim.bank.remapped_accesses", self.remapped_accesses);
         }
+        let depths = self.queue_depths();
+        if !depths.is_empty() {
+            let entries: Vec<(&str, u64, u64)> = depths
+                .iter()
+                .map(|&(d, n)| ("memsim.hist.bank_queue_depth", d, n))
+                .collect();
+            r.record_many(&entries);
+        }
+    }
+
+    /// Sorted `(queue_depth, accesses)` pairs for every depth that
+    /// occurred: the per-access distribution of how many earlier
+    /// bank-cycle slots each access queued behind. Simulated units only
+    /// — a pure function of the access stream, like every other counter
+    /// here.
+    pub fn queue_depths(&self) -> Vec<(u64, u64)> {
+        self.depth_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(d, &n)| (d as u64, n))
+            .collect()
     }
 
     /// Reset banks and statistics (keeps the duplication setting and any
@@ -196,6 +231,7 @@ impl BankedMemory {
         self.accesses = 0;
         self.stall_cycles = 0;
         self.remapped_accesses = 0;
+        self.depth_counts.clear();
     }
 
     /// The configured geometry.
@@ -243,6 +279,30 @@ mod tests {
         assert_eq!(reg.counter("memsim.bank.accesses"), m.accesses);
         assert_eq!(reg.counter("memsim.bank.stall_cycles"), m.stall_cycles);
         assert!(reg.counter("memsim.bank.stall_cycles") > 0);
+    }
+
+    #[test]
+    fn queue_depth_distribution_tracks_conflicts() {
+        let mut free = mem();
+        free.strided_access(0, 256, 1);
+        // Conflict-free: every access found an idle bank.
+        assert_eq!(free.queue_depths(), vec![(0, 256)]);
+
+        let mut jam = mem();
+        jam.strided_access(0, 256, 64); // every access hits one bank
+        let depths = jam.queue_depths();
+        assert_eq!(depths.iter().map(|&(_, n)| n).sum::<u64>(), 256);
+        assert!(
+            depths.iter().any(|&(d, _)| d > 0),
+            "single-bank stream must queue: {depths:?}"
+        );
+        let reg = pvs_obs::Registry::new();
+        jam.record_to(&reg);
+        let h = reg.hist("memsim.hist.bank_queue_depth").unwrap();
+        assert_eq!(h.count(), 256);
+
+        jam.reset();
+        assert!(jam.queue_depths().is_empty());
     }
 
     #[test]

@@ -272,9 +272,28 @@ pub struct SimReport<T> {
     pub clocks_ps: Vec<u64>,
     /// Scheduler counters.
     pub sim: SimStats,
+    /// Superstep batch-size distribution: `(ranks_in_batch, batches)`
+    /// pairs, sorted by size. Counts sum to `sim.batches`. Kept off
+    /// [`SimStats`] so that struct stays `Copy`.
+    pub batch_sizes: Vec<(u64, u64)>,
 }
 
 impl<T> SimReport<T> {
+    /// Report the scheduler counters *and* the superstep batch-size
+    /// histogram (`mpisim.hist.batch_ranks`, in simulated ranks per
+    /// batch) into a [`pvs_obs::Recorder`].
+    pub fn record_to(&self, r: &dyn pvs_obs::Recorder) {
+        self.sim.record_to(r);
+        if !self.batch_sizes.is_empty() {
+            let entries: Vec<(&str, u64, u64)> = self
+                .batch_sizes
+                .iter()
+                .map(|&(size, n)| ("mpisim.hist.batch_ranks", size, n))
+                .collect();
+            r.record_many(&entries);
+        }
+    }
+
     /// The per-rank values, panicking if any rank was failed — the
     /// healthy-mode convenience mirroring [`crate::comm::run`]'s shape.
     pub fn into_values(self) -> Vec<T> {
@@ -375,6 +394,7 @@ impl EventSim {
                 ranks: self.nranks as u64,
                 ..SimStats::default()
             },
+            batch_dist: BTreeMap::new(),
         };
         for rank in 0..self.nranks {
             if cfg.alive[rank] {
@@ -475,6 +495,10 @@ struct Scheduler<P: RankProgram> {
     groups: BTreeMap<u64, Group>,
     parked_count: u64,
     sim: SimStats,
+    /// Batches by rank count: `batch_dist[size]` batches resumed exactly
+    /// `size` ranks. Sorted map so the exported distribution is
+    /// deterministic.
+    batch_dist: BTreeMap<u64, u64>,
 }
 
 impl<P: RankProgram> Scheduler<P> {
@@ -493,6 +517,7 @@ impl<P: RankProgram> Scheduler<P> {
                 batch.push((rank, slot));
             }
             self.sim.batches += 1;
+            *self.batch_dist.entry(batch.len() as u64).or_insert(0) += 1;
 
             // Parallel phase: resume each rank against only its own
             // state. Input order in == input order out (ThreadPool::map),
@@ -652,6 +677,7 @@ impl<P: RankProgram> Scheduler<P> {
             comm_stats,
             clocks_ps,
             sim: self.sim,
+            batch_sizes: self.batch_dist.iter().map(|(&s, &n)| (s, n)).collect(),
         }
     }
 }
@@ -1419,11 +1445,28 @@ mod tests {
     fn sim_stats_report_to_obs() {
         let report = EventSim::new(4).run(|r, s| ring_script(r, s));
         let reg = pvs_obs::Registry::new();
-        report.sim.record_to(&reg);
+        report.record_to(&reg);
         assert_eq!(reg.gauge("mpisim.sim.ranks"), 4);
         assert!(reg.counter("mpisim.sim.resumes") >= 4);
         assert!(reg.counter("mpisim.sim.collectives") == 1);
         assert!(reg.counter("mpisim.sim.parks") >= reg.counter("mpisim.sim.wakeups"));
+        // The superstep histogram partitions the batch counter, and no
+        // batch can resume more ranks than exist.
+        let h = reg.hist("mpisim.hist.batch_ranks").unwrap();
+        assert_eq!(h.count(), reg.counter("mpisim.sim.batches"));
+        assert!(h.max() <= 4);
+        assert_eq!(
+            report.batch_sizes.iter().map(|&(_, n)| n).sum::<u64>(),
+            report.sim.batches
+        );
+    }
+
+    #[test]
+    fn batch_size_distribution_is_thread_count_invariant() {
+        let one = EventSim::new(8).threads(1).run(|r, s| ring_script(r, s));
+        let many = EventSim::new(8).threads(8).run(|r, s| ring_script(r, s));
+        assert_eq!(one.batch_sizes, many.batch_sizes);
+        assert_eq!(one.sim, many.sim);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! captures what the paper's analysis needs — serialization on shared tree
 //! uplinks and torus rows under all-to-all load — without modelling flits.
 
+use std::collections::BTreeMap;
+
 use crate::topology::Network;
 
 /// Per-hop wire/switch latency as a fraction of the configured end-to-end
@@ -42,6 +44,12 @@ pub struct SimStats {
     pub hops: u64,
     /// Payload bytes carried per link, indexed by link id.
     pub link_bytes: Vec<u64>,
+    /// Message count by payload size: `size_dist[bytes]` messages carried
+    /// exactly `bytes` of payload. Sorted, so dumps are deterministic.
+    pub size_dist: BTreeMap<u64, u64>,
+    /// Message count by route length: `hop_dist[hops]` messages traversed
+    /// exactly `hops` links (local copies count as 0 hops).
+    pub hop_dist: BTreeMap<u64, u64>,
 }
 
 impl SimStats {
@@ -77,6 +85,12 @@ impl SimStats {
         for (a, b) in self.link_bytes.iter_mut().zip(&other.link_bytes) {
             *a += *b;
         }
+        for (&size, &n) in &other.size_dist {
+            *self.size_dist.entry(size).or_insert(0) += n;
+        }
+        for (&hops, &n) in &other.hop_dist {
+            *self.hop_dist.entry(hops).or_insert(0) += n;
+        }
         self.finish_s.extend_from_slice(&other.finish_s);
     }
 
@@ -90,6 +104,21 @@ impl SimStats {
         r.add("netsim.hops", self.hops);
         r.add("netsim.links.used", self.links_used());
         r.gauge_max("netsim.link.peak_bytes", self.peak_link_bytes());
+        let mut entries: Vec<(&str, u64, u64)> =
+            Vec::with_capacity(self.size_dist.len() + self.hop_dist.len());
+        entries.extend(
+            self.size_dist
+                .iter()
+                .map(|(&size, &n)| ("netsim.hist.msg_bytes", size, n)),
+        );
+        entries.extend(
+            self.hop_dist
+                .iter()
+                .map(|(&hops, &n)| ("netsim.hist.msg_hops", hops, n)),
+        );
+        if !entries.is_empty() {
+            r.record_many(&entries);
+        }
     }
 }
 
@@ -160,11 +189,15 @@ impl<'a> NetSim<'a> {
         let mut total_bytes = 0u64;
         let mut hops = 0u64;
         let mut link_bytes = vec![0u64; self.net.num_links()];
+        let mut size_dist: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut hop_dist: BTreeMap<u64, u64> = BTreeMap::new();
         for &i in &order {
             let m = &messages[i];
             total_bytes += m.bytes;
             let route = self.net.route(m.src, m.dst);
             hops += route.len() as u64;
+            *size_dist.entry(m.bytes).or_insert(0) += 1;
+            *hop_dist.entry(route.len() as u64).or_insert(0) += 1;
             for &l in route.iter() {
                 link_bytes[l] += m.bytes;
             }
@@ -200,6 +233,8 @@ impl<'a> NetSim<'a> {
             messages: messages.len() as u64,
             hops,
             link_bytes,
+            size_dist,
+            hop_dist,
         }
     }
 
@@ -322,6 +357,45 @@ mod tests {
             submit_s: 0.0,
         }]);
         assert!(stats.makespan_s < 1.1e-3);
+    }
+
+    #[test]
+    fn distributions_partition_the_traffic() {
+        let n = net(TopologyKind::Crossbar, 4);
+        let mut sim = NetSim::new(&n);
+        let stats = sim.run(&[
+            Message { src: 0, dst: 1, bytes: 1000, submit_s: 0.0 },
+            Message { src: 1, dst: 2, bytes: 1000, submit_s: 0.0 },
+            Message { src: 2, dst: 3, bytes: 64, submit_s: 0.0 },
+            Message { src: 3, dst: 3, bytes: 8, submit_s: 0.0 }, // local: 0 hops
+        ]);
+        assert_eq!(stats.size_dist.get(&1000), Some(&2));
+        assert_eq!(stats.size_dist.get(&64), Some(&1));
+        assert_eq!(stats.size_dist.get(&8), Some(&1));
+        assert_eq!(stats.size_dist.values().sum::<u64>(), stats.messages);
+        assert_eq!(stats.hop_dist.get(&0), Some(&1));
+        assert_eq!(stats.hop_dist.values().sum::<u64>(), stats.messages);
+        let weighted: u64 = stats.hop_dist.iter().map(|(&h, &n)| h * n).sum();
+        assert_eq!(weighted, stats.hops);
+
+        let reg = pvs_obs::Registry::new();
+        stats.record_to(&reg);
+        let sizes = reg.hist("netsim.hist.msg_bytes").unwrap();
+        assert_eq!(sizes.count(), stats.messages);
+        assert_eq!(sizes.sum(), stats.total_bytes);
+        let hops = reg.hist("netsim.hist.msg_hops").unwrap();
+        assert_eq!(hops.sum(), stats.hops);
+    }
+
+    #[test]
+    fn absorb_sequential_merges_distributions() {
+        let n = net(TopologyKind::Crossbar, 4);
+        let one = [Message { src: 0, dst: 1, bytes: 500, submit_s: 0.0 }];
+        let mut a = NetSim::new(&n).run(&one);
+        let b = NetSim::new(&n).run(&one);
+        a.absorb_sequential(&b);
+        assert_eq!(a.size_dist.get(&500), Some(&2));
+        assert_eq!(a.hop_dist.values().sum::<u64>(), 2);
     }
 
     #[test]

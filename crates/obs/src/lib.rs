@@ -1,8 +1,9 @@
 //! # pvs-obs — observability for the simulation stack
 //!
 //! A zero-external-dep layer the simulators report into: named monotonic
-//! counters and gauges, plus lightweight span tracing with parent linkage,
-//! all behind the [`Recorder`] trait. The engine, thread pool, and
+//! counters, gauges, and deterministic log2-bucketed [`Histogram`]s, plus
+//! lightweight span tracing with parent linkage, all behind the
+//! [`Recorder`] trait. The engine, thread pool, and
 //! memory/network/vector simulators call `Recorder` methods; a [`Registry`]
 //! collects everything for one run and renders it as sorted counter lists
 //! or a JSONL trace.
@@ -21,10 +22,12 @@
 //! Counter names follow a `layer.component.metric` scheme, e.g.
 //! `engine.loop.flops`, `pool.queue.peak_depth`, `memsim.bank.stall_cycles`.
 
+pub mod hist;
 pub mod recorder;
 pub mod registry;
 pub mod span;
 
+pub use hist::{HistSummary, Histogram};
 pub use recorder::{NullRecorder, Recorder};
-pub use registry::{Registry, Snapshot};
+pub use registry::{Kind, Registry, Snapshot};
 pub use span::{SpanEvent, SpanId, SpanRecord, TraceBuffer};

@@ -50,6 +50,27 @@ pub trait Recorder: Send + Sync {
         id
     }
 
+    /// Record `count` occurrences of `value` into the named histogram
+    /// (creating it empty). The weighted form is the primitive — the
+    /// engine folds "N messages of B bytes" into one call instead of N.
+    fn record_n(&self, name: &str, value: u64, count: u64);
+
+    /// Record one occurrence of `value` into the named histogram.
+    fn record(&self, name: &str, value: u64) {
+        self.record_n(name, value, 1);
+    }
+
+    /// Record several weighted histogram samples `(name, value, count)`
+    /// at once. Semantically identical to calling
+    /// [`Recorder::record_n`] per entry; lock-based implementations
+    /// override this to batch the whole slice under one acquisition —
+    /// the same one-lock-per-batch discipline as [`Recorder::add_many`].
+    fn record_many(&self, entries: &[(&str, u64, u64)]) {
+        for (name, value, count) in entries {
+            self.record_n(name, *value, *count);
+        }
+    }
+
     /// Record a batch of finished spans in one call — a whole phase tree
     /// at once. Entry order is preserved; each entry's `parent` refers to
     /// an earlier entry of the same batch. Semantically equivalent to
@@ -73,6 +94,7 @@ impl Recorder for NullRecorder {
     fn add(&self, _name: &str, _delta: u64) {}
     fn gauge_set(&self, _name: &str, _value: u64) {}
     fn gauge_max(&self, _name: &str, _value: u64) {}
+    fn record_n(&self, _name: &str, _value: u64, _count: u64) {}
     fn span_begin(&self, _name: &str, _parent: Option<SpanId>, _begin_ticks: u64) -> SpanId {
         SpanId::NULL
     }
@@ -89,6 +111,9 @@ mod tests {
         r.add("test.x", 5);
         r.gauge_set("test.g", 1);
         r.gauge_max("test.g", 2);
+        r.record("test.h", 7);
+        r.record_n("test.h", 7, 3);
+        r.record_many(&[("test.h", 1, 1)]);
         let s = r.span_begin("s", None, 0);
         assert!(s.is_null());
         r.span_end(s, 10);

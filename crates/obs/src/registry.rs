@@ -10,16 +10,43 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use crate::hist::Histogram;
 use crate::recorder::Recorder;
 use crate::span::{SpanId, TraceBuffer};
 
-/// Point-in-time copy of a registry's counters and gauges, sorted by name.
+/// What a snapshot entry *is*, which fixes how deltas treat it:
+/// counters and histograms accumulate and subtract; gauges are
+/// point-in-time readings and are reported as-is. Consumers that
+/// dispatch on `Kind` (the serve telemetry plane does) cannot misread a
+/// gauge as a counter when computing a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Hist,
+}
+
+impl Kind {
+    /// Wire name used in `pvs-obs/snapshot-v1` documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Hist => "hist",
+        }
+    }
+}
+
+/// Point-in-time copy of a registry's counters, gauges, and histograms,
+/// each sorted by name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Monotonic counters `(name, value)`, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauges `(name, value)`, sorted by name.
     pub gauges: Vec<(String, u64)>,
+    /// Histograms `(name, histogram)`, sorted by name.
+    pub hists: Vec<(String, Histogram)>,
 }
 
 impl Snapshot {
@@ -35,12 +62,54 @@ impl Snapshot {
     pub fn gauge(&self, name: &str) -> Option<u64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
+
+    /// Named histogram in this snapshot (`None` if absent).
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Every entry name with its explicit [`Kind`], counters first, then
+    /// gauges, then histograms, each group sorted by name.
+    pub fn entries(&self) -> Vec<(String, Kind)> {
+        let mut out = Vec::with_capacity(self.counters.len() + self.gauges.len() + self.hists.len());
+        out.extend(self.counters.iter().map(|(n, _)| (n.clone(), Kind::Counter)));
+        out.extend(self.gauges.iter().map(|(n, _)| (n.clone(), Kind::Gauge)));
+        out.extend(self.hists.iter().map(|(n, _)| (n.clone(), Kind::Hist)));
+        out
+    }
+
+    /// The change since `baseline`, dispatching per [`Kind`]: counters
+    /// and histogram buckets subtract (an entry absent from the baseline
+    /// contributes its full value); gauges are *never* subtracted — the
+    /// delta carries their current reading, because a point-in-time
+    /// value has no meaningful difference. This is the one place delta
+    /// semantics are defined; `pvs-serve`'s `"mode":"delta"` stats path
+    /// goes through here.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(baseline.counter(n).unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| match baseline.hist(n) {
+                    Some(b) => (n.clone(), h.delta_since(b)),
+                    None => (n.clone(), h.clone()),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
     trace: TraceBuffer,
 }
 
@@ -75,12 +144,18 @@ impl Registry {
         self.lock_inner().gauges.get(name).copied().unwrap_or(0)
     }
 
-    /// Sorted copy of all counters and gauges.
+    /// Current copy of a histogram (`None` if never touched).
+    pub fn hist(&self, name: &str) -> Option<Histogram> {
+        self.lock_inner().hists.get(name).cloned()
+    }
+
+    /// Sorted copy of all counters, gauges, and histograms.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.lock_inner();
         Snapshot {
             counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: inner.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
     }
 
@@ -126,6 +201,38 @@ impl Recorder for Registry {
 
     fn span_end(&self, id: SpanId, end_ticks: u64) {
         self.lock_inner().trace.end(id, end_ticks);
+    }
+
+    fn record_n(&self, name: &str, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut inner = self.lock_inner();
+        match inner.hists.get_mut(name) {
+            Some(h) => h.accumulate(value, count),
+            None => {
+                let mut h = Histogram::new();
+                h.accumulate(value, count);
+                inner.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn record_many(&self, entries: &[(&str, u64, u64)]) {
+        let mut inner = self.lock_inner();
+        for (name, value, count) in entries {
+            if *count == 0 {
+                continue;
+            }
+            match inner.hists.get_mut(*name) {
+                Some(h) => h.accumulate(*value, *count),
+                None => {
+                    let mut h = Histogram::new();
+                    h.accumulate(*value, *count);
+                    inner.hists.insert((*name).to_string(), h);
+                }
+            }
+        }
     }
 
     fn add_many(&self, entries: &[(&str, u64)]) {
@@ -245,6 +352,87 @@ mod tests {
         let t = b.trace();
         assert_eq!(t.children(root), vec![ph]);
         assert_eq!(t.get(ph).unwrap().duration_ticks(), Some(6));
+    }
+
+    #[test]
+    fn histograms_accumulate_and_snapshot() {
+        let r = Registry::new();
+        r.record("test.hist.lat", 5);
+        r.record_n("test.hist.lat", 100, 3);
+        r.record_many(&[("test.hist.lat", 7, 1), ("test.hist.bytes", 64, 2)]);
+        let h = r.hist("test.hist.lat").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 300 + 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.hist("test.hist.lat").unwrap().count(), 5);
+        assert_eq!(snap.hist("test.hist.bytes").unwrap().count(), 2);
+        assert!(snap.hist("test.hist.absent").is_none());
+        assert!(r.hist("test.hist.absent").is_none());
+    }
+
+    #[test]
+    fn batched_record_matches_single_calls() {
+        let a = Registry::new();
+        a.record("test.h", 3);
+        a.record_n("test.h", 90, 2);
+        a.record("test.other", 1);
+        let b = Registry::new();
+        b.record_many(&[("test.h", 3, 1), ("test.h", 90, 2), ("test.other", 1, 1)]);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn zero_count_records_do_not_create_histograms() {
+        let r = Registry::new();
+        r.record_n("test.h", 5, 0);
+        r.record_many(&[("test.h", 5, 0)]);
+        assert!(r.hist("test.h").is_none());
+        assert!(r.snapshot().hists.is_empty());
+    }
+
+    #[test]
+    fn snapshot_entries_carry_kinds() {
+        let r = Registry::new();
+        r.add("test.c", 1);
+        r.gauge_set("test.g", 2);
+        r.record("test.h", 3);
+        let entries = r.snapshot().entries();
+        assert_eq!(
+            entries,
+            vec![
+                ("test.c".to_string(), Kind::Counter),
+                ("test.g".to_string(), Kind::Gauge),
+                ("test.h".to_string(), Kind::Hist),
+            ]
+        );
+        assert_eq!(Kind::Counter.as_str(), "counter");
+        assert_eq!(Kind::Gauge.as_str(), "gauge");
+        assert_eq!(Kind::Hist.as_str(), "hist");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_but_not_gauges() {
+        let r = Registry::new();
+        r.add("test.c", 10);
+        r.gauge_set("test.g", 7);
+        r.record_n("test.h", 5, 4);
+        let baseline = r.snapshot();
+        r.add("test.c", 3);
+        r.gauge_set("test.g", 2); // gauge *dropped* since baseline
+        r.record("test.h", 5);
+        let d = r.snapshot().delta_since(&baseline);
+        assert_eq!(d.counter("test.c"), Some(3));
+        // A gauge is a point-in-time reading: the delta reports the
+        // current value, never current-minus-baseline (which would be
+        // nonsense here: 2 - 7 underflows).
+        assert_eq!(d.gauge("test.g"), Some(2));
+        assert_eq!(d.hist("test.h").unwrap().count(), 1);
+        // Delta against itself: all counters zero, hists empty.
+        let now = r.snapshot();
+        let z = now.delta_since(&now);
+        assert!(z.counters.iter().all(|(_, v)| *v == 0));
+        assert!(z.hists.iter().all(|(_, h)| h.is_empty()));
+        assert_eq!(z.gauge("test.g"), Some(2));
     }
 
     #[test]

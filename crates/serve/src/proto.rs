@@ -4,14 +4,23 @@
 //! Requests are parsed with the workspace's own reader
 //! ([`pvs_analyze::json`]) and rendered with its writer conventions
 //! ([`pvs_report::json`]) — no external serialization crates (PVS001).
-//! The four operations:
+//! The operations:
 //!
 //! | request                                     | response                          |
 //! |---------------------------------------------|-----------------------------------|
 //! | `{"op":"cell","app":…,"config":…,…}`        | `{"ok":true,…,"cell":{…}}`        |
-//! | `{"op":"stats"}`                            | counters, gauges, cache size      |
+//! | `{"op":"stats"}`                            | telemetry snapshot (cumulative)   |
+//! | `{"op":"stats","mode":"delta"}`             | snapshot since the last delta     |
+//! | `{"op":"health"}`                           | liveness + occupancy summary      |
 //! | `{"op":"ping"}`                             | `{"ok":true,"pong":true}`         |
 //! | `{"op":"shutdown"}`                         | ack, then the server drains       |
+//!
+//! `stats` and `health` responses are versioned documents tagged
+//! [`pvs_core::schema::SNAPSHOT_V1`]. A cumulative snapshot reports the
+//! registry since server start; a delta snapshot reports counter and
+//! histogram *increments* since the previous delta request (gauges are
+//! always current values — subtracting them would be meaningless), so a
+//! poller can chart rates without client-side bookkeeping.
 //!
 //! A cell response puts the `cell` member **last**, holding the cached
 //! body verbatim — so the bytes after `"cell":` (minus the closing `}`
@@ -31,8 +40,14 @@ use crate::workload::{FaultSpec, Request, DEFAULT_FAULT_EVENTS};
 pub enum Op {
     /// Serve a sweep cell.
     Cell(Request),
-    /// Dump the server's observability registry.
-    Stats,
+    /// Dump the server's observability registry. `delta` reports
+    /// increments since the previous delta request instead of totals.
+    Stats {
+        /// `{"mode":"delta"}` was requested.
+        delta: bool,
+    },
+    /// Liveness + occupancy probe (no registry walk).
+    Health,
     /// Liveness probe.
     Ping,
     /// Ask the server to stop accepting connections and exit.
@@ -45,7 +60,14 @@ pub fn parse_line(line: &str) -> Result<Op, String> {
     let doc = parse(line).map_err(|e| e.to_string())?;
     let op = doc.str("op").ok_or("missing string field \"op\"")?;
     match op {
-        "stats" => Ok(Op::Stats),
+        "stats" => match doc.str("mode") {
+            None | Some("cumulative") => Ok(Op::Stats { delta: false }),
+            Some("delta") => Ok(Op::Stats { delta: true }),
+            Some(other) => Err(format!(
+                "\"mode\" must be \"cumulative\" or \"delta\", got {other:?}"
+            )),
+        },
+        "health" => Ok(Op::Health),
         "ping" => Ok(Op::Ping),
         "shutdown" => Ok(Op::Shutdown),
         "cell" => {
@@ -135,10 +157,25 @@ pub fn malformed_response(detail: &str) -> String {
         .render()
 }
 
-/// Stats dump: every counter and gauge in the registry snapshot
-/// (alphabetical — the snapshot is already sorted) plus the in-memory
-/// cache size.
-pub fn stats_response(snapshot: &Snapshot, cached_cells: usize) -> String {
+/// Occupancy figures the responses report alongside the registry:
+/// clock-free server state sampled at dispatch time, plus the uptime the
+/// caller measured (the protocol layer itself never reads a clock —
+/// PVS003 confines that to `server.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerVitals {
+    /// Whole seconds since the server started.
+    pub uptime_s: u64,
+    /// In-memory cache entries.
+    pub cached_cells: usize,
+    /// Distinct simulations in flight right now.
+    pub inflight: usize,
+}
+
+/// Stats dump, schema [`pvs_core::schema::SNAPSHOT_V1`]: every counter,
+/// gauge, and histogram summary in the registry snapshot (alphabetical —
+/// the snapshot is already sorted) plus the server vitals. `delta` tags
+/// the `mode` member so a poller can tell which flavor it got.
+pub fn stats_response(snapshot: &Snapshot, vitals: ServerVitals, delta: bool) -> String {
     let members = |entries: &[(String, u64)]| {
         entries
             .iter()
@@ -146,11 +183,46 @@ pub fn stats_response(snapshot: &Snapshot, cached_cells: usize) -> String {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let hists = snapshot
+        .hists
+        .iter()
+        .map(|(name, h)| {
+            let s = h.summary();
+            format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape(name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.p50,
+                s.p90,
+                s.p99
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"ok\":true,\"cached_cells\":{},\"counters\":{{{}}},\"gauges\":{{{}}}}}",
-        cached_cells,
+        "{{\"ok\":true,\"schema\":\"{}\",\"mode\":\"{}\",\"uptime_s\":{},\"cached_cells\":{},\"inflight\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"hists\":{{{}}}}}",
+        pvs_core::schema::SNAPSHOT_V1,
+        if delta { "delta" } else { "cumulative" },
+        vitals.uptime_s,
+        vitals.cached_cells,
+        vitals.inflight,
         members(&snapshot.counters),
-        members(&snapshot.gauges)
+        members(&snapshot.gauges),
+        hists
+    )
+}
+
+/// Health probe: liveness plus the vitals, without walking the registry.
+pub fn health_response(vitals: ServerVitals) -> String {
+    format!(
+        "{{\"ok\":true,\"healthy\":true,\"schema\":\"{}\",\"uptime_s\":{},\"cached_cells\":{},\"inflight\":{}}}",
+        pvs_core::schema::SNAPSHOT_V1,
+        vitals.uptime_s,
+        vitals.cached_cells,
+        vitals.inflight
     )
 }
 
@@ -203,7 +275,19 @@ mod tests {
 
     #[test]
     fn control_ops_parse() {
-        assert_eq!(parse_line(r#"{"op":"stats"}"#).unwrap(), Op::Stats);
+        assert_eq!(parse_line(r#"{"op":"stats"}"#).unwrap(), Op::Stats { delta: false });
+        assert_eq!(
+            parse_line(r#"{"op":"stats","mode":"cumulative"}"#).unwrap(),
+            Op::Stats { delta: false }
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"stats","mode":"delta"}"#).unwrap(),
+            Op::Stats { delta: true }
+        );
+        assert!(parse_line(r#"{"op":"stats","mode":"weekly"}"#)
+            .unwrap_err()
+            .contains("weekly"));
+        assert_eq!(parse_line(r#"{"op":"health"}"#).unwrap(), Op::Health);
         assert_eq!(parse_line(r#"{"op":"ping"}"#).unwrap(), Op::Ping);
         assert_eq!(parse_line(r#"{"op":"shutdown"}"#).unwrap(), Op::Shutdown);
     }
@@ -276,10 +360,37 @@ mod tests {
         use pvs_obs::Recorder;
         registry.add("serve.cache.hits", 5);
         registry.gauge_set("serve.queue.depth", 2);
-        let line = stats_response(&registry.snapshot(), 7);
+        registry.record_n("serve.hist.busy_us", 40, 3);
+        registry.record("serve.hist.busy_us", 2_000);
+        let vitals = ServerVitals { uptime_s: 12, cached_cells: 7, inflight: 1 };
+        let line = stats_response(&registry.snapshot(), vitals, false);
         let doc = parse(&line).unwrap();
+        assert_eq!(doc.str("schema"), Some(pvs_core::schema::SNAPSHOT_V1));
+        assert_eq!(doc.str("mode"), Some("cumulative"));
+        assert_eq!(doc.num("uptime_s"), Some(12.0));
         assert_eq!(doc.num("cached_cells"), Some(7.0));
+        assert_eq!(doc.num("inflight"), Some(1.0));
         assert_eq!(doc.get("counters").unwrap().num("serve.cache.hits"), Some(5.0));
         assert_eq!(doc.get("gauges").unwrap().num("serve.queue.depth"), Some(2.0));
+        let hist = doc.get("hists").unwrap().get("serve.hist.busy_us").unwrap();
+        assert_eq!(hist.num("count"), Some(4.0));
+        assert_eq!(hist.num("min"), Some(40.0));
+        assert_eq!(hist.num("p50"), Some(40.0));
+        // 2000 sits above the exact range: p99 is its bucket lower bound.
+        let p99 = hist.num("p99").unwrap();
+        assert!(p99 > 1900.0 && p99 <= 2000.0, "p99 = {p99}");
+
+        let delta_line = stats_response(&registry.snapshot(), vitals, true);
+        assert_eq!(parse(&delta_line).unwrap().str("mode"), Some("delta"));
+    }
+
+    #[test]
+    fn health_response_reports_vitals() {
+        let line = health_response(ServerVitals { uptime_s: 3, cached_cells: 2, inflight: 0 });
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("healthy").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.str("schema"), Some(pvs_core::schema::SNAPSHOT_V1));
+        assert_eq!(doc.num("uptime_s"), Some(3.0));
+        assert_eq!(doc.num("inflight"), Some(0.0));
     }
 }

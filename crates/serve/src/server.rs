@@ -88,6 +88,10 @@ impl Server {
         let addr = listener.local_addr()?;
         let store = Arc::new(CellStore::new(options.store));
         let shutdown = Arc::new(AtomicBool::new(false));
+        // Birth instant for `uptime_s` in stats/health responses. Host
+        // time, so it stays here: the protocol layer receives the
+        // already-computed seconds and remains clock-free.
+        let started = Instant::now();
         // LOCK ORDER: 60 — idle-timeout timestamp; touched only as a
         // statement temporary from the accept loop and handlers, never
         // nested with (or under) any other lock.
@@ -103,6 +107,7 @@ impl Server {
                 last_activity,
                 options.idle_timeout,
                 options.max_connections.max(1),
+                started,
             )
         });
 
@@ -158,6 +163,7 @@ fn accept_loop(
     last_activity: Arc<Mutex<Instant>>,
     idle_timeout: Option<Duration>,
     max_connections: usize,
+    server_started: Instant,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
@@ -175,7 +181,7 @@ fn accept_loop(
                 let shutdown = Arc::clone(&shutdown);
                 let last_activity = Arc::clone(&last_activity);
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(stream, store, shutdown, last_activity)
+                    serve_connection(stream, store, shutdown, last_activity, server_started)
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -260,6 +266,7 @@ fn serve_connection(
     store: Arc<CellStore>,
     shutdown: Arc<AtomicBool>,
     last_activity: Arc<Mutex<Instant>>,
+    server_started: Instant,
 ) {
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return;
@@ -294,10 +301,11 @@ fn serve_connection(
                 }
                 touch(&last_activity);
                 let started = Instant::now();
-                let (response, stop) = dispatch(&store, trimmed);
-                store
-                    .registry()
-                    .add("serve.host.busy_us", started.elapsed().as_micros() as u64);
+                let (response, stop) =
+                    dispatch(&store, trimmed, server_started.elapsed().as_secs());
+                let busy_us = started.elapsed().as_micros() as u64;
+                store.registry().add("serve.host.busy_us", busy_us);
+                store.registry().record("serve.hist.busy_us", busy_us);
                 // A simulation can outlast idle_timeout; mark the server
                 // live again when dispatch completes so the idle check
                 // measures true idleness, not time spent computing.
@@ -322,19 +330,26 @@ fn serve_connection(
 }
 
 /// Route one request line; returns the response and whether the server
-/// should stop. Clock-free — time metering stays in the caller.
-fn dispatch(store: &Arc<CellStore>, line: &str) -> (String, bool) {
+/// should stop. Clock-free — time metering stays in the caller, which
+/// also hands in the pre-computed uptime the telemetry ops report.
+fn dispatch(store: &Arc<CellStore>, line: &str, uptime_s: u64) -> (String, bool) {
     store.registry().add("serve.net.lines", 1);
+    let vitals = || proto::ServerVitals {
+        uptime_s,
+        cached_cells: store.cached_cells(),
+        inflight: store.inflight(),
+    };
     match proto::parse_line(line) {
         Err(detail) => {
             store.registry().add("serve.errors.malformed", 1);
             (proto::malformed_response(&detail), false)
         }
         Ok(proto::Op::Ping) => (proto::pong_response(), false),
-        Ok(proto::Op::Stats) => (
-            proto::stats_response(&store.registry().snapshot(), store.cached_cells()),
+        Ok(proto::Op::Stats { delta }) => (
+            proto::stats_response(&store.stats_snapshot(delta), vitals(), delta),
             false,
         ),
+        Ok(proto::Op::Health) => (proto::health_response(vitals()), false),
         Ok(proto::Op::Shutdown) => (proto::shutdown_response(), true),
         Ok(proto::Op::Cell(request)) => match store.get(&request) {
             Ok(resp) => (proto::cell_response(&resp), false),

@@ -29,7 +29,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use pvs_core::engine::Engine;
 use pvs_core::ThreadPool;
-use pvs_obs::{Recorder, Registry};
+use pvs_obs::{Recorder, Registry, Snapshot};
 use pvs_report::json::perf_report;
 
 use crate::cache::{ShardedCache, DEFAULT_SHARDS};
@@ -168,6 +168,10 @@ pub struct CellStore {
     flights: Mutex<BTreeMap<String, Arc<Flight>>>,
     max_pending: usize,
     registry: Arc<Registry>,
+    // LOCK ORDER: 35 — stats delta baseline. Taken only in
+    // `stats_snapshot`, strictly after the registry snapshot (tier 30)
+    // has been materialized and released; nothing is acquired under it.
+    stats_baseline: Mutex<Snapshot>,
 }
 
 impl std::fmt::Debug for CellStore {
@@ -188,6 +192,7 @@ impl CellStore {
             flights: Mutex::new(BTreeMap::new()),
             max_pending: options.max_pending,
             registry: Arc::new(Registry::new()),
+            stats_baseline: Mutex::new(Snapshot::default()),
         }
     }
 
@@ -199,6 +204,33 @@ impl CellStore {
     /// In-memory cache entries.
     pub fn cached_cells(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Distinct simulations in flight right now.
+    pub fn inflight(&self) -> usize {
+        self.lock_flights().len()
+    }
+
+    /// Registry snapshot for a `stats` response. Cumulative mode copies
+    /// the registry; delta mode reports the change since the previous
+    /// delta request and advances the stored baseline, so consecutive
+    /// delta snapshots tile the timeline without gaps or overlaps.
+    pub fn stats_snapshot(&self, delta: bool) -> Snapshot {
+        let now = self.registry.snapshot();
+        if !delta {
+            return now;
+        }
+        // Swap the stored baseline under the lock, but difference the
+        // snapshots *outside* it: `delta_since` walks snapshot lookups
+        // whose names the lock-order lint resolves against the (locking)
+        // registry methods, and the baseline tier (35) sits above the
+        // registry's (30).
+        let prev = {
+            // INFALLIBLE: baseline holders only swap a snapshot value.
+            let mut baseline = self.stats_baseline.lock().expect("stats baseline poisoned");
+            std::mem::replace(&mut *baseline, now.clone())
+        };
+        now.delta_since(&prev)
     }
 
     fn lock_flights(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Flight>>> {
@@ -381,6 +413,27 @@ mod tests {
         let hit = s.get(&lbmhd()).unwrap();
         assert_eq!(hit.source, CellSource::Memory);
         assert_eq!(hit.body, body);
+    }
+
+    #[test]
+    fn delta_snapshots_tile_the_timeline() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        assert_eq!(s.inflight(), 0);
+        s.get(&lbmhd()).unwrap();
+        let d1 = s.stats_snapshot(true);
+        assert_eq!(d1.counter("serve.sim.runs"), Some(1));
+        // An immediate second delta covers an empty period.
+        let d2 = s.stats_snapshot(true);
+        assert_eq!(d2.counter("serve.sim.runs"), Some(0));
+        s.get(&lbmhd()).unwrap();
+        let d3 = s.stats_snapshot(true);
+        assert_eq!(d3.counter("serve.cache.hits"), Some(1));
+        assert_eq!(d3.counter("serve.sim.runs"), Some(0));
+        // Cumulative mode never consults or moves the baseline. (No
+        // `inflight() == 0` assert here: the leader's flight-map cleanup
+        // runs on the pool thread after the body is delivered, so it may
+        // still be pending when `get` returns.)
+        assert_eq!(s.stats_snapshot(false).counter("serve.sim.runs"), Some(1));
     }
 
     #[test]

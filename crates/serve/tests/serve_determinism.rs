@@ -108,6 +108,35 @@ fn tcp_roundtrip_serves_the_exact_model_bytes() {
 }
 
 #[test]
+fn telemetry_snapshots_carry_schema_mode_and_deltas_that_tile() {
+    let server = Server::start(ServerOptions::default()).unwrap();
+    let mut stream = connect(&server);
+
+    let health = roundtrip(&mut stream, r#"{"op":"health"}"#);
+    assert!(health.contains("\"healthy\":true"), "{health}");
+    assert!(health.contains("\"schema\":\"pvs-obs/snapshot-v1\""), "{health}");
+    assert!(health.contains("\"inflight\":0"), "{health}");
+
+    let line = r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64}"#;
+    roundtrip(&mut stream, line);
+
+    let d1 = roundtrip(&mut stream, r#"{"op":"stats","mode":"delta"}"#);
+    assert!(d1.contains("\"schema\":\"pvs-obs/snapshot-v1\""), "{d1}");
+    assert!(d1.contains("\"mode\":\"delta\""), "{d1}");
+    assert!(d1.contains("\"serve.sim.runs\":1"), "{d1}");
+    // The requests before this one are in the busy-time histogram.
+    assert!(d1.contains("\"serve.hist.busy_us\":{\"count\":"), "{d1}");
+
+    // An immediate second delta covers an empty period: the run counter
+    // reads zero, while the cumulative view still shows the total.
+    let d2 = roundtrip(&mut stream, r#"{"op":"stats","mode":"delta"}"#);
+    assert!(d2.contains("\"serve.sim.runs\":0"), "{d2}");
+    let total = roundtrip(&mut stream, r#"{"op":"stats"}"#);
+    assert!(total.contains("\"mode\":\"cumulative\""), "{total}");
+    assert!(total.contains("\"serve.sim.runs\":1"), "{total}");
+}
+
+#[test]
 fn malformed_and_invalid_requests_get_tagged_errors() {
     let server = Server::start(ServerOptions::default()).unwrap();
     let mut stream = connect(&server);

@@ -106,6 +106,11 @@ pub struct ExecResult {
     /// iterations × streams); 0 for a scalar loop. Cross-checks AVL:
     /// `element_ops / instructions` must equal the average strip length.
     pub strips: u64,
+    /// Strip-length distribution as `(length, strips)` pairs: slot 0 the
+    /// full-VL strips, slot 1 the remainder strips (zero-count slots are
+    /// padding — a strip-mined loop has at most two distinct lengths).
+    /// Fixed-size so the result stays `Copy`; counts sum to `strips`.
+    pub strip_lens: [(u64, u64); 2],
 }
 
 impl ExecResult {
@@ -159,6 +164,7 @@ impl VectorUnit {
             metrics,
             flops,
             strips: 0,
+            strip_lens: [(0, 0); 2],
         }
     }
 
@@ -220,6 +226,16 @@ impl VectorUnit {
             * streams as u64;
         let mut metrics = VectorMetrics::default();
         metrics.record_vector(element_ops, instructions.max(1));
+        // Strip-length distribution: every stream × outer iteration walks
+        // the same chunk sequence — full-VL strips plus at most one
+        // remainder — so the whole nest has at most two distinct lengths.
+        let repeats = l.outer_iters as u64 * streams as u64;
+        let full = (trips_per_stream / cfg.max_vl) as u64;
+        let rem = (trips_per_stream % cfg.max_vl) as u64;
+        let strip_lens = [
+            (cfg.max_vl as u64, full * repeats),
+            (rem, if rem > 0 { repeats } else { 0 }),
+        ];
         ExecResult {
             seconds,
             metrics,
@@ -227,6 +243,7 @@ impl VectorUnit {
             strips: num_strips(trips_per_stream, cfg.max_vl) as u64
                 * l.outer_iters as u64
                 * streams as u64,
+            strip_lens,
         }
     }
 }
@@ -266,6 +283,32 @@ mod tests {
         );
         assert!((r.metrics.avl() - 256.0).abs() < 1.0);
         assert_eq!(r.metrics.vor(), 1.0);
+    }
+
+    #[test]
+    fn strip_length_distribution_sums_to_strips() {
+        let unit = VectorUnit::new(es_processor());
+        // 300 trips at VL 256: one full strip + a 44-element remainder
+        // per stream per outer iteration.
+        let r = unit.execute(&compute_heavy(300), &es_mem());
+        let total: u64 = r.strip_lens.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, r.strips);
+        assert_eq!(r.strip_lens[0].0, 256);
+        assert_eq!(r.strip_lens[1].0, 44);
+        assert_eq!(r.strip_lens[0].1, r.strip_lens[1].1);
+        let weighted: u64 = r.strip_lens.iter().map(|&(l, n)| l * n).sum();
+        assert_eq!(weighted, 300 * 100); // trips x outer_iters
+
+        // Exact multiple: no remainder slot.
+        let exact = unit.execute(&compute_heavy(512), &es_mem());
+        assert_eq!(exact.strip_lens[1].1, 0);
+        assert_eq!(exact.strip_lens[0].1, exact.strips);
+
+        // Scalar loops have no strips at all.
+        let mut sloop = compute_heavy(512);
+        sloop.class = LoopClass::Scalar;
+        let s = unit.execute(&sloop, &es_mem());
+        assert_eq!(s.strip_lens, [(0, 0); 2]);
     }
 
     #[test]
