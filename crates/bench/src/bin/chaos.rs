@@ -10,18 +10,72 @@
 //! `--threads N` (sweep worker threads, default honours `PVS_THREADS`),
 //! `--out PATH` (override the output path), `--checkpoint-check` (kill a
 //! degraded sweep mid-flight, resume it from the serialized checkpoint,
-//! and require bit-identical results — then exit).
+//! and require bit-identical results — then exit),
+//! `--verify-checkpoint PATH` (integrity-check a serialized run or
+//! sweep checkpoint without resuming it — then exit).
 //!
 //! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
-//! 1 a resilience invariant failed, 2 malformed usage, 6 the output
-//! cannot be written. The output path is probed before the sweep runs
-//! and written atomically — no partial documents.
+//! 1 a resilience invariant failed, 2 malformed usage, 3 a checkpoint
+//! under `--verify-checkpoint` cannot be read, 4 it is truncated,
+//! bit-damaged, or not a checkpoint at all, 6 the output cannot be
+//! written. The output path is probed before the sweep runs and written
+//! atomically — no partial documents.
 
 use pvs_bench::chaos::{
     checkpoint_roundtrip_check, covered_kinds, full_scenarios, run_chaos, smoke_scenarios,
 };
 use pvs_bench::cli::{self, exit};
 use pvs_bench::profile::{paper_cells, smoke_cells};
+use pvs_core::checkpoint::{
+    RunCheckpoint, SweepCheckpoint, RUN_CHECKPOINT_VERSION, SWEEP_CHECKPOINT_VERSION,
+};
+
+/// Integrity-check a serialized checkpoint without resuming it: the
+/// surface operators point at a file left by a dead campaign before
+/// deciding whether a resume can trust it. Dispatches on the version
+/// header, then runs the full checksum + structural parse. Returns the
+/// process exit code: 0 valid, `UNREADABLE` on I/O failure, `MALFORMED`
+/// for truncation, bit damage, or a file that is no checkpoint at all.
+fn verify_checkpoint(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return exit::UNREADABLE;
+        }
+    };
+    let header = text.lines().next().unwrap_or("").trim();
+    let outcome = if header == SWEEP_CHECKPOINT_VERSION {
+        SweepCheckpoint::parse(&text).map(|ck| {
+            format!("sweep checkpoint: {} of {} cells completed", ck.completed(), ck.total())
+        })
+    } else if header == RUN_CHECKPOINT_VERSION {
+        RunCheckpoint::parse(&text).map(|ck| {
+            format!(
+                "run checkpoint: {} procs on {}, phase {} of {}",
+                ck.procs(),
+                ck.machine(),
+                ck.next_phase(),
+                ck.phases_total()
+            )
+        })
+    } else {
+        Err(format!(
+            "unrecognized header {header:?} (expected {SWEEP_CHECKPOINT_VERSION:?} \
+             or {RUN_CHECKPOINT_VERSION:?})"
+        ))
+    };
+    match outcome {
+        Ok(summary) => {
+            println!("ok: {path} is a valid {summary}");
+            exit::OK
+        }
+        Err(e) => {
+            eprintln!("error: {path} failed verification: {e}");
+            exit::MALFORMED
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +86,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let known = ["--smoke", "--threads", "--out", "--checkpoint-check"];
+    let known = ["--smoke", "--threads", "--out", "--checkpoint-check", "--verify-checkpoint"];
     let mut skip_value = false;
     for a in &args {
         if skip_value {
@@ -40,14 +94,25 @@ fn main() {
             continue;
         }
         match a.as_str() {
-            "--threads" | "--out" => skip_value = true,
+            "--threads" | "--out" | "--verify-checkpoint" => skip_value = true,
             other if known.contains(&other) => {}
             other => {
                 eprintln!("error: unrecognized argument {other:?}");
-                eprintln!("usage: chaos [--smoke] [--threads N] [--out PATH] [--checkpoint-check]");
+                eprintln!(
+                    "usage: chaos [--smoke] [--threads N] [--out PATH] [--checkpoint-check] \
+                     [--verify-checkpoint PATH]"
+                );
                 std::process::exit(exit::USAGE);
             }
         }
+    }
+
+    if args.iter().any(|a| a == "--verify-checkpoint") {
+        let Some(path) = value_of("--verify-checkpoint") else {
+            eprintln!("error: --verify-checkpoint needs a file path");
+            std::process::exit(exit::USAGE);
+        };
+        std::process::exit(verify_checkpoint(&path));
     }
 
     let threads = match value_of("--threads") {

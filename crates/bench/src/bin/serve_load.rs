@@ -15,8 +15,12 @@
 //! every served cell byte-matches a direct engine run); `--stats-every N`
 //! (poll the server's live telemetry plane during the run, printing one
 //! snapshot line per N completed requests and validating each response
-//! against the versioned snapshot schema); `--out PATH` (write the
-//! profile-v2 document, probed first, written atomically).
+//! against the versioned snapshot schema); `--retry-attempts N` (total
+//! attempts per request for retryable failures — `overloaded` and
+//! transport errors — with seeded-jitter exponential backoff floored at
+//! the server's `retry_after_ms` hint; `1` disables retries);
+//! `--out PATH` (write the profile-v2 document, probed first, written
+//! atomically).
 //!
 //! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
 //! 1 a request failed or identity was violated, 2 malformed usage,
@@ -29,12 +33,13 @@ use std::time::Duration;
 use pvs_bench::cli::{self, exit};
 use pvs_bench::serveload::{
     bench_serve_doc, check_identity, fetch_cell_body, fetch_stats, paper_serve_cells, run_load,
-    ArrivalMode, LoadOptions,
+    ArrivalMode, LoadOptions, RetryPolicy,
 };
 use pvs_serve::{Request, Server, ServerOptions};
 
 const USAGE: &str = "serve_load [--inline | --addr A] [--requests N] [--connections C | --rate R] \
-                     [--seed S] [--smoke] [--check-identity] [--stats-every N] [--out PATH]";
+                     [--seed S] [--smoke] [--check-identity] [--stats-every N] \
+                     [--retry-attempts N] [--out PATH]";
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -133,6 +138,19 @@ fn parse_cli() -> Cli {
                 cli.options.seed = value("--seed")
                     .parse::<u64>()
                     .unwrap_or_else(|_| usage_exit("--seed needs a non-negative integer"));
+                i += 2;
+            }
+            "--retry-attempts" => {
+                let n = value("--retry-attempts")
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_exit("--retry-attempts needs a positive integer"));
+                cli.options.retry = if n == 1 {
+                    None
+                } else {
+                    Some(RetryPolicy { max_attempts: n, ..RetryPolicy::default() })
+                };
                 i += 2;
             }
             other => usage_exit(&format!("unrecognized argument {other:?}")),
@@ -276,6 +294,11 @@ fn main() {
     );
     for (source, count) in run.source_counts() {
         println!("  {source:<12} {count}");
+    }
+    let retries = run.retry.counter("serve.retry.attempts").unwrap_or(0);
+    let giveups = run.retry.counter("serve.retry.giveups").unwrap_or(0);
+    if retries + giveups > 0 {
+        println!("retries: {retries} backoffs slept, {giveups} giveups");
     }
 
     let failed = run.samples.iter().filter(|s| !s.ok).count();

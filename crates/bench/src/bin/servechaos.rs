@@ -1,0 +1,104 @@
+//! Break the serving plane's host and prove it stays correct; write
+//! `BENCH_servechaos.json`.
+//!
+//! ```text
+//! cargo run --release -p pvs-bench --bin servechaos
+//! cargo run --release -p pvs-bench --bin servechaos -- --smoke
+//! ```
+//!
+//! Six seeded scenarios against in-process stores and live TCP servers:
+//! spill corruption, kill-and-warm-restart, hostile clients, a worker
+//! panic storm, deadline pressure, and backoff under overload. Every
+//! assertion is exact (zero unplanned panics, byte-identical bodies,
+//! pinned counters), and the run renders as a `pvs-bench/profile-v2`
+//! document the `compare` sentinel gates.
+//!
+//! Flags: `--smoke` (same scenarios and cells — the harness is already
+//! CI-sized — but the document lands under `target/` instead of the
+//! repository root), `--threads N` (store worker threads, default
+//! honours `PVS_THREADS`), `--out PATH` (override the output path).
+//!
+//! Exit codes (the shared `pvs_bench::cli` convention): 0 success,
+//! 1 a resilience invariant failed, 2 malformed usage, 6 the output
+//! cannot be written. The output path is probed before the scenarios
+//! run and written atomically — no partial documents.
+
+use pvs_bench::cli::{self, exit};
+use pvs_bench::servechaos::run_servechaos;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let known = ["--smoke", "--threads", "--out"];
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--threads" | "--out" => skip_value = true,
+            other if known.contains(&other) => {}
+            other => {
+                eprintln!("error: unrecognized argument {other:?}");
+                eprintln!("usage: servechaos [--smoke] [--threads N] [--out PATH]");
+                std::process::exit(exit::USAGE);
+            }
+        }
+    }
+
+    let threads = match value_of("--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --threads needs a positive integer, got {v:?}");
+                std::process::exit(exit::USAGE);
+            }
+        },
+        None => pvs_core::pool::default_threads(),
+    };
+
+    let out_path = value_of("--out").unwrap_or_else(|| {
+        if flag("--smoke") {
+            "target/BENCH_servechaos_smoke.json".to_string()
+        } else {
+            "BENCH_servechaos.json".to_string()
+        }
+    });
+
+    // Fail fast on an unwritable destination — before the scenarios.
+    if let Err(e) = cli::probe_writable(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(exit::WRITE);
+    }
+
+    let out = match run_servechaos(threads) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("SERVECHAOS FAILURE: {e}");
+            std::process::exit(exit::FAILURE);
+        }
+    };
+
+    for s in &out.scenarios {
+        println!(
+            "{:<18} {} requests, {} byte-identical  ok  {}",
+            s.name, s.requests, s.identical, s.note
+        );
+    }
+
+    match cli::write_atomic(&out_path, &(out.to_json() + "\n")) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(exit::WRITE);
+        }
+    }
+    println!("ok: the serving plane survived every host-fault scenario");
+}

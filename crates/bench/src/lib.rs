@@ -18,6 +18,7 @@ pub mod harness;
 pub mod profile;
 pub mod rankscale;
 pub mod selfperf;
+pub mod servechaos;
 pub mod serveload;
 pub mod tablegen;
 

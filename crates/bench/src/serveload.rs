@@ -24,11 +24,15 @@ use std::time::{Duration, Instant};
 
 use pvs_core::engine::{run_sweep_threads, SweepJob};
 use pvs_core::rng::Pcg32;
-use pvs_obs::Histogram;
+use pvs_obs::{Histogram, Recorder, Registry, Snapshot};
 use pvs_report::json::{array, number, pretty, JsonObject};
 use pvs_serve::Request;
 
 use crate::harness::median;
+
+/// Odd 64-bit mixer (the SplitMix64 increment): spreads request indices
+/// into independent per-request jitter streams.
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The default serving grid: every application's large configuration on
 /// the two vector machines at the paper's common P=64 — eight distinct
@@ -64,6 +68,46 @@ pub enum ArrivalMode {
     },
 }
 
+/// Seeded-jitter exponential-backoff retry policy. Retryable outcomes
+/// are `overloaded` responses and transport errors (refused, reset,
+/// timeout); protocol-level rejections (`bad_request`, `malformed`,
+/// `deadline_exceeded`, `failed`, `internal`) are definitive and never
+/// retried. The backoff *schedule* is a pure function of the load seed
+/// and request index (half-jitter drawn from a per-request [`Pcg32`]),
+/// floored at the server's `retry_after_ms` hint when one arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, first try included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per
+    /// retry until `cap_ms`.
+    pub base_ms: u64,
+    /// Per-sleep ceiling in milliseconds.
+    pub cap_ms: u64,
+    /// Total backoff a single request may accumulate before giving up,
+    /// in milliseconds.
+    pub budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 4, base_ms: 25, cap_ms: 400, budget_ms: 2_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based), in
+    /// milliseconds: exponential from `base_ms`, capped at `cap_ms`,
+    /// half-jittered from `rng`, and floored at the server's
+    /// `hint_ms`. Deterministic in `(rng state, retry, hint_ms)`.
+    pub fn backoff_ms(&self, rng: &mut Pcg32, retry: u32, hint_ms: u64) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64 << retry.saturating_sub(1).min(16));
+        let capped = exp.min(self.cap_ms).max(1);
+        let jittered = capped / 2 + u64::from(rng.next_below((capped / 2 + 1).min(u32::MAX as u64) as u32));
+        jittered.max(hint_ms)
+    }
+}
+
 /// One load run's knobs.
 #[derive(Debug, Clone)]
 pub struct LoadOptions {
@@ -71,8 +115,10 @@ pub struct LoadOptions {
     pub requests: usize,
     /// Arrival model.
     pub mode: ArrivalMode,
-    /// Seed for the open-loop arrival process (ignored closed-loop).
+    /// Seed for the open-loop arrival process and the retry jitter.
     pub seed: u64,
+    /// Retry policy for retryable failures (`None` = fail fast).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for LoadOptions {
@@ -81,6 +127,7 @@ impl Default for LoadOptions {
             requests: 64,
             mode: ArrivalMode::Closed { connections: 4 },
             seed: 0xC0FFEE,
+            retry: Some(RetryPolicy::default()),
         }
     }
 }
@@ -97,6 +144,8 @@ pub struct RequestSample {
     pub source: String,
     /// Whether the response was `"ok":true`.
     pub ok: bool,
+    /// Attempts this request took, first try included.
+    pub attempts: u32,
 }
 
 /// A completed load run.
@@ -106,6 +155,10 @@ pub struct LoadRun {
     pub samples: Vec<RequestSample>,
     /// Wall-clock seconds for the whole run.
     pub wall_s: f64,
+    /// Client-side retry telemetry: `serve.retry.attempts` /
+    /// `serve.retry.giveups` counters and the
+    /// `serve.retry.hist.backoff_ms` histogram of slept backoffs.
+    pub retry: Snapshot,
 }
 
 impl LoadRun {
@@ -168,14 +221,28 @@ fn request_line(request: &Request) -> String {
     obj.render()
 }
 
-fn source_of(response: &str) -> (bool, String) {
+/// A parsed response's fate, as far as the load client cares.
+struct Outcome {
+    ok: bool,
+    tag: String,
+    /// The server's backoff hint on `overloaded` responses.
+    retry_after_ms: Option<u64>,
+}
+
+fn outcome_of(response: &str) -> Outcome {
     let doc = match pvs_analyze::json::parse(response) {
         Ok(doc) => doc,
-        Err(_) => return (false, "unparseable".to_string()),
+        Err(_) => {
+            return Outcome { ok: false, tag: "unparseable".to_string(), retry_after_ms: None }
+        }
     };
     let ok = doc.get("ok").and_then(|v| v.as_bool()).unwrap_or(false);
     let tag = if ok { doc.str("source") } else { doc.str("error") };
-    (ok, tag.unwrap_or("missing").to_string())
+    Outcome {
+        ok,
+        tag: tag.unwrap_or("missing").to_string(),
+        retry_after_ms: doc.num("retry_after_ms").map(|ms| ms.max(0.0) as u64),
+    }
 }
 
 fn exchange(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
@@ -199,21 +266,64 @@ fn connect(addr: &str) -> std::io::Result<TcpStream> {
     Ok(stream)
 }
 
-/// Run one request and time it.
-fn timed_request(stream: &mut TcpStream, cell: usize, line: &str) -> RequestSample {
+/// Run one request, retrying retryable failures per `policy`, and time
+/// the whole exchange (backoff sleeps included — the latency a caller
+/// with this policy actually experiences). The jitter stream is seeded
+/// per request (`seed`), so the backoff schedule is reproducible; only
+/// *whether* each retry was needed depends on server state. Transport
+/// errors reconnect before retrying; a failed reconnect is definitive.
+fn timed_request(
+    addr: &str,
+    stream: &mut TcpStream,
+    cell: usize,
+    line: &str,
+    policy: Option<&RetryPolicy>,
+    seed: u64,
+    retry_stats: &Registry,
+) -> RequestSample {
     let started = Instant::now();
-    match exchange(stream, line) {
-        Ok(response) => {
-            let latency_s = started.elapsed().as_secs_f64();
-            let (ok, source) = source_of(&response);
-            RequestSample { cell, latency_s, source, ok }
-        }
-        Err(e) => RequestSample {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut attempts = 0u32;
+    let mut slept_ms = 0u64;
+    loop {
+        attempts += 1;
+        let outcome = match exchange(stream, line) {
+            Ok(response) => outcome_of(&response),
+            Err(e) => Outcome { ok: false, tag: format!("io: {e}"), retry_after_ms: None },
+        };
+        let sample = |o: &Outcome| RequestSample {
             cell,
             latency_s: started.elapsed().as_secs_f64(),
-            source: format!("io: {e}"),
-            ok: false,
-        },
+            source: o.tag.clone(),
+            ok: o.ok,
+            attempts,
+        };
+        if outcome.ok {
+            return sample(&outcome);
+        }
+        let retryable = outcome.tag == "overloaded" || outcome.tag.starts_with("io:");
+        let Some(policy) = policy.filter(|_| retryable) else {
+            return sample(&outcome);
+        };
+        if attempts >= policy.max_attempts {
+            retry_stats.add("serve.retry.giveups", 1);
+            return sample(&outcome);
+        }
+        let backoff = policy.backoff_ms(&mut rng, attempts, outcome.retry_after_ms.unwrap_or(0));
+        if slept_ms + backoff > policy.budget_ms {
+            retry_stats.add("serve.retry.giveups", 1);
+            return sample(&outcome);
+        }
+        if outcome.tag.starts_with("io:") {
+            match connect(addr) {
+                Ok(fresh) => *stream = fresh,
+                Err(_) => return sample(&outcome),
+            }
+        }
+        retry_stats.add("serve.retry.attempts", 1);
+        retry_stats.record("serve.retry.hist.backoff_ms", backoff);
+        slept_ms += backoff;
+        std::thread::sleep(Duration::from_millis(backoff));
     }
 }
 
@@ -225,6 +335,7 @@ pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io
     // time by the load workers (client side; never nested with the
     // server's locks, which live in another process in real use).
     let results: Mutex<Vec<Option<RequestSample>>> = Mutex::new(vec![None; options.requests]);
+    let retry_stats = Registry::new();
     let started = Instant::now();
 
     match options.mode {
@@ -238,6 +349,7 @@ pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io
                     let next = &next;
                     let results = &results;
                     let lines = &lines;
+                    let retry_stats = &retry_stats;
                     handles.push(scope.spawn(move || {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -245,7 +357,15 @@ pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io
                                 return;
                             }
                             let cell = i % lines.len();
-                            let sample = timed_request(&mut stream, cell, &lines[cell]);
+                            let sample = timed_request(
+                                addr,
+                                &mut stream,
+                                cell,
+                                &lines[cell],
+                                options.retry.as_ref(),
+                                options.seed ^ (i as u64).wrapping_mul(SEED_MIX),
+                                retry_stats,
+                            );
                             // INFALLIBLE: holders only store a sample.
                             results.lock().expect("results poisoned")[i] = Some(sample);
                         }
@@ -279,15 +399,25 @@ pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io
                     }
                     let results = &results;
                     let lines = &lines;
+                    let retry_stats = &retry_stats;
                     handles.push(scope.spawn(move || {
                         let cell = i % lines.len();
                         let sample = match connect(addr) {
-                            Ok(mut stream) => timed_request(&mut stream, cell, &lines[cell]),
+                            Ok(mut stream) => timed_request(
+                                addr,
+                                &mut stream,
+                                cell,
+                                &lines[cell],
+                                options.retry.as_ref(),
+                                options.seed ^ (i as u64).wrapping_mul(SEED_MIX),
+                                retry_stats,
+                            ),
                             Err(e) => RequestSample {
                                 cell,
                                 latency_s: 0.0,
                                 source: format!("io: {e}"),
                                 ok: false,
+                                attempts: 1,
                             },
                         };
                         // INFALLIBLE: holders only store a sample.
@@ -309,7 +439,7 @@ pub fn run_load(addr: &str, cells: &[Request], options: &LoadOptions) -> std::io
         .into_iter()
         .map(|s| s.expect("every request index filled"))
         .collect();
-    Ok(LoadRun { samples, wall_s })
+    Ok(LoadRun { samples, wall_s, retry: retry_stats.snapshot() })
 }
 
 /// Fetch one cell's served body (the verbatim `cell` member bytes).
@@ -429,6 +559,24 @@ pub fn bench_serve_doc(
             .number("rate_rps", rate_rps)
             .render(),
     };
+    let backoff = run
+        .retry
+        .hists
+        .iter()
+        .find(|(name, _)| name == "serve.retry.hist.backoff_ms")
+        .map(|(_, h)| h.summary());
+    let retry = JsonObject::new()
+        .number("attempts", run.retry.counter("serve.retry.attempts").unwrap_or(0) as f64)
+        .number("giveups", run.retry.counter("serve.retry.giveups").unwrap_or(0) as f64)
+        .number(
+            "backoff_p50_ms",
+            backoff.as_ref().map(|s| s.p50 as f64).unwrap_or(0.0),
+        )
+        .number(
+            "backoff_max_ms",
+            backoff.as_ref().map(|s| s.max as f64).unwrap_or(0.0),
+        )
+        .render();
     let load = JsonObject::new()
         .number("requests", run.samples.len() as f64)
         .raw("arrivals", mode)
@@ -438,6 +586,7 @@ pub fn bench_serve_doc(
         .number("latency_p50_us", lat.p50 as f64)
         .number("latency_p90_us", lat.p90 as f64)
         .number("latency_p99_us", lat.p99 as f64)
+        .raw("retry", retry)
         .render();
 
     let mut doc = JsonObject::new()
@@ -470,9 +619,10 @@ mod tests {
                 latency_s: us as f64 / 1e6,
                 source: "memory".to_string(),
                 ok: true,
+                attempts: 1,
             })
             .collect();
-        LoadRun { samples, wall_s: 1.0 }
+        LoadRun { samples, wall_s: 1.0, retry: Snapshot::default() }
     }
 
     #[test]
@@ -503,6 +653,7 @@ mod tests {
             latency_s: 9.9,
             source: "io: refused".to_string(),
             ok: false,
+            attempts: 1,
         });
         let h = run.latency_hist_us();
         assert_eq!(h.count(), 2, "failed requests never pollute latency");
@@ -532,6 +683,7 @@ mod tests {
             requests: 10,
             mode: ArrivalMode::Closed { connections: 3 },
             seed: 1,
+            ..Default::default()
         };
         let run = run_load(&addr, &cells, &options).unwrap();
         assert_eq!(run.samples.len(), 10);
@@ -560,6 +712,66 @@ mod tests {
     }
 
     #[test]
+    fn backoff_schedules_are_seed_deterministic_and_respect_the_hint() {
+        let policy = RetryPolicy::default();
+        let schedule = |seed: u64, hint: u64| -> Vec<u64> {
+            let mut rng = Pcg32::seed_from_u64(seed);
+            (1..=6).map(|retry| policy.backoff_ms(&mut rng, retry, hint)).collect()
+        };
+        assert_eq!(schedule(7, 0), schedule(7, 0), "same seed, same jitter");
+        assert_ne!(schedule(7, 0), schedule(8, 0), "seeds must matter");
+        for (retry, &ms) in schedule(7, 0).iter().enumerate() {
+            // Half-jitter window: [capped/2, capped].
+            let capped = (policy.base_ms << retry).min(policy.cap_ms);
+            assert!(ms >= capped / 2 && ms <= capped, "retry {retry}: {ms}");
+        }
+        // The server hint floors every sleep.
+        assert!(schedule(7, 300).iter().all(|&ms| ms >= 300));
+    }
+
+    #[test]
+    fn overload_is_retried_then_given_up_structurally() {
+        // max_pending = 0 rejects every miss, so each attempt draws an
+        // `overloaded` + hint and the client must exhaust its attempts.
+        let server = Server::start(ServerOptions {
+            store: pvs_serve::StoreOptions { threads: 1, max_pending: 0, ..Default::default() },
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let cells = vec![Request::cell("LBMHD", "4096x4096", "ES", 16)];
+        let options = LoadOptions {
+            requests: 2,
+            mode: ArrivalMode::Closed { connections: 1 },
+            seed: 9,
+            retry: Some(RetryPolicy { max_attempts: 3, base_ms: 1, cap_ms: 2, budget_ms: 500 }),
+        };
+        let run = run_load(&addr, &cells, &options).unwrap();
+        for s in &run.samples {
+            assert!(!s.ok);
+            assert_eq!(s.source, "overloaded");
+            assert_eq!(s.attempts, 3, "retries exhausted");
+        }
+        assert_eq!(run.retry.counter("serve.retry.attempts"), Some(4), "2 requests × 2 retries");
+        assert_eq!(run.retry.counter("serve.retry.giveups"), Some(2));
+        let (_, backoffs) = run
+            .retry
+            .hists
+            .iter()
+            .find(|(n, _)| n == "serve.retry.hist.backoff_ms")
+            .expect("backoff histogram recorded");
+        // Every slept backoff honored the server's 20 ms queue-depth hint.
+        assert_eq!(backoffs.count(), 4);
+        assert!(backoffs.min() >= 20, "hint floors the backoff: {}", backoffs.min());
+
+        // No-retry mode fails fast on the same server.
+        let fast = run_load(&addr, &cells, &LoadOptions { retry: None, requests: 1, ..options })
+            .unwrap();
+        assert_eq!(fast.samples[0].attempts, 1);
+        assert_eq!(fast.retry.counter("serve.retry.attempts"), None);
+    }
+
+    #[test]
     fn open_loop_arrivals_are_seed_deterministic() {
         let server = Server::start(ServerOptions::default()).unwrap();
         let addr = server.addr().to_string();
@@ -568,6 +780,7 @@ mod tests {
             requests: 5,
             mode: ArrivalMode::Open { rate_rps: 200.0 },
             seed: 42,
+            ..Default::default()
         };
         let run = run_load(&addr, &cells, &options).unwrap();
         assert_eq!(run.samples.len(), 5);

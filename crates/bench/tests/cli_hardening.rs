@@ -46,6 +46,7 @@ const SERVE: &str = env!("CARGO_BIN_EXE_serve");
 const SERVE_LOAD: &str = env!("CARGO_BIN_EXE_serve_load");
 const RANKSCALE: &str = env!("CARGO_BIN_EXE_rankscale");
 const SELFPERF: &str = env!("CARGO_BIN_EXE_selfperf");
+const SERVECHAOS: &str = env!("CARGO_BIN_EXE_servechaos");
 
 /// The smallest valid profile document: known schema, zero cells.
 const EMPTY_DOC: &str = "{\"schema\": \"pvs-bench/profile-v2\", \"cells\": []}";
@@ -170,6 +171,82 @@ fn chaos_unwritable_out_exits_6_fast_and_writes_nothing() {
     assert_exit(&out, 6, "--out under a file");
     assert_no_panic(&out, "chaos on unwritable --out");
     assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn servechaos_usage_errors_exit_2() {
+    let out = run(SERVECHAOS, &["--bogus"]);
+    assert_exit(&out, 2, "unknown flag");
+    assert_no_panic(&out, "servechaos on unknown flag");
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    let out = run(SERVECHAOS, &["--threads", "zero"]);
+    assert_exit(&out, 2, "non-numeric --threads");
+    let out = run(SERVECHAOS, &["--threads", "0"]);
+    assert_exit(&out, 2, "zero --threads");
+}
+
+#[test]
+fn servechaos_unwritable_out_exits_6_fast_and_writes_nothing() {
+    let dir = scratch_dir("servechaos_out");
+    let occupied = dir.join("not-a-dir");
+    std::fs::write(&occupied, "file in the way").unwrap();
+    let under = occupied.join("servechaos.json");
+    let out = run(SERVECHAOS, &["--smoke", "--out", under.to_str().unwrap()]);
+    assert_exit(&out, 6, "--out under a file");
+    assert_no_panic(&out, "servechaos on unwritable --out");
+    assert!(!under.exists(), "no partial document");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_verify_checkpoint_accepts_valid_rejects_damaged() {
+    use pvs_core::checkpoint::SweepCheckpoint;
+    let dir = scratch_dir("chaos_verify");
+    let doc = SweepCheckpoint::new(3).serialize();
+
+    // A path argument is required.
+    let out = run(CHAOS, &["--verify-checkpoint"]);
+    assert_exit(&out, 2, "--verify-checkpoint without a path");
+
+    // Missing file: unreadable input, not malformed.
+    let missing = dir.join("never-written.ck");
+    let out = run(CHAOS, &["--verify-checkpoint", missing.to_str().unwrap()]);
+    assert_exit(&out, 3, "missing checkpoint file");
+    assert_no_panic(&out, "verify on missing file");
+
+    // The intact document verifies clean.
+    let valid = dir.join("valid.ck");
+    std::fs::write(&valid, &doc).unwrap();
+    let out = run(CHAOS, &["--verify-checkpoint", valid.to_str().unwrap()]);
+    assert_exit(&out, 0, "valid checkpoint");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("0 of 3 cells"),
+        "summary names the progress: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Byte truncation: the checksum (or structure) no longer holds.
+    let trunc = dir.join("trunc.ck");
+    std::fs::write(&trunc, &doc[..doc.len() - 9]).unwrap();
+    let out = run(CHAOS, &["--verify-checkpoint", trunc.to_str().unwrap()]);
+    assert_exit(&out, 4, "truncated checkpoint");
+    assert_no_panic(&out, "verify on truncated checkpoint");
+
+    // A single flipped digit inside a record: caught by the FNV seal.
+    let flipped = dir.join("flipped.ck");
+    std::fs::write(&flipped, doc.replace("total 3", "total 7")).unwrap();
+    let out = run(CHAOS, &["--verify-checkpoint", flipped.to_str().unwrap()]);
+    assert_exit(&out, 4, "bit-flipped checkpoint");
+    assert!(stderr(&out).contains("checksum"), "{}", stderr(&out));
+
+    // A file that is no checkpoint at all.
+    let alien = dir.join("alien.ck");
+    std::fs::write(&alien, "{\"schema\": \"pvs-bench/profile-v2\"}").unwrap();
+    let out = run(CHAOS, &["--verify-checkpoint", alien.to_str().unwrap()]);
+    assert_exit(&out, 4, "non-checkpoint file");
+    assert!(stderr(&out).contains("unrecognized header"), "{}", stderr(&out));
+
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -281,7 +281,19 @@ impl Drop for ThreadPool {
             q.shutdown = true;
         }
         self.shared.work_ready.notify_all();
+        // The pool can be dropped *on one of its own workers*: a spawned
+        // job may own the last strong reference to the structure holding
+        // the pool (e.g. an abandoned serve flight whose caller already
+        // returned), and dropping it inside the job lands here on the
+        // worker thread. `JoinHandle::join` on the current thread aborts
+        // with EDEADLK inside std, so detach that one handle instead —
+        // the worker exits its loop on the shutdown flag just set, and
+        // it owns its own `Arc<Shared>`, so nothing dangles.
+        let me = std::thread::current().id();
         for w in self.workers.drain(..) {
+            if w.thread().id() == me {
+                continue;
+            }
             let _ = w.join();
         }
     }
@@ -411,6 +423,35 @@ mod tests {
             i * i
         });
         assert_eq!(out, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_the_pool_from_its_own_worker_detaches_instead_of_deadlocking() {
+        // A spawned job can own the last strong reference to the pool's
+        // owner (an abandoned serve flight, say). Dropping it inside the
+        // job lands ThreadPool::drop on a worker thread; a self-join
+        // there panics inside std with EDEADLK, killing the job before
+        // it can signal. The drop must detach that handle instead.
+        struct Owner {
+            pool: ThreadPool,
+        }
+        let owner = Arc::new(Owner { pool: ThreadPool::new(2) });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job_owner = Arc::clone(&owner);
+        owner.pool.spawn(move || {
+            // Wait until the main thread has released its reference so
+            // this job's drop is deterministically the last one.
+            while Arc::strong_count(&job_owner) > 1 {
+                std::thread::yield_now();
+            }
+            drop(job_owner);
+            let _ = tx.send(());
+        });
+        drop(owner);
+        // With a self-join the send is unreachable (the panic unwinds the
+        // job before it); the timeout turns that into a clean failure.
+        rx.recv_timeout(std::time::Duration::from_secs(30))
+            .expect("job survived dropping the pool from its own worker");
     }
 
     #[test]

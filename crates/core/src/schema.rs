@@ -33,10 +33,21 @@ pub const SWEEP_CHECKPOINT_V1: &str = "pvs-core/sweep-checkpoint-v1";
 /// responses): counters, gauges, and histogram summaries.
 pub const SNAPSHOT_V1: &str = "pvs-obs/snapshot-v1";
 
+/// On-disk spill cell written by `pvs-serve`'s cache: a one-line header
+/// `<schema> <body-bytes> <fnv1a-16hex>` followed by the raw body, so a
+/// warm-starting server can verify every entry before serving a byte.
+pub const SPILL_CELL_V1: &str = "pvs-serve/spill-cell-v1";
+
 /// Every registered schema identifier, for registry-wide checks
 /// (`pvs-lint` PVS015 walks this list).
-pub const ALL: [&str; 5] =
-    [PROFILE_V2, PROFILE_V1, RUN_CHECKPOINT_V1, SWEEP_CHECKPOINT_V1, SNAPSHOT_V1];
+pub const ALL: [&str; 6] = [
+    PROFILE_V2,
+    PROFILE_V1,
+    RUN_CHECKPOINT_V1,
+    SWEEP_CHECKPOINT_V1,
+    SNAPSHOT_V1,
+    SPILL_CELL_V1,
+];
 
 #[cfg(test)]
 mod tests {

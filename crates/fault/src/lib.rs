@@ -270,6 +270,91 @@ impl CompiledFaults {
     }
 }
 
+/// One kind of *host-level* damage: faults that strike the serving
+/// plane itself (disk, workers, clients) rather than the simulated
+/// machine. [`FaultKind`] events change what a simulation computes;
+/// `HostFaultKind` events attack where the result is stored and how it
+/// is delivered — the resilience layer's job is that they change
+/// *availability*, never *bytes served*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HostFaultKind {
+    /// A spill-cell file is truncated to a strict prefix (torn write,
+    /// full disk, or a writer killed mid-`write`).
+    SpillTruncation,
+    /// A single byte of a spill-cell body is bit-flipped (media decay).
+    SpillBitFlip,
+    /// A spill-cell header is replaced with garbage (foreign or
+    /// misrenamed file in the spill directory).
+    SpillGarbageHeader,
+    /// A stray `*.tmp.*` fragment from a writer killed between `write`
+    /// and `rename`.
+    TornTmpFile,
+    /// A simulation worker panics on a specific key.
+    WorkerPanic,
+    /// A client trickles its request bytes with long pauses (slowloris).
+    SlowClient,
+    /// A client sends a frame past the server's line cap.
+    OversizedFrame,
+}
+
+/// A seeded plan of host-level faults for the `servechaos` harness:
+/// *which* artifacts get hit, and with what damage, as a pure function
+/// of the seed. The plan carries no wall-clock schedule — host faults
+/// are applied at scenario-defined points (before restart, between
+/// requests), so the harness stays deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFaultPlan {
+    seed: u64,
+    kinds: Vec<HostFaultKind>,
+}
+
+impl HostFaultPlan {
+    /// An empty plan.
+    pub fn new(seed: u64) -> Self {
+        HostFaultPlan { seed, kinds: Vec::new() }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add a fault kind to the plan (idempotent).
+    pub fn with(mut self, kind: HostFaultKind) -> Self {
+        if !self.kinds.contains(&kind) {
+            self.kinds.push(kind);
+            self.kinds.sort();
+        }
+        self
+    }
+
+    /// Whether the plan includes `kind`.
+    pub fn covers(&self, kind: HostFaultKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+
+    /// The plan's kinds, sorted.
+    pub fn kinds(&self) -> &[HostFaultKind] {
+        &self.kinds
+    }
+
+    /// Seeded draw in `[0, n)` for event `event_index`: which of `n`
+    /// candidate artifacts (files, bytes, requests) fault number
+    /// `event_index` strikes. Pure in `(seed, event_index, n)`.
+    pub fn target(&self, event_index: u64, n: usize) -> usize {
+        assert!(n > 0, "no targets to choose from");
+        let draw = SplitMix64::new(self.seed ^ event_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .next_u64();
+        (draw % n as u64) as usize
+    }
+
+    /// Seeded nonzero bit mask for event `event_index` — the XOR mask a
+    /// `SpillBitFlip` applies to its victim byte.
+    pub fn flip_mask(&self, event_index: u64) -> u8 {
+        1u8 << (self.target(event_index.wrapping_add(0x5bd1), 8) as u32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +441,35 @@ mod tests {
     #[should_panic(expected = "degrade factor")]
     fn zero_degrade_factor_is_rejected() {
         let _ = FaultPlan::new(0).inject(0, FaultKind::LinkDegrade { link: 0, factor: 0.0 });
+    }
+
+    #[test]
+    fn host_fault_plans_are_pure_functions_of_their_seed() {
+        let build = |seed| {
+            HostFaultPlan::new(seed)
+                .with(HostFaultKind::SpillTruncation)
+                .with(HostFaultKind::SpillBitFlip)
+                .with(HostFaultKind::SpillBitFlip) // idempotent
+                .with(HostFaultKind::TornTmpFile)
+        };
+        let a = build(42);
+        assert_eq!(a, build(42));
+        assert_eq!(a.kinds().len(), 3);
+        assert!(a.covers(HostFaultKind::SpillBitFlip));
+        assert!(!a.covers(HostFaultKind::WorkerPanic));
+        for event in 0..64u64 {
+            assert!(a.target(event, 5) < 5);
+            assert_eq!(a.target(event, 5), build(42).target(event, 5));
+            assert_ne!(a.flip_mask(event), 0, "a flip must change the byte");
+        }
+        // Different seeds must actually move the draws.
+        let b = build(43);
+        assert!((0..64u64).any(|e| a.target(e, 1_000) != b.target(e, 1_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no targets")]
+    fn host_fault_target_rejects_an_empty_candidate_set() {
+        let _ = HostFaultPlan::new(0).target(0, 0);
     }
 }

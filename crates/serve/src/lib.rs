@@ -33,7 +33,9 @@ pub mod server;
 pub mod store;
 pub mod workload;
 
-pub use cache::ShardedCache;
+pub use cache::{DiskRead, ShardedCache, SpillScan};
 pub use server::{Server, ServerOptions};
-pub use store::{CellResponse, CellSource, CellStore, ServeError, StoreOptions};
+pub use store::{
+    BudgetProbe, CellResponse, CellSource, CellStore, PanicSpec, ServeError, StoreOptions,
+};
 pub use workload::{FaultSpec, Request, RequestError};

@@ -22,6 +22,16 @@
 //! always current values — subtracting them would be meaningless), so a
 //! poller can chart rates without client-side bookkeeping.
 //!
+//! A cell request may carry `deadline_ms`, an optional time budget: the
+//! server checks remaining budget at admission, while waiting on an
+//! in-flight simulation, and at dispatch, answering
+//! `{"error":"deadline_exceeded","stage":…}` once it runs out. Cache
+//! hits always serve regardless of budget. Rejections under load
+//! (`{"error":"overloaded"}`) carry a deterministic `retry_after_ms`
+//! backoff hint derived from the queue depth, and a key whose
+//! simulation the supervisor has retired answers
+//! `{"error":"failed","panics":N}`.
+//!
 //! A cell response puts the `cell` member **last**, holding the cached
 //! body verbatim — so the bytes after `"cell":` (minus the closing `}`
 //! and newline) are exactly the `pvs_report::json::perf_report`
@@ -39,7 +49,18 @@ use crate::workload::{FaultSpec, Request, DEFAULT_FAULT_EVENTS};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Serve a sweep cell.
-    Cell(Request),
+    Cell {
+        /// The validated-shape request (semantic validation happens in
+        /// the store).
+        request: Request,
+        /// Optional deadline budget in milliseconds. The server turns
+        /// it into a remaining-budget probe checked at admission, queue
+        /// wait, and simulation dispatch; exhaustion answers
+        /// `deadline_exceeded`. Deliberately *not* part of
+        /// [`Request`]: the deadline must never perturb the content
+        /// address.
+        deadline_ms: Option<u64>,
+    },
     /// Dump the server's observability registry. `delta` reports
     /// increments since the previous delta request instead of totals.
     Stats {
@@ -103,13 +124,25 @@ pub fn parse_line(line: &str) -> Result<Op, String> {
                     Some(FaultSpec { seed: seed as u64, events })
                 }
             };
-            Ok(Op::Cell(Request {
-                app: field("app")?,
-                config: field("config")?,
-                machine: field("machine")?,
-                procs: procs as usize,
-                faults,
-            }))
+            let deadline_ms = match doc.num("deadline_ms") {
+                None => None,
+                Some(ms) if ms.fract() == 0.0 && ms >= 0.0 => Some(ms as u64),
+                Some(ms) => {
+                    return Err(format!(
+                        "\"deadline_ms\" must be a non-negative integer, got {ms}"
+                    ))
+                }
+            };
+            Ok(Op::Cell {
+                request: Request {
+                    app: field("app")?,
+                    config: field("config")?,
+                    machine: field("machine")?,
+                    procs: procs as usize,
+                    faults,
+                },
+                deadline_ms,
+            })
         }
         other => Err(format!("unknown op {other:?}")),
     }
@@ -134,11 +167,23 @@ pub fn error_response(err: &ServeError) -> String {
             .string("error", "bad_request")
             .string("detail", &detail.to_string())
             .render(),
-        ServeError::Overloaded { pending, max } => JsonObject::new()
+        ServeError::Overloaded { pending, max, retry_after_ms } => JsonObject::new()
             .boolean("ok", false)
             .string("error", "overloaded")
             .number("pending", *pending as f64)
             .number("max", *max as f64)
+            .number("retry_after_ms", *retry_after_ms as f64)
+            .render(),
+        ServeError::DeadlineExceeded { stage } => JsonObject::new()
+            .boolean("ok", false)
+            .string("error", "deadline_exceeded")
+            .string("stage", stage)
+            .render(),
+        ServeError::Failed { panics } => JsonObject::new()
+            .boolean("ok", false)
+            .string("error", "failed")
+            .number("panics", *panics as f64)
+            .string("detail", "key poisoned: simulation panicked repeatedly")
             .render(),
         ServeError::Internal(detail) => JsonObject::new()
             .boolean("ok", false)
@@ -247,7 +292,36 @@ mod tests {
             r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64}"#,
         )
         .unwrap();
-        assert_eq!(op, Op::Cell(Request::cell("LBMHD", "8192x8192", "ES", 64)));
+        assert_eq!(
+            op,
+            Op::Cell {
+                request: Request::cell("LBMHD", "8192x8192", "ES", 64),
+                deadline_ms: None
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_budget_parses_without_touching_the_request() {
+        let line = r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64,"deadline_ms":250}"#;
+        match parse_line(line).unwrap() {
+            Op::Cell { request, deadline_ms } => {
+                assert_eq!(deadline_ms, Some(250));
+                // The deadline must not perturb the content address.
+                assert_eq!(request.key_hash(), Request::cell("LBMHD", "8192x8192", "ES", 64).key_hash());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line(
+            r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64,"deadline_ms":-3}"#
+        )
+        .unwrap_err()
+        .contains("deadline_ms"));
+        assert!(parse_line(
+            r#"{"op":"cell","app":"LBMHD","config":"8192x8192","machine":"ES","procs":64,"deadline_ms":1.5}"#
+        )
+        .unwrap_err()
+        .contains("1.5"));
     }
 
     #[test]
@@ -257,7 +331,7 @@ mod tests {
         )
         .unwrap();
         match op {
-            Op::Cell(r) => assert_eq!(
+            Op::Cell { request: r, .. } => assert_eq!(
                 r.faults,
                 Some(FaultSpec { seed: 7, events: DEFAULT_FAULT_EVENTS })
             ),
@@ -268,7 +342,9 @@ mod tests {
         )
         .unwrap();
         match op {
-            Op::Cell(r) => assert_eq!(r.faults, Some(FaultSpec { seed: 7, events: 9 })),
+            Op::Cell { request: r, .. } => {
+                assert_eq!(r.faults, Some(FaultSpec { seed: 7, events: 9 }))
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -345,10 +421,25 @@ mod tests {
         assert_eq!(doc.str("error"), Some("bad_request"));
         assert!(doc.str("detail").unwrap().contains("LINPACK"));
 
-        let over = error_response(&ServeError::Overloaded { pending: 3, max: 3 });
+        let over = error_response(&ServeError::Overloaded {
+            pending: 3,
+            max: 3,
+            retry_after_ms: 80,
+        });
         let doc = parse(&over).unwrap();
         assert_eq!(doc.str("error"), Some("overloaded"));
         assert_eq!(doc.num("pending"), Some(3.0));
+        assert_eq!(doc.num("retry_after_ms"), Some(80.0));
+
+        let dl = error_response(&ServeError::DeadlineExceeded { stage: "admission" });
+        let doc = parse(&dl).unwrap();
+        assert_eq!(doc.str("error"), Some("deadline_exceeded"));
+        assert_eq!(doc.str("stage"), Some("admission"));
+
+        let failed = error_response(&ServeError::Failed { panics: 3 });
+        let doc = parse(&failed).unwrap();
+        assert_eq!(doc.str("error"), Some("failed"));
+        assert_eq!(doc.num("panics"), Some(3.0));
 
         let doc = parse(&malformed_response("unknown op \"x\"")).unwrap();
         assert_eq!(doc.str("error"), Some("malformed"));

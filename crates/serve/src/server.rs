@@ -351,10 +351,23 @@ fn dispatch(store: &Arc<CellStore>, line: &str, uptime_s: u64) -> (String, bool)
         ),
         Ok(proto::Op::Health) => (proto::health_response(vitals()), false),
         Ok(proto::Op::Shutdown) => (proto::shutdown_response(), true),
-        Ok(proto::Op::Cell(request)) => match store.get(&request) {
-            Ok(resp) => (proto::cell_response(&resp), false),
-            Err(err) => (proto::error_response(&err), false),
-        },
+        Ok(proto::Op::Cell { request, deadline_ms }) => {
+            // Turn the wire deadline into a clock-free remaining-budget
+            // probe. The `Instant` lives here — the store (and
+            // everything below it) only ever sees remaining
+            // `Duration`s, so PVS003's clock confinement holds.
+            let budget: Option<crate::store::BudgetProbe> = deadline_ms.map(|ms| {
+                let start = Instant::now();
+                let total = Duration::from_millis(ms);
+                let probe: crate::store::BudgetProbe =
+                    Arc::new(move || total.saturating_sub(start.elapsed()));
+                probe
+            });
+            match store.get_with_budget(&request, budget) {
+                Ok(resp) => (proto::cell_response(&resp), false),
+                Err(err) => (proto::error_response(&err), false),
+            }
+        }
     }
 }
 

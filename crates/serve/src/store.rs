@@ -1,39 +1,86 @@
-//! The [`CellStore`]: cache, single-flight batching, and admission
-//! control behind one `get` call — the clock-free heart of the serving
-//! layer.
+//! The [`CellStore`]: cache, single-flight batching, admission control,
+//! deadline propagation, and supervised recovery behind one `get` call —
+//! the clock-free heart of the serving layer.
 //!
 //! Request flow:
 //!
 //! 1. **Validate** — malformed requests are rejected before touching any
 //!    shared state.
 //! 2. **Memory, then disk** — a hit returns the cached bytes untouched.
-//! 3. **Single-flight** — concurrent misses on the same key coalesce
+//!    Disk entries are checksum-verified before serving; a damaged entry
+//!    is quarantined ([`crate::cache`]) and recomputed, never served.
+//! 3. **Supervisor check** — a key that has panicked the simulation
+//!    [`StoreOptions::max_key_panics`] times is *poisoned*: it is served
+//!    as a structured [`ServeError::Failed`] instead of re-running a
+//!    crashing input forever.
+//! 4. **Deadline** — a request carrying a budget
+//!    ([`BudgetProbe`]) is checked at admission, while waiting on a
+//!    flight, and at simulation dispatch; an exhausted budget returns
+//!    [`ServeError::DeadlineExceeded`] naming the stage. Cache hits are
+//!    probed *before* the budget, so a warm key always serves.
+//! 5. **Single-flight** — concurrent misses on the same key coalesce
 //!    onto one in-flight simulation: the first caller becomes the leader
 //!    and submits the cell to the shared [`pvs_core::ThreadPool`];
 //!    followers wait on the leader's flight and receive the same `Arc`'d
 //!    bytes. N identical in-flight requests cost exactly one simulation.
-//! 4. **Admission control** — distinct in-flight simulations are capped
+//!    If the leader's simulation panics (or its deadline expires before
+//!    dispatch), followers are *re-driven*: they loop back and elect a
+//!    new leader rather than being stranded on a dead flight.
+//! 6. **Admission control** — distinct in-flight simulations are capped
 //!    at `max_pending`; a miss arriving at the cap is answered
-//!    `overloaded` immediately instead of growing an unbounded backlog.
-//!    Cache hits (and followers of existing flights) are never rejected:
-//!    the cap bounds *new work*, not traffic.
+//!    `overloaded` immediately — with a deterministic `retry_after_ms`
+//!    hint derived from the queue depth — instead of growing an
+//!    unbounded backlog. Cache hits (and followers of existing flights)
+//!    are never rejected: the cap bounds *new work*, not traffic.
 //!
 //! Because a cell is a pure function of its key (the workspace's
 //! determinism invariant), serving a cached body and recomputing it are
 //! observably identical — byte-for-byte. The store records every
-//! decision into a [`pvs_obs::Registry`] under `serve.*` names.
+//! decision into a [`pvs_obs::Registry`] under `serve.*` names. This
+//! module holds no clock: deadlines arrive as externally supplied
+//! remaining-budget probes (the TCP edge builds them from its wall
+//! clock; tests use deterministic countdowns).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use pvs_core::engine::Engine;
 use pvs_core::ThreadPool;
 use pvs_obs::{Recorder, Registry, Snapshot};
 use pvs_report::json::perf_report;
 
-use crate::cache::{ShardedCache, DEFAULT_SHARDS};
+use crate::cache::{DiskRead, ShardedCache, DEFAULT_SHARDS};
 use crate::workload::{Request, RequestError};
+
+/// Remaining-deadline probe: returns how much budget the request has
+/// left (`Duration::ZERO` = expired). The store itself never reads a
+/// clock; callers that have one (the TCP edge) close over it, and tests
+/// supply deterministic countdowns.
+pub type BudgetProbe = Arc<dyn Fn() -> Duration + Send + Sync>;
+
+/// How often a budgeted waiter re-checks its probe while parked on a
+/// flight. Requests without a deadline block without polling.
+const WAIT_POLL: Duration = Duration::from_millis(5);
+
+/// Re-drive attempts before a follower gives up on a key whose leaders
+/// keep dying. Generous: each attempt either succeeds, poisons the key
+/// (→ structured `failed`), or burns one of `max_key_panics`, so the
+/// loop converges long before this backstop.
+const MAX_REDRIVES: u32 = 8;
+
+/// Deterministic panic-injection knob for resilience harnesses: the
+/// simulation panics on keys containing `key_substring` until that key
+/// has panicked `times` times. `times = 1` exercises follower re-drive
+/// and recovery; `times = u32::MAX` exercises poison-pill retirement.
+#[derive(Debug, Clone)]
+pub struct PanicSpec {
+    /// Substring of the 16-hex content address to target.
+    pub key_substring: String,
+    /// How many panics to inject before the key computes normally.
+    pub times: u32,
+}
 
 /// Knobs for one store.
 #[derive(Debug, Clone)]
@@ -48,6 +95,10 @@ pub struct StoreOptions {
     pub max_pending: usize,
     /// On-disk spill directory (`None` = memory only).
     pub spill_dir: Option<PathBuf>,
+    /// Panics on the same key before the supervisor poisons it.
+    pub max_key_panics: u32,
+    /// Deterministic fault injection (harness use only).
+    pub panic_inject: Option<PanicSpec>,
 }
 
 impl Default for StoreOptions {
@@ -57,6 +108,8 @@ impl Default for StoreOptions {
             shards: DEFAULT_SHARDS,
             max_pending: 64,
             spill_dir: None,
+            max_key_panics: 3,
+            panic_inject: None,
         }
     }
 }
@@ -109,6 +162,22 @@ pub enum ServeError {
         pending: usize,
         /// The configured cap.
         max: usize,
+        /// Deterministic backoff hint: how long the client should wait
+        /// before retrying, derived from the queue depth.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline budget ran out before a body was ready.
+    DeadlineExceeded {
+        /// Which stage observed the expiry: `"admission"`, `"wait"`, or
+        /// `"dispatch"`.
+        stage: &'static str,
+    },
+    /// The key is poisoned: its simulation panicked `panics` times and
+    /// the supervisor retired it rather than re-running a crashing
+    /// input forever.
+    Failed {
+        /// Panic count at retirement.
+        panics: u32,
     },
     /// The simulation panicked (a bug, not a client error); the flight
     /// is failed so followers are not stranded.
@@ -119,12 +188,40 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::BadRequest(e) => write!(f, "bad request: {e}"),
-            ServeError::Overloaded { pending, max } => {
-                write!(f, "overloaded: {pending} simulations in flight (max {max})")
+            ServeError::Overloaded { pending, max, retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: {pending} simulations in flight (max {max}), retry in {retry_after_ms} ms"
+                )
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at {stage}")
+            }
+            ServeError::Failed { panics } => {
+                write!(f, "key poisoned after {panics} simulation panics")
             }
             ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
+}
+
+/// Deterministic backoff hint for a rejection observed at `pending`
+/// in-flight simulations: deeper queue, longer hint, capped at 2 s.
+fn retry_after_ms(pending: usize) -> u64 {
+    (20 * (pending as u64 + 1)).min(2_000)
+}
+
+/// How an in-flight simulation failed to produce a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlightFail {
+    /// The simulation panicked.
+    Panicked(String),
+    /// The supervisor had already poisoned the key (after this many
+    /// panics) when the job reached the front of the pool queue.
+    Poisoned(u32),
+    /// The leader's deadline expired before the simulation dispatched,
+    /// so no work was done.
+    Abandoned,
 }
 
 /// One in-flight simulation that any number of requests may wait on.
@@ -133,19 +230,19 @@ struct Flight {
     // LOCK ORDER: 15 — leaf under the flight map: `fulfill`/`wait` take
     // it with no other serve lock held, and flight-map holders never
     // reach into a slot.
-    slot: Mutex<Option<Result<Arc<str>, String>>>,
+    slot: Mutex<Option<Result<Arc<str>, FlightFail>>>,
     done: Condvar,
 }
 
 impl Flight {
-    fn fulfill(&self, result: Result<Arc<str>, String>) {
+    fn fulfill(&self, result: Result<Arc<str>, FlightFail>) {
         // INFALLIBLE: slot holders only move a value — no user code
         // runs under the lock.
         *self.slot.lock().expect("flight slot poisoned") = Some(result);
         self.done.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<str>, String> {
+    fn wait(&self) -> Result<Arc<str>, FlightFail> {
         // INFALLIBLE: see `fulfill`.
         let mut slot = self.slot.lock().expect("flight slot poisoned");
         loop {
@@ -156,6 +253,34 @@ impl Flight {
             }
         }
     }
+
+    /// Wait with a deadline: `None` means the probe expired before the
+    /// flight produced a result. The result is checked *before* the
+    /// probe on every pass, so a fulfilled flight always wins a race
+    /// against an expiring budget.
+    fn wait_budgeted(&self, probe: &BudgetProbe) -> Option<Result<Arc<str>, FlightFail>> {
+        // INFALLIBLE: see `fulfill`.
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = &*slot {
+                return Some(result.clone());
+            }
+            if probe().is_zero() {
+                return None;
+            }
+            // INFALLIBLE: waiting repoisons only on a panicked holder.
+            slot = self.done.wait_timeout(slot, WAIT_POLL).expect("flight wait").0;
+        }
+    }
+}
+
+/// Panic bookkeeping for poison-pill detection.
+#[derive(Debug, Default)]
+struct SupervisorState {
+    /// Panics observed per key.
+    panics: BTreeMap<String, u32>,
+    /// Keys retired after reaching `max_key_panics`.
+    failed: BTreeSet<String>,
 }
 
 /// The serving core. Share it across connection handlers with an `Arc`.
@@ -167,6 +292,12 @@ pub struct CellStore {
     // sit below both in the order.
     flights: Mutex<BTreeMap<String, Arc<Flight>>>,
     max_pending: usize,
+    max_key_panics: u32,
+    panic_inject: Option<PanicSpec>,
+    // LOCK ORDER: 12 — supervisor panic ledger. Always taken standalone
+    // (never while holding the flight map or a slot); holders only
+    // update the two maps before touching the registry (tier 30).
+    supervisor: Mutex<SupervisorState>,
     registry: Arc<Registry>,
     // LOCK ORDER: 35 — stats delta baseline. Taken only in
     // `stats_snapshot`, strictly after the registry snapshot (tier 30)
@@ -184,14 +315,30 @@ impl std::fmt::Debug for CellStore {
 }
 
 impl CellStore {
-    /// Build a store from options.
+    /// Build a store from options. When a spill directory is configured
+    /// this runs the warm-start integrity scan: every on-disk entry is
+    /// checksum-verified, damaged or torn files are quarantined, and the
+    /// outcome lands in `serve.store.verified` / `serve.store.quarantined`
+    /// before the first request can arrive.
     pub fn new(options: StoreOptions) -> Self {
+        let cache = ShardedCache::new(options.shards, options.spill_dir);
+        let registry = Arc::new(Registry::new());
+        let scan = cache.verify_spill();
+        if scan.verified > 0 {
+            registry.add("serve.store.verified", scan.verified);
+        }
+        if scan.quarantined > 0 {
+            registry.add("serve.store.quarantined", scan.quarantined);
+        }
         Self {
-            cache: ShardedCache::new(options.shards, options.spill_dir),
+            cache,
             pool: ThreadPool::new(options.threads),
             flights: Mutex::new(BTreeMap::new()),
             max_pending: options.max_pending,
-            registry: Arc::new(Registry::new()),
+            max_key_panics: options.max_key_panics.max(1),
+            panic_inject: options.panic_inject,
+            supervisor: Mutex::new(SupervisorState::default()),
+            registry,
             stats_baseline: Mutex::new(Snapshot::default()),
         }
     }
@@ -238,11 +385,62 @@ impl CellStore {
         self.flights.lock().expect("flight map poisoned")
     }
 
-    /// Serve one request. Blocks the calling thread until the body is
-    /// available (or the request is rejected); concurrency comes from
-    /// calling this from many connection threads at once.
+    fn lock_supervisor(&self) -> std::sync::MutexGuard<'_, SupervisorState> {
+        // INFALLIBLE: supervisor holders only update the panic ledger.
+        self.supervisor.lock().expect("supervisor poisoned")
+    }
+
+    /// Panics recorded so far for `key`.
+    fn panics_so_far(&self, key: &str) -> u32 {
+        self.lock_supervisor().panics.get(key).copied().unwrap_or(0)
+    }
+
+    /// If `key` is retired, its panic count at retirement.
+    fn failed_panics(&self, key: &str) -> Option<u32> {
+        let sup = self.lock_supervisor();
+        sup.failed.contains(key).then(|| sup.panics.get(key).copied().unwrap_or(0))
+    }
+
+    /// Record one panic on `key`; retire the key once the count reaches
+    /// `max_key_panics`. Returns the new count.
+    fn note_panic(&self, key: &str) -> u32 {
+        let poisoned;
+        let count;
+        {
+            let mut sup = self.lock_supervisor();
+            let entry = sup.panics.entry(key.to_string()).or_insert(0);
+            *entry += 1;
+            count = *entry;
+            poisoned = count >= self.max_key_panics && sup.failed.insert(key.to_string());
+        }
+        if poisoned {
+            self.registry.add("serve.supervisor.poisoned", 1);
+        }
+        count
+    }
+
+    /// Serve one request with no deadline. Blocks the calling thread
+    /// until the body is available (or the request is rejected);
+    /// concurrency comes from calling this from many connection threads
+    /// at once.
     pub fn get(self: &Arc<Self>, request: &Request) -> Result<CellResponse, ServeError> {
+        self.get_with_budget(request, None)
+    }
+
+    /// Serve one request, optionally bounded by a deadline budget. The
+    /// probe is consulted at admission, while waiting on a flight, and
+    /// at simulation dispatch; cache hits are served before the budget
+    /// is ever consulted (a warm key costs nothing, so expiring it
+    /// helps no one).
+    pub fn get_with_budget(
+        self: &Arc<Self>,
+        request: &Request,
+        budget: Option<BudgetProbe>,
+    ) -> Result<CellResponse, ServeError> {
         self.registry.add("serve.requests", 1);
+        if budget.is_some() {
+            self.registry.add("serve.deadline.requests", 1);
+        }
         let resolved = match request.resolve() {
             Ok(r) => r,
             Err(e) => {
@@ -256,78 +454,193 @@ impl CellStore {
             self.registry.add("serve.cache.hits", 1);
             return Ok(CellResponse { key, body, source: CellSource::Memory });
         }
-        if let Some(body) = self.cache.get_disk(&key) {
-            self.registry.add("serve.cache.disk_hits", 1);
-            return Ok(CellResponse { key, body, source: CellSource::Disk });
+        match self.cache.get_disk(&key) {
+            DiskRead::Hit(body) => {
+                self.registry.add("serve.cache.disk_hits", 1);
+                return Ok(CellResponse { key, body, source: CellSource::Disk });
+            }
+            DiskRead::Corrupt => {
+                // The entry was quarantined; fall through and recompute.
+                self.registry.add("serve.store.corrupt", 1);
+            }
+            DiskRead::Miss => {}
         }
 
-        // Miss. Join an existing flight, or lead a new one.
-        let (flight, leader) = {
-            let mut flights = self.lock_flights();
-            // Double-check under the flight lock: a flight that completed
-            // between the cache probe above and this lock has already
-            // populated the cache, and must not be recomputed.
-            if let Some(body) = self.cache.get_memory(&key) {
-                self.registry.add("serve.cache.hits", 1);
-                return Ok(CellResponse { key, body, source: CellSource::Memory });
+        // Miss: single-flight with supervised re-drive. Each pass either
+        // returns, or (for a follower orphaned by a dead leader) loops
+        // to elect a new one.
+        let mut dead_flight: Option<Arc<Flight>> = None;
+        for attempt in 0..=MAX_REDRIVES {
+            if attempt > 0 {
+                self.registry.add("serve.supervisor.redrives", 1);
             }
-            match flights.get(&key) {
-                Some(flight) => (Arc::clone(flight), false),
-                None => {
-                    if flights.len() >= self.max_pending {
-                        let pending = flights.len();
-                        self.registry.add("serve.queue.rejected", 1);
-                        return Err(ServeError::Overloaded { pending, max: self.max_pending });
+            if let Some(panics) = self.failed_panics(&key) {
+                self.registry.add("serve.supervisor.failed_served", 1);
+                return Err(ServeError::Failed { panics });
+            }
+            if let Some(probe) = &budget {
+                if probe().is_zero() {
+                    self.registry.add("serve.deadline.rejected", 1);
+                    return Err(ServeError::DeadlineExceeded { stage: "admission" });
+                }
+            }
+
+            let (flight, leader) = {
+                let mut flights = self.lock_flights();
+                // Double-check under the flight lock: a flight that
+                // completed between the cache probe above and this lock
+                // has already populated the cache, and must not be
+                // recomputed.
+                if let Some(body) = self.cache.get_memory(&key) {
+                    self.registry.add("serve.cache.hits", 1);
+                    return Ok(CellResponse { key, body, source: CellSource::Memory });
+                }
+                // A re-driving follower may observe the flight it just
+                // watched die still in the map (the job removes it after
+                // fulfilling); joining it again would spin. Evict it —
+                // idempotent with the job's own cleanup.
+                if let Some(dead) = &dead_flight {
+                    if flights.get(&key).is_some_and(|f| Arc::ptr_eq(f, dead)) {
+                        flights.remove(&key);
                     }
-                    let flight = Arc::new(Flight::default());
-                    flights.insert(key.clone(), Arc::clone(&flight));
-                    self.registry.gauge_set("serve.queue.depth", flights.len() as u64);
-                    self.registry.gauge_max("serve.queue.peak_depth", flights.len() as u64);
-                    (flight, true)
+                }
+                match flights.get(&key) {
+                    Some(flight) => (Arc::clone(flight), false),
+                    None => {
+                        if flights.len() >= self.max_pending {
+                            let pending = flights.len();
+                            self.registry.add("serve.queue.rejected", 1);
+                            return Err(ServeError::Overloaded {
+                                pending,
+                                max: self.max_pending,
+                                retry_after_ms: retry_after_ms(pending),
+                            });
+                        }
+                        let flight = Arc::new(Flight::default());
+                        flights.insert(key.clone(), Arc::clone(&flight));
+                        self.registry.gauge_set("serve.queue.depth", flights.len() as u64);
+                        self.registry.gauge_max("serve.queue.peak_depth", flights.len() as u64);
+                        (flight, true)
+                    }
+                }
+            };
+
+            if leader {
+                self.registry.add("serve.cache.misses", 1);
+                let store = Arc::clone(self);
+                let flight_for_job = Arc::clone(&flight);
+                let job_key = key.clone();
+                let job_budget = budget.clone();
+                let resolved = resolved.clone();
+                self.pool.spawn(move || {
+                    store.run_flight(job_key, resolved, flight_for_job, job_budget);
+                });
+            } else {
+                self.registry.add("serve.cache.batched_misses", 1);
+            }
+
+            let outcome = match &budget {
+                None => flight.wait(),
+                Some(probe) => match flight.wait_budgeted(probe) {
+                    Some(outcome) => outcome,
+                    None => {
+                        self.registry.add("serve.deadline.expired_wait", 1);
+                        return Err(ServeError::DeadlineExceeded { stage: "wait" });
+                    }
+                },
+            };
+            match outcome {
+                Ok(body) => {
+                    return Ok(CellResponse {
+                        key,
+                        body,
+                        source: if leader { CellSource::Computed } else { CellSource::Batched },
+                    })
+                }
+                Err(FlightFail::Poisoned(panics)) => {
+                    self.registry.add("serve.supervisor.failed_served", 1);
+                    return Err(ServeError::Failed { panics });
+                }
+                Err(FlightFail::Panicked(msg)) if leader => {
+                    // The leader's own simulation died; that is this
+                    // request's definitive answer. Followers re-drive.
+                    return Err(ServeError::Internal(msg));
+                }
+                Err(FlightFail::Abandoned) if leader => {
+                    return Err(ServeError::DeadlineExceeded { stage: "dispatch" });
+                }
+                Err(FlightFail::Panicked(_) | FlightFail::Abandoned) => {
+                    dead_flight = Some(flight);
+                }
+            }
+        }
+        self.registry.add("serve.errors.internal", 1);
+        Err(ServeError::Internal(format!("gave up on {key} after {MAX_REDRIVES} re-drives")))
+    }
+
+    /// The pool-side half of a flight: run the simulation under
+    /// `catch_unwind`, record the outcome, fulfill the flight, and
+    /// retire it from the map. Ordering matters for determinism: the
+    /// supervisor ledger is updated *before* waiters wake (so a
+    /// re-driving follower always observes the panic that orphaned it),
+    /// and the flight leaves the map last.
+    fn run_flight(
+        self: &Arc<Self>,
+        key: String,
+        resolved: crate::workload::ResolvedCell,
+        flight: Arc<Flight>,
+        budget: Option<BudgetProbe>,
+    ) {
+        let result = if let Some(panics) = self.failed_panics(&key) {
+            // Poisoned while this job sat in the pool queue: answer
+            // structurally, run nothing.
+            Err(FlightFail::Poisoned(panics))
+        } else if budget.as_ref().is_some_and(|probe| probe().is_zero()) {
+            // The leader's budget died in the queue; don't burn a
+            // simulation nobody is willing to wait for. Followers with
+            // live budgets re-drive.
+            self.registry.add("serve.deadline.abandoned", 1);
+            Err(FlightFail::Abandoned)
+        } else {
+            let store = Arc::clone(self);
+            let job_key = key.clone();
+            let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                store.registry.add("serve.sim.runs", 1);
+                if let Some(spec) = &store.panic_inject {
+                    if job_key.contains(&spec.key_substring)
+                        && store.panics_so_far(&job_key) < spec.times
+                    {
+                        panic!("injected panic for key {job_key}");
+                    }
+                }
+                let mut engine = Engine::new(resolved.machine);
+                if let Some(adversity) = resolved.adversity {
+                    engine = engine.with_adversity(adversity);
+                }
+                let report = engine.run(&resolved.phases, resolved.procs);
+                let body: Arc<str> = perf_report(&report).into();
+                if store.cache.insert(&job_key, Arc::clone(&body)).is_err() {
+                    store.registry.add("serve.spill.errors", 1);
+                }
+                body
+            }));
+            match computed {
+                Ok(body) => Ok(body),
+                Err(_) => {
+                    self.registry.add("serve.sim.panics", 1);
+                    self.registry.add("serve.errors.internal", 1);
+                    let count = self.note_panic(&key);
+                    Err(FlightFail::Panicked(format!(
+                        "simulation panicked ({count} panic{} on this key)",
+                        if count == 1 { "" } else { "s" }
+                    )))
                 }
             }
         };
-
-        if leader {
-            self.registry.add("serve.cache.misses", 1);
-            let store = Arc::clone(self);
-            let flight_for_job = Arc::clone(&flight);
-            let job_key = key.clone();
-            self.pool.spawn(move || {
-                let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    store.registry.add("serve.sim.runs", 1);
-                    let mut engine = Engine::new(resolved.machine);
-                    if let Some(adversity) = resolved.adversity {
-                        engine = engine.with_adversity(adversity);
-                    }
-                    let report = engine.run(&resolved.phases, resolved.procs);
-                    let body: Arc<str> = perf_report(&report).into();
-                    if store.cache.insert(&job_key, Arc::clone(&body)).is_err() {
-                        store.registry.add("serve.spill.errors", 1);
-                    }
-                    body
-                }));
-                let result = computed.map_err(|_| "simulation panicked".to_string());
-                if result.is_err() {
-                    store.registry.add("serve.errors.internal", 1);
-                }
-                flight_for_job.fulfill(result);
-                let mut flights = store.lock_flights();
-                flights.remove(&job_key);
-                store.registry.gauge_set("serve.queue.depth", flights.len() as u64);
-            });
-        } else {
-            self.registry.add("serve.cache.batched_misses", 1);
-        }
-
-        match flight.wait() {
-            Ok(body) => Ok(CellResponse {
-                key,
-                body,
-                source: if leader { CellSource::Computed } else { CellSource::Batched },
-            }),
-            Err(msg) => Err(ServeError::Internal(msg)),
-        }
+        flight.fulfill(result);
+        let mut flights = self.lock_flights();
+        flights.remove(&key);
+        self.registry.gauge_set("serve.queue.depth", flights.len() as u64);
     }
 }
 
@@ -335,13 +648,41 @@ impl CellStore {
 mod tests {
     use super::*;
     use pvs_core::engine::{run_sweep, SweepJob};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn store(options: StoreOptions) -> Arc<CellStore> {
         Arc::new(CellStore::new(options))
     }
 
+    /// The panic hook is process-global; tests that silence it while
+    /// injecting panics serialize here so a concurrent test's restore
+    /// can't interleave with another's install.
+    static HOOK_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep injected panics off stderr
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
     fn lbmhd() -> Request {
         Request::cell("LBMHD", "8192x8192", "ES", 64)
+    }
+
+    /// Deterministic budget: reports `calls` nonzero probes, then zero
+    /// forever. No wall clock involved.
+    fn countdown(calls: u64) -> BudgetProbe {
+        let left = AtomicU64::new(calls);
+        Arc::new(move || {
+            if left.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1)).is_ok() {
+                Duration::from_millis(1)
+            } else {
+                Duration::ZERO
+            }
+        })
     }
 
     #[test]
@@ -401,7 +742,7 @@ mod tests {
 
         let s = store(StoreOptions { threads: 2, max_pending: 0, ..Default::default() });
         match s.get(&lbmhd()) {
-            Err(ServeError::Overloaded { pending: 0, max: 0 }) => {}
+            Err(ServeError::Overloaded { pending: 0, max: 0, retry_after_ms: 20 }) => {}
             other => panic!("expected overload, got {other:?}"),
         }
         assert_eq!(s.registry().counter("serve.queue.rejected"), 1);
@@ -460,11 +801,191 @@ mod tests {
         drop(first);
 
         let second = store(opts());
+        assert_eq!(second.registry().counter("serve.store.verified"), 1);
+        assert_eq!(second.registry().counter("serve.store.quarantined"), 0);
         let served = second.get(&lbmhd()).unwrap();
         assert_eq!(served.source, CellSource::Disk);
         assert_eq!(served.body, body);
         assert_eq!(second.registry().counter("serve.sim.runs"), 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_spill_entry_is_quarantined_and_recomputed_identically() {
+        let dir = std::env::temp_dir().join(format!("pvs_serve_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || StoreOptions {
+            threads: 2,
+            spill_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let first = store(opts());
+        let body = first.get(&lbmhd()).unwrap().body;
+        drop(first);
+
+        // Flip a bit in the spilled body.
+        let path = dir.join(format!("{}.cell", lbmhd().key_hash()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Warm start quarantines it...
+        let second = store(opts());
+        assert_eq!(second.registry().counter("serve.store.quarantined"), 1);
+        assert_eq!(second.registry().counter("serve.store.verified"), 0);
+        // ...and the recomputed body is byte-identical to the original.
+        let served = second.get(&lbmhd()).unwrap();
+        assert_eq!(served.source, CellSource::Computed);
+        assert_eq!(served.body, body);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn runtime_corruption_is_detected_and_never_served() {
+        let dir = std::env::temp_dir().join(format!("pvs_serve_runtime_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = || StoreOptions {
+            threads: 2,
+            spill_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let first = store(opts());
+        let body = first.get(&lbmhd()).unwrap().body;
+
+        // Corrupt the entry *after* this store's warm-start scan, and
+        // evict it from memory by using a fresh store built before the
+        // corruption is visible on disk... simplest honest setup: a new
+        // store whose scan we bypass by corrupting afterwards.
+        let second = store(opts());
+        let path = dir.join(format!("{}.cell", lbmhd().key_hash()));
+        std::fs::write(&path, b"garbage, not a spill cell").unwrap();
+
+        let served = second.get(&lbmhd()).unwrap();
+        assert_eq!(second.registry().counter("serve.store.corrupt"), 1);
+        assert_eq!(served.source, CellSource::Computed);
+        assert_eq!(served.body, body, "recompute must be byte-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expired_budget_is_rejected_at_admission_but_hits_still_serve() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        let err = s.get_with_budget(&lbmhd(), Some(countdown(0))).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { stage: "admission" });
+        assert_eq!(s.registry().counter("serve.deadline.requests"), 1);
+        assert_eq!(s.registry().counter("serve.deadline.rejected"), 1);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 0);
+
+        // Warm the key without a deadline, then prove a zero budget
+        // still serves the hit: cache probes precede the budget check.
+        s.get(&lbmhd()).unwrap();
+        let hit = s.get_with_budget(&lbmhd(), Some(countdown(0))).unwrap();
+        assert_eq!(hit.source, CellSource::Memory);
+        assert_eq!(s.registry().counter("serve.deadline.rejected"), 1);
+    }
+
+    #[test]
+    fn budget_expiring_in_the_queue_abandons_the_simulation() {
+        let s = store(StoreOptions { threads: 2, ..Default::default() });
+        // One nonzero probe (admission), zero ever after: the job's
+        // dispatch check must abandon without running the engine.
+        let err = s.get_with_budget(&lbmhd(), Some(countdown(1))).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err:?}");
+        // The caller may return (via its own expired wait) before the
+        // pool job observes the dead budget; the flight leaves the map
+        // only after the job runs, so drain it before asserting.
+        while s.inflight() != 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(s.registry().counter("serve.deadline.abandoned"), 1);
+        assert_eq!(s.registry().counter("serve.sim.runs"), 0);
+        // The abandoned flight leaves no residue: the next undeadlined
+        // request computes normally.
+        assert!(s.get(&lbmhd()).is_ok());
+        assert_eq!(s.registry().counter("serve.sim.runs"), 1);
+    }
+
+    #[test]
+    fn budget_expiring_while_waiting_on_a_stranger_flight_is_structured() {
+        let s = store(StoreOptions { threads: 1, ..Default::default() });
+        // Park a never-completing flight on the key, then join it with a
+        // finite budget: the waiter must time out structurally.
+        let key = lbmhd().key_hash();
+        s.lock_flights().insert(key, Arc::new(Flight::default()));
+        let err = s.get_with_budget(&lbmhd(), Some(countdown(3))).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { stage: "wait" });
+        assert_eq!(s.registry().counter("serve.deadline.expired_wait"), 1);
+        assert_eq!(s.registry().counter("serve.cache.batched_misses"), 1);
+    }
+
+    #[test]
+    fn panicking_key_is_poisoned_after_max_key_panics() {
+        let key = lbmhd().key_hash();
+        let s = store(StoreOptions {
+            threads: 1,
+            max_key_panics: 2,
+            panic_inject: Some(PanicSpec { key_substring: key.clone(), times: u32::MAX }),
+            ..Default::default()
+        });
+        let (first, second) = with_silent_panics(|| {
+            (s.get(&lbmhd()).unwrap_err(), s.get(&lbmhd()).unwrap_err())
+        });
+        assert!(matches!(first, ServeError::Internal(_)), "{first:?}");
+        assert!(matches!(second, ServeError::Internal(_)), "{second:?}");
+        // The key is now retired: served structurally, no more sim runs.
+        let third = s.get(&lbmhd()).unwrap_err();
+        assert_eq!(third, ServeError::Failed { panics: 2 });
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("serve.sim.panics"), Some(2), "{snap:?}");
+        assert_eq!(snap.counter("serve.supervisor.poisoned"), Some(1));
+        assert_eq!(snap.counter("serve.supervisor.failed_served"), Some(1));
+        // Other keys are untouched by the poisoning.
+        assert!(s.get(&Request::cell("GTC", "100 part/cell", "ES", 64)).is_ok());
+    }
+
+    #[test]
+    fn followers_redrive_past_a_panicked_leader_and_recover() {
+        let key = lbmhd().key_hash();
+        let s = store(StoreOptions {
+            threads: 4,
+            // Exactly one injected panic, then the key computes fine.
+            panic_inject: Some(PanicSpec { key_substring: key, times: 1 }),
+            ..Default::default()
+        });
+        let results: Vec<Result<CellResponse, ServeError>> = with_silent_panics(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let s = Arc::clone(&s);
+                        scope.spawn(move || s.get(&lbmhd()))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        });
+        // Exactly one caller led the panicking flight and got the
+        // structured internal error; everyone else recovered (re-drive
+        // or arrived after the recomputed body hit the cache).
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failed, 1, "{results:?}");
+        let direct = {
+            let resolved = lbmhd().resolve().unwrap();
+            perf_report(
+                &run_sweep(vec![SweepJob {
+                    machine: resolved.machine,
+                    phases: resolved.phases,
+                    procs: resolved.procs,
+                }])[0],
+            )
+        };
+        for r in results.iter().flatten() {
+            assert_eq!(*r.body, direct, "recovered bodies must be byte-identical");
+        }
+        assert_eq!(s.registry().counter("serve.sim.panics"), 1);
+        assert_eq!(s.registry().counter("serve.supervisor.poisoned"), 0);
+        // And the store is fully healthy afterwards.
+        assert_eq!(s.get(&lbmhd()).unwrap().source, CellSource::Memory);
     }
 
     #[test]
@@ -480,5 +1001,12 @@ mod tests {
         assert_ne!(healthy.body, faulty.body);
         // And the faulty cell is itself deterministic.
         assert_eq!(s.get(&faulty_req).unwrap().body, faulty.body);
+    }
+
+    #[test]
+    fn retry_hint_grows_with_queue_depth_and_caps() {
+        assert_eq!(retry_after_ms(0), 20);
+        assert_eq!(retry_after_ms(9), 200);
+        assert_eq!(retry_after_ms(10_000), 2_000);
     }
 }
